@@ -1,0 +1,151 @@
+//! Pattern Collision Rate and Pattern Duplicate Rate (Table I, Fig. 3).
+//!
+//! * **PCR** — distinct patterns per feature value: how many different
+//!   patterns collide under one index. High PCR means a set-associative
+//!   table thrashes.
+//! * **PDR** — distinct feature values per pattern: how many entries
+//!   the same pattern would occupy. High PDR means storage redundancy —
+//!   the paper measures 82.9% redundant entries in Bingo this way.
+
+use crate::features::Feature;
+use pmp_core::capture::CapturedPattern;
+use pmp_types::RegionGeometry;
+use std::collections::{HashMap, HashSet};
+
+/// PCR/PDR measurement for one feature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollisionStats {
+    /// The feature measured.
+    pub feature: Feature,
+    /// Average number of distinct patterns sharing a feature value.
+    pub pcr: f64,
+    /// Average number of distinct feature values sharing a pattern.
+    pub pdr: f64,
+}
+
+/// Compute PCR and PDR over a set of captured patterns.
+///
+/// Patterns are compared in *anchored* form, as the pattern tables
+/// store them (two identical layouts triggered at different offsets
+/// count as the same pattern).
+pub fn collision_stats(
+    patterns: &[CapturedPattern],
+    feature: Feature,
+    geom: RegionGeometry,
+) -> CollisionStats {
+    let mut per_value: HashMap<u64, HashSet<u64>> = HashMap::new();
+    let mut per_pattern: HashMap<u64, HashSet<u64>> = HashMap::new();
+    for p in patterns {
+        let v = feature.value(p, geom);
+        let bits = p.anchored().bits();
+        per_value.entry(v).or_default().insert(bits);
+        per_pattern.entry(bits).or_default().insert(v);
+    }
+    let pcr = if per_value.is_empty() {
+        0.0
+    } else {
+        per_value.values().map(|s| s.len() as f64).sum::<f64>() / per_value.len() as f64
+    };
+    let pdr = if per_pattern.is_empty() {
+        0.0
+    } else {
+        per_pattern.values().map(|s| s.len() as f64).sum::<f64>() / per_pattern.len() as f64
+    };
+    CollisionStats { feature, pcr, pdr }
+}
+
+/// Table I: PCR/PDR for all five features.
+pub fn table_i(patterns: &[CapturedPattern], geom: RegionGeometry) -> Vec<CollisionStats> {
+    Feature::ALL.iter().map(|f| collision_stats(patterns, *f, geom)).collect()
+}
+
+/// Fraction of table entries that would be redundant under a feature:
+/// 1 − distinct patterns / total entries, where each (feature value,
+/// pattern) pair occupies an entry — the paper's "82.9% of patterns are
+/// redundant in Bingo" metric for PC+Address.
+pub fn redundancy(patterns: &[CapturedPattern], feature: Feature, geom: RegionGeometry) -> f64 {
+    let mut entries: HashSet<(u64, u64)> = HashSet::new();
+    let mut distinct: HashSet<u64> = HashSet::new();
+    for p in patterns {
+        let bits = p.anchored().bits();
+        entries.insert((feature.value(p, geom), bits));
+        distinct.insert(bits);
+    }
+    if entries.is_empty() {
+        return 0.0;
+    }
+    1.0 - distinct.len() as f64 / entries.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_types::{BitPattern, Pc, RegionAddr};
+
+    fn pat(pc: u64, region: u64, offset: u8, extra: u8) -> CapturedPattern {
+        let mut pattern = BitPattern::new(64);
+        pattern.set(offset);
+        pattern.set(extra);
+        CapturedPattern {
+            region: RegionAddr(region),
+            trigger_offset: offset,
+            trigger_pc: Pc(pc),
+            pattern,
+        }
+    }
+
+    #[test]
+    fn address_feature_has_high_pdr_low_pcr() {
+        let geom = RegionGeometry::default();
+        // The same anchored pattern observed in 20 regions.
+        let patterns: Vec<CapturedPattern> =
+            (0..20).map(|r| pat(0x400, r, 3, 5)).collect();
+        let addr = collision_stats(&patterns, Feature::Address, geom);
+        assert!((addr.pcr - 1.0).abs() < 1e-9, "unique per region: {}", addr.pcr);
+        assert!((addr.pdr - 20.0).abs() < 1e-9, "duplicated 20x: {}", addr.pdr);
+        // Trigger offset merges them: one value, one pattern.
+        let trig = collision_stats(&patterns, Feature::TriggerOffset, geom);
+        assert!((trig.pcr - 1.0).abs() < 1e-9);
+        assert!((trig.pdr - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn colliding_patterns_raise_pcr() {
+        let geom = RegionGeometry::default();
+        // Same trigger offset, different second offsets.
+        let patterns: Vec<CapturedPattern> =
+            (0..10).map(|i| pat(0x400, i, 3, 5 + i as u8)).collect();
+        let trig = collision_stats(&patterns, Feature::TriggerOffset, geom);
+        assert!((trig.pcr - 10.0).abs() < 1e-9, "{}", trig.pcr);
+    }
+
+    #[test]
+    fn redundancy_matches_definition() {
+        let geom = RegionGeometry::default();
+        let patterns: Vec<CapturedPattern> = (0..10).map(|r| pat(0x400, r, 3, 5)).collect();
+        // PC+Address: 10 entries, 1 distinct pattern -> 90% redundant.
+        let r = redundancy(&patterns, Feature::PcAddress, geom);
+        assert!((r - 0.9).abs() < 1e-9, "{r}");
+        // Trigger offset: 1 entry -> 0% redundant.
+        let r = redundancy(&patterns, Feature::TriggerOffset, geom);
+        assert!(r.abs() < 1e-9, "{r}");
+    }
+
+    #[test]
+    fn table_i_covers_all_features() {
+        let geom = RegionGeometry::default();
+        let patterns: Vec<CapturedPattern> = (0..5).map(|r| pat(0x400, r, 3, 5)).collect();
+        let t = table_i(&patterns, geom);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t[0].feature, Feature::Pc);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        let geom = RegionGeometry::default();
+        let s = collision_stats(&[], Feature::Pc, geom);
+        assert_eq!(s.pcr, 0.0);
+        assert_eq!(s.pdr, 0.0);
+        assert_eq!(redundancy(&[], Feature::Pc, geom), 0.0);
+    }
+}

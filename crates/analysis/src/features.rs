@@ -1,0 +1,149 @@
+//! The indexing features of Table I.
+//!
+//! Each feature maps a captured pattern's context (trigger PC, trigger
+//! line address) to an index value. Full-width values drive the
+//! PCR/PDR analysis; the paper's ICDD clustering additionally hashes
+//! every feature down to 6 bits so all features have the same 64-way
+//! value range.
+
+use pmp_core::capture::CapturedPattern;
+use pmp_types::{Pc, RegionGeometry};
+
+/// One of the paper's five indexing features (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Feature {
+    /// The load PC (32 bits in Table I).
+    Pc,
+    /// The trigger offset within the region (6 bits).
+    TriggerOffset,
+    /// Concatenated PC and trigger offset (38 bits).
+    PcTriggerOffset,
+    /// The trigger line address (48 bits).
+    Address,
+    /// Concatenated PC and address (80 bits).
+    PcAddress,
+}
+
+impl Feature {
+    /// All five features in Table I order.
+    pub const ALL: [Feature; 5] = [
+        Feature::Pc,
+        Feature::TriggerOffset,
+        Feature::PcTriggerOffset,
+        Feature::Address,
+        Feature::PcAddress,
+    ];
+
+    /// Table I's nominal bit width.
+    pub fn bits(self) -> u32 {
+        match self {
+            Feature::Pc => 32,
+            Feature::TriggerOffset => 6,
+            Feature::PcTriggerOffset => 38,
+            Feature::Address => 48,
+            Feature::PcAddress => 80,
+        }
+    }
+
+    /// Human-readable name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Feature::Pc => "PC",
+            Feature::TriggerOffset => "Trigger Offset",
+            Feature::PcTriggerOffset => "PC+Trigger Offset",
+            Feature::Address => "Address",
+            Feature::PcAddress => "PC+Address",
+        }
+    }
+
+    /// The full-width feature value for a captured pattern.
+    ///
+    /// PC+Address nominally needs 80 bits; we fold it into 64 by
+    /// rotating the PC, which preserves distinctness for all practical
+    /// trace footprints.
+    pub fn value(self, p: &CapturedPattern, geom: RegionGeometry) -> u64 {
+        let line = geom.line_of(p.region, p.trigger_offset).0;
+        match self {
+            Feature::Pc => p.trigger_pc.0 & 0xffff_ffff,
+            Feature::TriggerOffset => u64::from(p.trigger_offset),
+            Feature::PcTriggerOffset => {
+                ((p.trigger_pc.0 & 0xffff_ffff) << 6) | u64::from(p.trigger_offset)
+            }
+            Feature::Address => line & 0xffff_ffff_ffff,
+            Feature::PcAddress => p.trigger_pc.0.rotate_left(48) ^ line,
+        }
+    }
+
+    /// The 6-bit hashed feature value used for the paper's 64-cluster
+    /// ICDD analysis and the Fig. 5 heat maps ("the Trigger Offset,
+    /// hashed PC, hashed PC+Trigger Offset, hashed Address, and hashed
+    /// PC+Address features all have a width of 6 bits").
+    pub fn hashed6(self, p: &CapturedPattern, geom: RegionGeometry) -> u8 {
+        match self {
+            // Trigger Offset is already 6 bits: no hashing.
+            Feature::TriggerOffset => p.trigger_offset,
+            _ => (Pc(self.value(p, geom)).hash_bits(6)) as u8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_types::{BitPattern, RegionAddr};
+
+    fn pat(pc: u64, region: u64, offset: u8) -> CapturedPattern {
+        let mut pattern = BitPattern::new(64);
+        pattern.set(offset);
+        pattern.set((offset + 1) % 64);
+        CapturedPattern {
+            region: RegionAddr(region),
+            trigger_offset: offset,
+            trigger_pc: Pc(pc),
+            pattern,
+        }
+    }
+
+    #[test]
+    fn widths_match_table_i() {
+        assert_eq!(Feature::Pc.bits(), 32);
+        assert_eq!(Feature::TriggerOffset.bits(), 6);
+        assert_eq!(Feature::PcTriggerOffset.bits(), 38);
+        assert_eq!(Feature::Address.bits(), 48);
+        assert_eq!(Feature::PcAddress.bits(), 80);
+    }
+
+    #[test]
+    fn trigger_offset_identity() {
+        let geom = RegionGeometry::default();
+        let p = pat(0x400, 7, 13);
+        assert_eq!(Feature::TriggerOffset.value(&p, geom), 13);
+        assert_eq!(Feature::TriggerOffset.hashed6(&p, geom), 13);
+    }
+
+    #[test]
+    fn address_features_distinguish_regions() {
+        let geom = RegionGeometry::default();
+        let a = pat(0x400, 7, 13);
+        let b = pat(0x400, 8, 13);
+        assert_ne!(Feature::Address.value(&a, geom), Feature::Address.value(&b, geom));
+        assert_ne!(Feature::PcAddress.value(&a, geom), Feature::PcAddress.value(&b, geom));
+        // But PC / TriggerOffset merge them.
+        assert_eq!(Feature::Pc.value(&a, geom), Feature::Pc.value(&b, geom));
+        assert_eq!(
+            Feature::TriggerOffset.value(&a, geom),
+            Feature::TriggerOffset.value(&b, geom)
+        );
+    }
+
+    #[test]
+    fn hashed6_in_range() {
+        let geom = RegionGeometry::default();
+        for f in Feature::ALL {
+            for r in 0..50u64 {
+                let p = pat(0x400 + r * 24, r, (r % 64) as u8);
+                assert!(f.hashed6(&p, geom) < 64);
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Best-Offset Prefetcher (Michaud, HPCA 2016) — the constant-stride
+//! state of the art the paper's Related Work discusses: periodically
+//! scores a list of candidate offsets against recent requests and
+//! prefetches with the single best one.
+
+use pmp_prefetch::{AccessInfo, EvictInfo, Prefetcher, PrefetchRequest};
+use pmp_types::{CacheLevel, LineAddr, PAGE_BYTES};
+use std::collections::VecDeque;
+
+const LINES_PER_PAGE: u64 = PAGE_BYTES / 64;
+
+/// The published candidate-offset list (positive subset: products of
+/// small primes up to 64, as in the original paper's spirit).
+const OFFSETS: [i64; 26] = [
+    1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 25, 27, 30, 32, 36, 40, 45, 48, 50, 54,
+    60,
+];
+
+/// BOP configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BopConfig {
+    /// Recent-requests table entries.
+    pub rr_entries: usize,
+    /// Score needed to finish a learning phase early.
+    pub max_score: u32,
+    /// Rounds per learning phase.
+    pub max_rounds: u32,
+    /// Minimum winning score to prefetch at all (below it, BOP turns
+    /// itself off — the original's bad-score mechanism).
+    pub bad_score: u32,
+    /// Accesses of delay before a request enters the RR table
+    /// (modelling fill latency, as the original does in time).
+    pub rr_delay: usize,
+}
+
+impl Default for BopConfig {
+    fn default() -> Self {
+        BopConfig { rr_entries: 256, max_score: 31, max_rounds: 100, bad_score: 2, rr_delay: 16 }
+    }
+}
+
+/// The Best-Offset prefetcher.
+#[derive(Debug, Clone)]
+pub struct Bop {
+    cfg: BopConfig,
+    rr: Vec<u64>,
+    pending: VecDeque<u64>,
+    scores: [u32; OFFSETS.len()],
+    candidate: usize,
+    round: u32,
+    best_offset: Option<i64>,
+}
+
+impl Bop {
+    /// Build BOP from its configuration.
+    pub fn new(cfg: BopConfig) -> Self {
+        assert!(cfg.rr_entries.is_power_of_two(), "RR entries must be a power of two");
+        Bop {
+            rr: vec![u64::MAX; cfg.rr_entries],
+            pending: VecDeque::new(),
+            scores: [0; OFFSETS.len()],
+            candidate: 0,
+            round: 0,
+            best_offset: Some(1), // start as a next-line prefetcher
+            cfg,
+        }
+    }
+
+    fn rr_insert(&mut self, line: u64) {
+        let idx = (line as usize) & (self.cfg.rr_entries - 1);
+        self.rr[idx] = line;
+    }
+
+    fn rr_contains(&self, line: u64) -> bool {
+        self.rr[(line as usize) & (self.cfg.rr_entries - 1)] == line
+    }
+
+    fn end_phase(&mut self) {
+        // First maximum wins ties: prefer the smallest qualifying offset.
+        let (best_i, &best_s) = self
+            .scores
+            .iter()
+            .enumerate()
+            .rev()
+            .max_by_key(|(_, s)| **s)
+            .expect("non-empty");
+        self.best_offset = (best_s >= self.cfg.bad_score).then_some(OFFSETS[best_i]);
+        self.scores = [0; OFFSETS.len()];
+        self.candidate = 0;
+        self.round = 0;
+    }
+}
+
+impl Default for Bop {
+    fn default() -> Self {
+        Bop::new(BopConfig::default())
+    }
+}
+
+impl Prefetcher for Bop {
+    fn name(&self) -> &'static str {
+        "bop"
+    }
+
+    fn on_access(&mut self, info: &AccessInfo, out: &mut Vec<PrefetchRequest>) {
+        let line = info.access.addr.line().0;
+
+        // Delayed RR insertion models the fill latency: a request only
+        // becomes "recent" once its fill would have completed.
+        self.pending.push_back(line);
+        if self.pending.len() > self.cfg.rr_delay {
+            let ready = self.pending.pop_front().expect("non-empty");
+            self.rr_insert(ready);
+        }
+
+        // Learning: test the current candidate offset against the RR.
+        let d = OFFSETS[self.candidate];
+        if line >= d as u64 && self.rr_contains(line - d as u64) {
+            self.scores[self.candidate] += 1;
+            if self.scores[self.candidate] >= self.cfg.max_score {
+                self.end_phase();
+            }
+        }
+        self.candidate += 1;
+        if self.candidate == OFFSETS.len() {
+            self.candidate = 0;
+            self.round += 1;
+            if self.round >= self.cfg.max_rounds {
+                self.end_phase();
+            }
+        }
+
+        // Prefetch with the current best offset (same page only).
+        if let Some(best) = self.best_offset {
+            let target = line as i64 + best;
+            if target >= 0 && (target as u64) / LINES_PER_PAGE == line / LINES_PER_PAGE {
+                out.push(PrefetchRequest::new(LineAddr(target as u64), CacheLevel::L1D));
+            }
+        }
+    }
+
+    fn on_evict(&mut self, _info: &EvictInfo) {}
+
+    /// RR table (32b partial lines) + scores + phase state: well under
+    /// 2KB, as published.
+    fn storage_bits(&self) -> u64 {
+        self.cfg.rr_entries as u64 * 32 + OFFSETS.len() as u64 * 5 + 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_types::{Addr, MemAccess, Pc};
+
+    fn access(addr: u64) -> AccessInfo {
+        AccessInfo {
+            access: MemAccess::load(Pc(0x400), Addr(addr)),
+            hit: false,
+            cycle: 0,
+            pq_free: 8,
+        }
+    }
+
+    #[test]
+    fn learns_a_timely_offset_on_a_stream() {
+        // With an RR delay of 16 accesses, a unit-stride stream makes
+        // every offset >= 16 timely; BOP must converge to one of them
+        // (its whole point is to skip offsets that would arrive late).
+        let mut bop = Bop::default();
+        let mut out = Vec::new();
+        for i in 0..20_000u64 {
+            out.clear();
+            bop.on_access(&access((i % (1 << 18)) * 64), &mut out);
+        }
+        let best = bop.best_offset.expect("BOP must converge on a stream");
+        assert!(best >= 16, "only timely offsets should win: {best}");
+        // And it prefetches with it.
+        out.clear();
+        bop.on_access(&access(0x100_0000), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line.0, (0x100_0000u64 >> 6) + best as u64);
+    }
+
+    #[test]
+    fn too_fast_strides_disable_prefetching() {
+        // Stride 4 with a 16-access fill delay: the nearest timely
+        // offset would be 64, beyond the candidate list — BOP must
+        // notice nothing scores and turn itself off.
+        let mut bop = Bop::new(BopConfig { max_rounds: 8, ..BopConfig::default() });
+        let mut out = Vec::new();
+        for i in 0..20_000u64 {
+            out.clear();
+            bop.on_access(&access((i * 4 % (1 << 18)) * 64), &mut out);
+        }
+        assert_eq!(bop.best_offset, None);
+    }
+
+    #[test]
+    fn random_traffic_turns_it_off() {
+        let mut bop = Bop::new(BopConfig { max_rounds: 4, ..BopConfig::default() });
+        let mut out = Vec::new();
+        // Pseudo-random lines: no offset scores.
+        let mut x = 0x12345678u64;
+        for _ in 0..8_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            out.clear();
+            bop.on_access(&access((x % (1 << 30)) & !63), &mut out);
+        }
+        assert_eq!(bop.best_offset, None, "bad scores must disable prefetching");
+    }
+
+    #[test]
+    fn stays_in_page() {
+        let mut bop = Bop::default();
+        let mut out = Vec::new();
+        bop.on_access(&access(0x1fc0), &mut out); // last line of page 1
+        assert!(out.iter().all(|r| r.line.0 / 64 == 0), "{out:?}");
+    }
+
+    #[test]
+    fn storage_is_tiny() {
+        assert!(Bop::default().storage_bits() / 8 < 2048);
+    }
+}

@@ -1,0 +1,254 @@
+//! Global History Buffer prefetcher, G/DC flavour (Nesbit & Smith,
+//! IEEE Micro 2005) — the paper's Section VI-C representative of
+//! history-buffer designs: a circular buffer of recent miss addresses
+//! threaded into per-PC chains, with delta-correlation prediction.
+//!
+//! On each access the PC's chain yields its recent delta stream; the
+//! predictor looks for an earlier occurrence of the two most recent
+//! deltas and replays the deltas that followed that occurrence.
+
+use pmp_prefetch::{AccessInfo, EvictInfo, Prefetcher, PrefetchRequest};
+use pmp_types::{CacheLevel, LineAddr, Pc};
+
+/// GHB configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GhbConfig {
+    /// Circular global history buffer entries.
+    pub ghb_entries: usize,
+    /// Index-table entries (PC-hashed, direct-mapped).
+    pub it_entries: usize,
+    /// Maximum chain length walked per prediction.
+    pub max_chain: usize,
+    /// Prefetch degree (deltas replayed per match).
+    pub degree: usize,
+}
+
+impl Default for GhbConfig {
+    /// The published 256-entry GHB / 256-entry IT configuration.
+    fn default() -> Self {
+        GhbConfig { ghb_entries: 256, it_entries: 256, max_chain: 16, degree: 4 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct GhbEntry {
+    line: u64,
+    /// Absolute index of the previous same-PC entry (usize::MAX = none).
+    prev: usize,
+    valid: bool,
+}
+
+/// The GHB G/DC prefetcher.
+#[derive(Debug, Clone)]
+pub struct Ghb {
+    cfg: GhbConfig,
+    buffer: Vec<GhbEntry>,
+    /// Monotone write position; entry i lives at `i % ghb_entries` and
+    /// is stale once `head - i >= ghb_entries`.
+    head: usize,
+    /// Per-PC chain heads (absolute indices).
+    index: Vec<usize>,
+}
+
+impl Ghb {
+    /// Build GHB from its configuration.
+    pub fn new(cfg: GhbConfig) -> Self {
+        assert!(cfg.ghb_entries.is_power_of_two(), "GHB entries must be a power of two");
+        assert!(cfg.it_entries.is_power_of_two(), "IT entries must be a power of two");
+        Ghb {
+            buffer: vec![GhbEntry::default(); cfg.ghb_entries],
+            head: 0,
+            index: vec![usize::MAX; cfg.it_entries],
+            cfg,
+        }
+    }
+
+    fn it_slot(&self, pc: Pc) -> usize {
+        (pc.hash_bits(self.cfg.it_entries.trailing_zeros()) as usize)
+            & (self.cfg.it_entries - 1)
+    }
+
+    fn live(&self, abs: usize) -> Option<GhbEntry> {
+        if abs == usize::MAX || self.head.saturating_sub(abs) > self.cfg.ghb_entries {
+            return None;
+        }
+        let e = self.buffer[abs % self.cfg.ghb_entries];
+        e.valid.then_some(e)
+    }
+
+    /// Collect the PC chain's recent lines, newest first.
+    fn chain(&self, pc: Pc) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.cfg.max_chain);
+        let mut cursor = self.index[self.it_slot(pc)];
+        let mut last_abs = usize::MAX;
+        while out.len() < self.cfg.max_chain {
+            let Some(e) = self.live(cursor) else { break };
+            // Guard against cycles from slot reuse.
+            if cursor >= last_abs && last_abs != usize::MAX {
+                break;
+            }
+            out.push(e.line);
+            last_abs = cursor;
+            cursor = e.prev;
+        }
+        out
+    }
+}
+
+impl Default for Ghb {
+    fn default() -> Self {
+        Ghb::new(GhbConfig::default())
+    }
+}
+
+impl Prefetcher for Ghb {
+    fn name(&self) -> &'static str {
+        "ghb"
+    }
+
+    fn on_access(&mut self, info: &AccessInfo, out: &mut Vec<PrefetchRequest>) {
+        let pc = info.access.pc;
+        let line = info.access.addr.line();
+
+        // Record the access at the head of its PC chain.
+        let slot = self.it_slot(pc);
+        let prev = self.index[slot];
+        let abs = self.head;
+        self.buffer[abs % self.cfg.ghb_entries] =
+            GhbEntry { line: line.0, prev, valid: true };
+        self.index[slot] = abs;
+        self.head += 1;
+
+        // Delta correlation over the chain (newest first).
+        let lines = self.chain(pc);
+        if lines.len() < 4 {
+            return;
+        }
+        let deltas: Vec<i64> =
+            lines.windows(2).map(|w| w[0] as i64 - w[1] as i64).collect();
+        // Most recent delta pair (d1 newest).
+        let (d1, d2) = (deltas[0], deltas[1]);
+        if d1 == 0 || d1.abs() > 64 {
+            return;
+        }
+        // Find the same pair earlier in the stream and replay what
+        // followed it (deltas run newest -> oldest, so "followed" means
+        // the deltas at smaller indices).
+        let mut found = None;
+        for i in 2..deltas.len().saturating_sub(1) {
+            if deltas[i] == d1 && deltas[i + 1] == d2 {
+                found = Some(i);
+                break;
+            }
+        }
+        let Some(at) = found else { return };
+        let mut target = line.0 as i64;
+        // Replay up to `degree` of the deltas that followed the match.
+        for &d in deltas[..at].iter().rev().take(self.cfg.degree) {
+            if d == 0 || d.abs() > 64 {
+                break;
+            }
+            target += d;
+            if target < 0 {
+                break;
+            }
+            out.push(PrefetchRequest::new(LineAddr(target as u64), CacheLevel::L1D));
+        }
+    }
+
+    fn on_evict(&mut self, _info: &EvictInfo) {}
+
+    /// IT (head pointers) + GHB entries (line 32b + prev 8b) ≈ 1.5KB.
+    fn storage_bits(&self) -> u64 {
+        self.cfg.it_entries as u64 * 8 + self.cfg.ghb_entries as u64 * (32 + 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_types::{Addr, MemAccess};
+
+    fn access(pc: u64, addr: u64) -> AccessInfo {
+        AccessInfo {
+            access: MemAccess::load(Pc(pc), Addr(addr)),
+            hit: false,
+            cycle: 0,
+            pq_free: 8,
+        }
+    }
+
+    #[test]
+    fn replays_periodic_delta_sequence() {
+        // Deltas (1, 2, 3) repeating under one PC.
+        let mut g = Ghb::default();
+        let mut out = Vec::new();
+        let mut line = 1000i64;
+        for rep in 0..8 {
+            for d in [1i64, 2, 3] {
+                let _ = rep;
+                line += d;
+                out.clear();
+                g.on_access(&access(0x400, (line as u64) * 64), &mut out);
+            }
+        }
+        assert!(!out.is_empty(), "GHB must correlate the repeating deltas");
+        // The first predicted target continues the cycle.
+        let next = out[0].line.0 as i64 - line;
+        assert!([1, 2, 3].contains(&next), "predicted delta {next}");
+    }
+
+    #[test]
+    fn needs_history_before_predicting() {
+        let mut g = Ghb::default();
+        let mut out = Vec::new();
+        g.on_access(&access(0x400, 0x1000), &mut out);
+        g.on_access(&access(0x400, 0x1040), &mut out);
+        g.on_access(&access(0x400, 0x1080), &mut out);
+        assert!(out.is_empty(), "three accesses give one delta pair, no match yet");
+    }
+
+    #[test]
+    fn chains_are_per_pc() {
+        let mut g = Ghb::default();
+        let mut out = Vec::new();
+        // Interleave two PCs; each sees a clean (2, 2, 2, ...) stream.
+        for i in 0..12u64 {
+            out.clear();
+            g.on_access(&access(0x400, 0x10000 + i * 128), &mut out);
+            let before = out.len();
+            g.on_access(&access(0x888, 0x90000 + i * 320), &mut out);
+            let _ = before;
+        }
+        // Both chains produce constant-delta predictions in the final
+        // iteration's accumulated output: the 0x400 stream strides 2
+        // lines, the 0x888 stream 5 lines.
+        let targets: Vec<u64> = out.iter().map(|r| r.line.0).collect();
+        let a_next = ((0x10000u64 + 11 * 128) >> 6) + 2;
+        let b_next = ((0x90000u64 + 11 * 320) >> 6) + 5;
+        assert!(targets.contains(&a_next), "{targets:?} missing {a_next}");
+        assert!(targets.contains(&b_next), "{targets:?} missing {b_next}");
+    }
+
+    #[test]
+    fn stale_entries_break_chains() {
+        let mut g = Ghb::new(GhbConfig { ghb_entries: 16, ..GhbConfig::default() });
+        let mut out = Vec::new();
+        // Train PC A, then flood the buffer with PC B entries.
+        for i in 0..6u64 {
+            g.on_access(&access(0x400, 0x10000 + i * 64), &mut out);
+        }
+        for i in 0..32u64 {
+            g.on_access(&access(0x500, 0x50000 + i * 4096), &mut out);
+        }
+        out.clear();
+        // PC A's chain is gone; no prediction from one fresh access.
+        g.on_access(&access(0x400, 0x10000 + 6 * 64), &mut out);
+        assert!(out.is_empty(), "flooded chain must not dangle: {out:?}");
+    }
+
+    #[test]
+    fn storage_is_small() {
+        assert!(Ghb::default().storage_bits() / 8 < 2048);
+    }
+}

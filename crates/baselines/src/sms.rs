@@ -1,0 +1,208 @@
+//! Spatial Memory Streaming (Somogyi et al., ISCA 2006).
+//!
+//! The original bit-vector spatial prefetcher: a pattern history table
+//! indexed by PC+TriggerOffset stores the last observed pattern per
+//! feature value; on a trigger access the stored pattern is replayed
+//! into the L1D.
+
+use pmp_core::capture::{CaptureConfig, CapturedPattern, PatternCapture};
+use pmp_prefetch::{AccessInfo, EvictInfo, Prefetcher, PrefetchRequest, ReplayQueue};
+use pmp_types::{BitPattern, CacheLevel, Pc};
+
+/// SMS configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmsConfig {
+    /// Capture framework.
+    pub capture: CaptureConfig,
+    /// Pattern-history-table sets.
+    pub pht_sets: usize,
+    /// Pattern-history-table ways.
+    pub pht_ways: usize,
+}
+
+impl Default for SmsConfig {
+    /// A 2K-entry PHT (16KB-class prefetcher, as in the original
+    /// paper's ~dozens-of-KB design space).
+    fn default() -> Self {
+        SmsConfig { capture: CaptureConfig::default(), pht_sets: 256, pht_ways: 8 }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PhtEntry {
+    tag: u64,
+    pattern: BitPattern,
+    lru: u64,
+    valid: bool,
+}
+
+/// The SMS prefetcher.
+#[derive(Debug, Clone)]
+pub struct Sms {
+    cfg: SmsConfig,
+    capture: PatternCapture,
+    pht: Vec<Vec<PhtEntry>>,
+    replay: ReplayQueue,
+    clock: u64,
+}
+
+impl Sms {
+    /// Build SMS from its configuration.
+    pub fn new(cfg: SmsConfig) -> Self {
+        let len = cfg.capture.geometry.lines_per_region();
+        Sms {
+            capture: PatternCapture::new(cfg.capture.clone()),
+            pht: vec![
+                vec![
+                    PhtEntry { tag: 0, pattern: BitPattern::new(len), lru: 0, valid: false };
+                    cfg.pht_ways
+                ];
+                cfg.pht_sets
+            ],
+            replay: ReplayQueue::new(128),
+            clock: 0,
+            cfg,
+        }
+    }
+
+    /// PC+TriggerOffset feature (the original SMS index).
+    fn feature(&self, pc: Pc, offset: u8) -> u64 {
+        (pc.0 << 6) ^ u64::from(offset)
+    }
+
+    fn set_of(&self, feature: u64) -> usize {
+        (feature as usize) % self.cfg.pht_sets
+    }
+
+    fn train(&mut self, captured: &CapturedPattern) {
+        self.clock += 1;
+        let clock = self.clock;
+        let feature = self.feature(captured.trigger_pc, captured.trigger_offset);
+        let set = self.set_of(feature);
+        let anchored = captured.anchored();
+        if let Some(e) = self.pht[set].iter_mut().find(|e| e.valid && e.tag == feature) {
+            e.pattern = anchored;
+            e.lru = clock;
+            return;
+        }
+        let slot = self.pht[set]
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.lru } else { 0 })
+            .expect("non-empty set");
+        *slot = PhtEntry { tag: feature, pattern: anchored, lru: clock, valid: true };
+    }
+}
+
+impl Default for Sms {
+    fn default() -> Self {
+        Sms::new(SmsConfig::default())
+    }
+}
+
+impl Prefetcher for Sms {
+    fn name(&self) -> &'static str {
+        "sms"
+    }
+
+    fn on_access(&mut self, info: &AccessInfo, out: &mut Vec<PrefetchRequest>) {
+        let geom = self.capture.geometry();
+        let line = info.access.addr.line();
+        let outcome = self.capture.on_load(info.access.pc, line);
+        if let Some(f) = outcome.flushed {
+            self.train(&f);
+        }
+        if let Some(trig) = outcome.trigger {
+            self.clock += 1;
+            let clock = self.clock;
+            let feature = self.feature(trig.pc, trig.offset);
+            let set = self.set_of(feature);
+            if let Some(e) =
+                self.pht[set].iter_mut().find(|e| e.valid && e.tag == feature)
+            {
+                e.lru = clock;
+                let len = geom.lines_per_region() as u16;
+                let pattern = e.pattern;
+                let reqs: Vec<PrefetchRequest> = pattern
+                    .iter_set()
+                    .filter(|&o| o != 0)
+                    .map(|anch| {
+                        let abs = ((u16::from(trig.offset) + u16::from(anch)) % len) as u8;
+                        PrefetchRequest::new(geom.line_of(trig.region, abs), CacheLevel::L1D)
+                    })
+                    .collect();
+                self.replay.push_all(reqs);
+            }
+        }
+        self.replay.issue(info.pq_free, out);
+    }
+
+    fn on_evict(&mut self, info: &EvictInfo) {
+        if let Some(captured) = self.capture.on_evict(info.line) {
+            self.train(&captured);
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        let len = u64::from(self.capture.geometry().lines_per_region());
+        // tag (16b partial) + pattern + lru(3) per PHT entry.
+        let per = 16 + len + 3;
+        self.cfg.capture.storage_bits()
+            + (self.cfg.pht_sets * self.cfg.pht_ways) as u64 * per
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_types::{Addr, MemAccess};
+
+    fn access(pc: u64, addr: u64) -> AccessInfo {
+        AccessInfo {
+            access: MemAccess::load(Pc(pc), Addr(addr)),
+            hit: false,
+            cycle: 0,
+            pq_free: 8,
+        }
+    }
+
+    #[test]
+    fn replays_learned_pattern() {
+        let mut sms = Sms::default();
+        let mut out = Vec::new();
+        // Train one region: trigger offset 2 at PC 0x400, then 3, 5.
+        for r in 0..3u64 {
+            let base = (10 + r) * 4096;
+            sms.on_access(&access(0x400, base + 2 * 64), &mut out);
+            sms.on_access(&access(0x404, base + 3 * 64), &mut out);
+            sms.on_access(&access(0x404, base + 5 * 64), &mut out);
+            sms.on_evict(&EvictInfo { line: Addr(base + 2 * 64).line(), cycle: 0 });
+            out.clear();
+        }
+        // Fresh region, same PC and trigger offset.
+        sms.on_access(&access(0x400, 99 * 4096 + 2 * 64), &mut out);
+        let offs: Vec<u64> = out.iter().map(|r| r.line.0 - 99 * 64).collect();
+        assert!(offs.contains(&3) && offs.contains(&5), "{offs:?}");
+        assert!(out.iter().all(|r| r.fill_level == CacheLevel::L1D));
+    }
+
+    #[test]
+    fn different_pc_does_not_match() {
+        let mut sms = Sms::default();
+        let mut out = Vec::new();
+        for r in 0..3u64 {
+            let base = (10 + r) * 4096;
+            sms.on_access(&access(0x400, base + 2 * 64), &mut out);
+            sms.on_access(&access(0x404, base + 3 * 64), &mut out);
+            sms.on_evict(&EvictInfo { line: Addr(base + 2 * 64).line(), cycle: 0 });
+            out.clear();
+        }
+        sms.on_access(&access(0x888, 99 * 4096 + 2 * 64), &mut out);
+        assert!(out.is_empty(), "different trigger PC must not replay: {out:?}");
+    }
+
+    #[test]
+    fn storage_is_tens_of_kb() {
+        let kib = Sms::default().storage_bits() / 8 / 1024;
+        assert!((10..64).contains(&kib), "SMS ~ {kib} KiB");
+    }
+}

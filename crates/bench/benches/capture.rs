@@ -1,0 +1,39 @@
+//! Microbenchmark of the SMS capture framework: per-load cost of the
+//! Filter/Accumulation table pipeline shared by PMP and the bit-vector
+//! baselines.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pmp_core::capture::{CaptureConfig, PatternCapture};
+use pmp_types::{LineAddr, Pc};
+
+fn bench_capture(c: &mut Criterion) {
+    // A region-streaming access pattern: realistic FT/AT churn.
+    let accesses: Vec<(Pc, LineAddr)> = (0..4096u64)
+        .map(|i| (Pc(0x400 + (i % 13) * 4), LineAddr((i * 7919) % (1 << 20))))
+        .collect();
+    c.bench_function("capture_on_load", |b| {
+        let mut cap = PatternCapture::new(CaptureConfig::default());
+        let mut i = 0usize;
+        b.iter(|| {
+            let (pc, line) = accesses[i % accesses.len()];
+            black_box(cap.on_load(pc, line));
+            i += 1;
+        });
+    });
+
+    c.bench_function("capture_on_evict", |b| {
+        let mut cap = PatternCapture::new(CaptureConfig::default());
+        for &(pc, line) in &accesses[..512] {
+            cap.on_load(pc, line);
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            let (_, line) = accesses[i % 512];
+            black_box(cap.on_evict(line));
+            i += 1;
+        });
+    });
+}
+
+criterion_group!(benches, bench_capture);
+criterion_main!(benches);

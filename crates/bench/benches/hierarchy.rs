@@ -1,0 +1,51 @@
+//! Simulator-throughput benchmarks: cache-hierarchy demand accesses
+//! and whole-system instruction throughput — these bound how fast the
+//! experiment harness can sweep the 125-trace grid.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pmp_prefetch::NoPrefetch;
+use pmp_sim::hierarchy::{demand_access, CoreMem, MemEvents, SharedMem};
+use pmp_sim::{System, SystemConfig};
+use pmp_types::{LineAddr, MemAccess, Addr, Pc, TraceOp};
+
+fn bench_demand_access(c: &mut Criterion) {
+    let cfg = SystemConfig::single_core();
+    c.bench_function("hierarchy_demand_access", |b| {
+        let mut cores = vec![CoreMem::new(&cfg)];
+        let mut shared = SharedMem::new(&cfg);
+        let mut stats = pmp_sim::SimStats::default();
+        let mut ev = MemEvents::default();
+        let mut now = 0u64;
+        let mut i = 0u64;
+        b.iter(|| {
+            // Mix of hits (small working set) and misses (streaming).
+            let line = if i.is_multiple_of(4) { LineAddr(1_000_000 + i) } else { LineAddr(i % 64) };
+            let (lat, _) =
+                demand_access(line, true, now, 0, &mut cores, &mut shared, &mut stats, &mut ev);
+            ev.clear();
+            now += 2;
+            i += 1;
+            black_box(lat)
+        });
+    });
+}
+
+fn bench_system_throughput(c: &mut Criterion) {
+    let ops: Vec<TraceOp> = (0..20_000u64)
+        .map(|i| TraceOp::new(MemAccess::load(Pc(0x400), Addr((i * 320) % (1 << 26))), 3, false))
+        .collect();
+    let instrs: u64 = ops.iter().map(|o| o.instruction_count()).sum();
+    let mut g = c.benchmark_group("system");
+    g.throughput(Throughput::Elements(instrs));
+    g.sample_size(10);
+    g.bench_function("run_20k_mem_ops", |b| {
+        b.iter(|| {
+            let mut sys = System::new(SystemConfig::single_core(), Box::new(NoPrefetch));
+            black_box(sys.run(&ops, 0).cycles)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_demand_access, bench_system_throughput);
+criterion_main!(benches);

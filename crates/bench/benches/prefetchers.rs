@@ -1,0 +1,47 @@
+//! Per-access cost of each prefetcher's `on_access` path — the
+//! software analogue of the paper's access-time argument (PMP's
+//! tagless direct-mapped tables are cheap to consult; Bingo's large
+//! associative PHT is not free).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pmp_bench::prefetchers::PrefetcherKind;
+use pmp_prefetch::{AccessInfo, PrefetchRequest};
+use pmp_types::{Addr, MemAccess, Pc};
+
+fn bench_on_access(c: &mut Criterion) {
+    // Mixed access pattern touching many regions (worst-ish case).
+    let accesses: Vec<AccessInfo> = (0..8192u64)
+        .map(|i| AccessInfo {
+            access: MemAccess::load(
+                Pc(0x400 + (i % 17) * 4),
+                Addr(((i * 4243) % (1 << 24)) * 64),
+            ),
+            hit: i % 3 == 0,
+            cycle: i * 4,
+            pq_free: 8,
+        })
+        .collect();
+    for kind in [
+        PrefetcherKind::Pmp,
+        PrefetcherKind::Bingo,
+        PrefetcherKind::DsPatch,
+        PrefetcherKind::SppPpf,
+        PrefetcherKind::Pythia,
+        PrefetcherKind::Sms,
+    ] {
+        c.bench_function(&format!("on_access_{}", kind.label()), |b| {
+            let mut p = kind.build();
+            let mut out: Vec<PrefetchRequest> = Vec::with_capacity(64);
+            let mut i = 0usize;
+            b.iter(|| {
+                out.clear();
+                p.on_access(black_box(&accesses[i % accesses.len()]), &mut out);
+                i += 1;
+                black_box(out.len())
+            });
+        });
+    }
+}
+
+criterion_group!(benches, bench_on_access);
+criterion_main!(benches);

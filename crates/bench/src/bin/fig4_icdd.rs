@@ -1,0 +1,8 @@
+//! Regenerates the paper artifact `fig4_icdd` (see DESIGN.md §4).
+//! Scale via `PMP_SCALE` (tiny/small/standard/large).
+use pmp_bench::experiments::{self, scale_from_env};
+
+fn main() {
+    let scale = scale_from_env();
+    println!("{}", experiments::motivation::fig4_icdd(scale));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 9 (coverage & accuracy). See DESIGN.md §4.
+use pmp_bench::experiments::{headline, scale_from_env};
+
+fn main() {
+    let runs = headline::HeadlineRuns::execute(scale_from_env());
+    println!("{}", headline::fig9(&runs));
+}

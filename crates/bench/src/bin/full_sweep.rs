@@ -1,0 +1,25 @@
+//! Full 125-trace single-core sweep (development diagnostic).
+use pmp_bench::prefetchers::PrefetcherKind;
+use pmp_bench::runner::{run_traces, normalized_ipcs, geo_mean, RunConfig};
+use pmp_traces::{catalog, Suite, TraceScale};
+
+fn main() {
+    let specs = catalog();
+    let cfg = RunConfig { scale: TraceScale::Small, ..RunConfig::default() };
+    let base = run_traces(&specs, &PrefetcherKind::None, &cfg);
+    let mpki: Vec<f64> = base.iter().map(|o| o.result.stats.llc_mpki()).collect();
+    let lo = mpki.iter().filter(|&&m| m <= 5.0).count();
+    eprintln!("traces with MPKI<=5: {lo}/125; median {:.1}", {
+        let mut s = mpki.clone(); s.sort_by(|a,b| a.partial_cmp(b).unwrap()); s[62]
+    });
+    for kind in PrefetcherKind::paper_five() {
+        let out = run_traces(&specs, &kind, &cfg);
+        let (nipcs, g) = normalized_ipcs(&base, &out);
+        let mut line = format!("{:8} overall {:.3}", kind.label(), g);
+        for suite in Suite::ALL {
+            let vals: Vec<f64> = nipcs.iter().zip(&base).filter(|(_, b)| b.suite == suite).map(|(n, _)| *n).collect();
+            line += &format!("  {suite}={:.3}", geo_mean(&vals));
+        }
+        println!("{line}");
+    }
+}

@@ -1,0 +1,18 @@
+//! Diagnostic: PMP vs PMP-Limit traffic and NIPC.
+use pmp_bench::prefetchers::PrefetcherKind;
+use pmp_bench::runner::{run_traces, normalized_ipcs, RunConfig};
+use pmp_traces::{representative_subset, TraceScale};
+
+fn main() {
+    let specs = representative_subset();
+    let cfg = RunConfig { scale: TraceScale::Small, ..RunConfig::default() };
+    let base = run_traces(&specs, &PrefetcherKind::None, &cfg);
+    for kind in [PrefetcherKind::Pmp, PrefetcherKind::PmpLimit, PrefetcherKind::Bingo] {
+        let out = run_traces(&specs, &kind, &cfg);
+        let (_, g) = normalized_ipcs(&base, &out);
+        let dram: u64 = out.iter().map(|o| o.result.stats.dram_requests).sum();
+        let bdram: u64 = base.iter().map(|o| o.result.stats.dram_requests).sum();
+        let issued: u64 = out.iter().map(|o| o.result.stats.pf_issued).sum();
+        println!("{:10} nipc={:.3} NMT={:.1}% issued={}", kind.label(), g, dram as f64/bdram as f64*100.0, issued);
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates the per-suite motivation breakdown (DESIGN.md §4).
+use pmp_bench::experiments::{motivation, scale_from_env};
+
+fn main() {
+    println!("{}", motivation::per_suite(scale_from_env()));
+}

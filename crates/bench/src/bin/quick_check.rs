@@ -1,0 +1,34 @@
+//! Quick end-to-end sanity check: a few traces × all prefetchers.
+use pmp_bench::prefetchers::PrefetcherKind;
+use pmp_bench::runner::{geo_mean, run_traces, normalized_ipcs, RunConfig};
+use pmp_traces::{catalog, TraceScale};
+use pmp_types::CacheLevel;
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("small") => TraceScale::Small,
+        Some("standard") => TraceScale::Standard,
+        _ => TraceScale::Small,
+    };
+    let all = catalog();
+    let names = ["spec06.stream_1","spec06.astar_0","spec06.mcf_2","spec06.hash_3","spec17.stride_2","ligra.bfs_2","ligra.pagerank_4","parsec.stencil_2"];
+    let specs: Vec<_> = all.iter().filter(|s| names.contains(&s.name.as_str())).cloned().collect();
+    let cfg = RunConfig { scale, ..RunConfig::default() };
+    let t0 = std::time::Instant::now();
+    let base = run_traces(&specs, &PrefetcherKind::None, &cfg);
+    println!("baseline done in {:?}", t0.elapsed());
+    for o in &base {
+        println!("  {:22} ipc={:.3} mpki={:.1}", o.trace, o.result.ipc(), o.result.stats.llc_mpki());
+    }
+    for kind in [PrefetcherKind::NextLine, PrefetcherKind::Sms, PrefetcherKind::DsPatch, PrefetcherKind::Bingo, PrefetcherKind::SppPpf, PrefetcherKind::Pythia, PrefetcherKind::Pmp] {
+        let t = std::time::Instant::now();
+        let out = run_traces(&specs, &kind, &cfg);
+        let (nipcs, g) = normalized_ipcs(&base, &out);
+        let acc: Vec<String> = out.iter().map(|o| {
+            let l1 = o.result.stats.level(CacheLevel::L1D);
+            format!("{:.2}", l1.accuracy().unwrap_or(0.0))
+        }).collect();
+        println!("{:10} geomean NIPC = {:.3}  ({:?})  l1acc={:?}  [{:?}]", kind.label(), g, nipcs.iter().map(|x| (x*100.0).round()/100.0).collect::<Vec<_>>(), acc, t.elapsed());
+        let _ = geo_mean(&nipcs);
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates the related-work comparison (paper §VI; DESIGN.md §4).
+use pmp_bench::experiments::{ablation, scale_from_env};
+
+fn main() {
+    println!("{}", ablation::related_work(scale_from_env()));
+}

@@ -1,0 +1,45 @@
+//! Runs every experiment and writes the reports under `results/`.
+//! Scale via `PMP_SCALE` (tiny/small/standard/large; default standard).
+use pmp_bench::experiments::{ablation, headline, motivation, multicore, scale_from_env, sensitivity, storage};
+use std::fs;
+use std::time::Instant;
+
+fn main() {
+    let scale = scale_from_env();
+    fs::create_dir_all("results").expect("create results dir");
+    let t0 = Instant::now();
+    let save = |name: &str, body: String| {
+        let path = format!("results/{name}.txt");
+        fs::write(&path, &body).expect("write report");
+        println!("=== {name} ({:?} elapsed) ===\n{body}", t0.elapsed());
+    };
+
+    save("tab3_storage", format!("{}\n{}", storage::tab3_storage(), storage::tab5_overheads()));
+    save("tab1_pcr_pdr", motivation::tab1_pcr_pdr(scale));
+    save("fig2_top_patterns", motivation::fig2_top_patterns(scale));
+    save("fig4_icdd", motivation::fig4_icdd(scale));
+    save("fig5_heatmaps", motivation::fig5_heatmaps(scale));
+    save("per_suite", motivation::per_suite(scale));
+
+    let runs = headline::HeadlineRuns::execute(scale);
+    save("fig8_singlecore", headline::fig8(&runs));
+    save("fig9_cov_acc", headline::fig9(&runs));
+    save("fig10_useful", headline::fig10(&runs));
+    save("nmt_traffic", headline::nmt_report(&runs));
+
+    save("tab8_design_b", ablation::tab8_design_b(scale));
+    save("ext_schemes", ablation::ext_schemes(scale));
+    save("mfp_ablation", ablation::mfp_ablation(scale));
+    save("tab9_pattern_len", ablation::tab9_pattern_len(scale));
+    save("tab10_width_counter", ablation::tab10_width_counter(scale));
+    save("tab11_monitor_range", ablation::tab11_monitor_range(scale));
+    save("xp_extension", ablation::xp_extension(scale));
+    save("related_work", ablation::related_work(scale));
+    save("placement", ablation::placement(scale));
+
+    save("fig12a_bandwidth", sensitivity::fig12a_bandwidth(scale));
+    save("fig12b_llc", sensitivity::fig12b_llc(scale));
+
+    save("fig13_multicore", multicore::fig13(scale));
+    eprintln!("run_all finished in {:?}", t0.elapsed());
+}

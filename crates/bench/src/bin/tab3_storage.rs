@@ -1,0 +1,7 @@
+//! Regenerates Tables III and V (storage budgets). See DESIGN.md §4.
+use pmp_bench::experiments::storage;
+
+fn main() {
+    println!("{}", storage::tab3_storage());
+    println!("{}", storage::tab5_overheads());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper artifact `tab8_design_b` (see DESIGN.md §4).
+//! Scale via `PMP_SCALE` (tiny/small/standard/large).
+use pmp_bench::experiments::{self, scale_from_env};
+
+fn main() {
+    let scale = scale_from_env();
+    println!("{}", experiments::ablation::tab8_design_b(scale));
+}

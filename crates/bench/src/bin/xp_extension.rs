@@ -1,0 +1,6 @@
+//! Regenerates the cross-page extension study (future work; DESIGN.md §4).
+use pmp_bench::experiments::{ablation, scale_from_env};
+
+fn main() {
+    println!("{}", ablation::xp_extension(scale_from_env()));
+}

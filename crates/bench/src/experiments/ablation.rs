@@ -1,0 +1,328 @@
+//! Design-analysis experiments (paper Section V-E): Design B
+//! (Table VIII), extraction schemes, multi-feature prediction,
+//! pattern length (Table IX), trigger-offset width and counter size
+//! (Table X), monitoring range (Table XI).
+
+use crate::prefetchers::PrefetcherKind;
+use crate::runner::{normalized_ipcs, run_traces, RunConfig};
+use pmp_core::{ExtractionScheme, PmpConfig};
+use pmp_core::pmp::TableMode;
+use pmp_stats::Table;
+use pmp_traces::{representative_subset, TraceScale, TraceSpec};
+
+fn sweep_config() -> Vec<TraceSpec> {
+    representative_subset()
+}
+
+fn geomean_nipc(specs: &[TraceSpec], kind: &PrefetcherKind, cfg: &RunConfig) -> f64 {
+    let base = run_traces(specs, &PrefetcherKind::None, cfg);
+    let with = run_traces(specs, kind, cfg);
+    normalized_ipcs(&base, &with).1
+}
+
+/// Run several PMP variants against one shared baseline.
+fn pmp_variants(
+    specs: &[TraceSpec],
+    cfg: &RunConfig,
+    variants: &[(String, PmpConfig)],
+) -> Vec<(String, f64)> {
+    let base = run_traces(specs, &PrefetcherKind::None, cfg);
+    variants
+        .iter()
+        .map(|(label, c)| {
+            let kind = PrefetcherKind::PmpCustom(Box::new(c.clone()));
+            let with = run_traces(specs, &kind, cfg);
+            (label.clone(), normalized_ipcs(&base, &with).1)
+        })
+        .collect()
+}
+
+/// **Table VIII** — Design B NIPC versus associativity, plus PMP for
+/// reference. The paper's point: even 512 ways of identical-pattern
+/// counting lose to counter-vector merging.
+pub fn tab8_design_b(scale: TraceScale) -> String {
+    let specs = sweep_config();
+    let cfg = RunConfig { scale, ..RunConfig::default() };
+    let base = run_traces(&specs, &PrefetcherKind::None, &cfg);
+    let mut t = Table::new(&["design", "ways", "NIPC", "storage KiB"]);
+    for ways in [8usize, 32, 128, 512] {
+        let kind = PrefetcherKind::DesignB(ways);
+        let with = run_traces(&specs, &kind, &cfg);
+        let (_, g) = normalized_ipcs(&base, &with);
+        let kib = kind.build().storage_bits() as f64 / 8.0 / 1024.0;
+        t.row_owned(vec![
+            "Design B".into(),
+            ways.to_string(),
+            super::f3(g),
+            format!("{kib:.1}"),
+        ]);
+    }
+    let with = run_traces(&specs, &PrefetcherKind::Pmp, &cfg);
+    let (_, g) = normalized_ipcs(&base, &with);
+    let kib = PrefetcherKind::Pmp.build().storage_bits() as f64 / 8.0 / 1024.0;
+    t.row_owned(vec!["PMP".into(), "-".into(), super::f3(g), format!("{kib:.1}")]);
+    format!(
+        "Table VIII: Design B (identical-pattern counting) vs associativity\n(paper: NIPC grows with ways — 1.176/1.188/1.215/1.224 — but PMP beats 512-way by 34.9%)\n\n{}",
+        t.render()
+    )
+}
+
+/// **Section V-E2** — the three extraction schemes. Paper: AFE 65.2%
+/// over baseline, ANE 60.3%, ARE only 5.0% (depth-capped).
+pub fn ext_schemes(scale: TraceScale) -> String {
+    let specs = sweep_config();
+    let cfg = RunConfig { scale, ..RunConfig::default() };
+    let variants = vec![
+        (
+            "AFE (default)".to_string(),
+            PmpConfig { scheme: ExtractionScheme::default(), ..PmpConfig::default() },
+        ),
+        (
+            "ANE (16/5)".to_string(),
+            PmpConfig { scheme: ExtractionScheme::ane_default(), ..PmpConfig::default() },
+        ),
+        (
+            "ARE (50%/15%)".to_string(),
+            PmpConfig { scheme: ExtractionScheme::are_default(), ..PmpConfig::default() },
+        ),
+    ];
+    let results = pmp_variants(&specs, &cfg, &variants);
+    let mut t = Table::new(&["scheme", "NIPC"]);
+    for (label, g) in results {
+        t.row_owned(vec![label, super::f3(g)]);
+    }
+    format!(
+        "Section V-E2: prefetch pattern extraction schemes\n(paper: AFE > ANE (−2.9%) ≫ ARE, which starves stream patterns)\n\n{}",
+        t.render()
+    )
+}
+
+/// **Section V-E3** — multi-feature prediction: the dual pattern
+/// tables vs the combined PC+TriggerOffset feature vs single tables.
+pub fn mfp_ablation(scale: TraceScale) -> String {
+    let specs = sweep_config();
+    let cfg = RunConfig { scale, ..RunConfig::default() };
+    let variants = vec![
+        ("dual tables (OPT+PPT)".to_string(), PmpConfig::default()),
+        (
+            "combined PC+TriggerOffset (2048 entries)".to_string(),
+            PmpConfig { table_mode: TableMode::Combined, ..PmpConfig::default() },
+        ),
+        (
+            "single OPT".to_string(),
+            PmpConfig { table_mode: TableMode::OptOnly, ..PmpConfig::default() },
+        ),
+        (
+            "single PPT (OPT-sized)".to_string(),
+            PmpConfig { table_mode: TableMode::PptOnly, ..PmpConfig::default() },
+        ),
+    ];
+    let results = pmp_variants(&specs, &cfg, &variants);
+    let mut t = Table::new(&["configuration", "NIPC"]);
+    for (label, g) in results {
+        t.row_owned(vec![label, super::f3(g)]);
+    }
+    format!(
+        "Section V-E3: multi-feature-based prediction ablation\n(paper: dual tables win; combined −3.1%, single OPT −2.4%, single PPT −3.5%)\n\n{}",
+        t.render()
+    )
+}
+
+/// **Table IX** — pattern length 64/32/16 (region 4KB/2KB/1KB) with
+/// storage budgets.
+pub fn tab9_pattern_len(scale: TraceScale) -> String {
+    let specs = sweep_config();
+    let cfg = RunConfig { scale, ..RunConfig::default() };
+    let variants: Vec<(String, PmpConfig)> = [64u32, 32, 16]
+        .iter()
+        .map(|&len| (format!("PMP-{len}"), PmpConfig::with_pattern_length(len)))
+        .collect();
+    let results = pmp_variants(&specs, &cfg, &variants);
+    let mut t = Table::new(&["config", "region", "overhead KiB", "NIPC"]);
+    for ((label, g), len) in results.into_iter().zip([64u32, 32, 16]) {
+        let kib = PrefetcherKind::PmpCustom(Box::new(PmpConfig::with_pattern_length(len)))
+            .build()
+            .storage_bits() as f64
+            / 8.0
+            / 1024.0;
+        t.row_owned(vec![
+            label,
+            format!("{}KB", len * 64 / 1024),
+            format!("{kib:.1}"),
+            super::f3(g),
+        ]);
+    }
+    format!(
+        "Table IX: PMP under different pattern lengths\n(paper: 1.652 / 1.626 / 1.572 at 4.3 / 2.5 / 1.6 KB — shorter patterns fold and lose accuracy)\n\n{}",
+        t.render()
+    )
+}
+
+/// **Table X** — trigger-offset width (6..=12 bits) and OPT counter
+/// size (2..=8 bits) sweeps.
+pub fn tab10_width_counter(scale: TraceScale) -> String {
+    let specs = sweep_config();
+    let cfg = RunConfig { scale, ..RunConfig::default() };
+    let width_variants: Vec<(String, PmpConfig)> = (6u32..=12)
+        .map(|b| {
+            (format!("{b}-bit trigger offset"), PmpConfig { trigger_offset_bits: b, ..PmpConfig::default() })
+        })
+        .collect();
+    let counter_variants: Vec<(String, PmpConfig)> = (2u32..=8)
+        .map(|b| (format!("{b}-bit counters"), PmpConfig { opt_counter_bits: b, ..PmpConfig::default() }))
+        .collect();
+    let widths = pmp_variants(&specs, &cfg, &width_variants);
+    let counters = pmp_variants(&specs, &cfg, &counter_variants);
+    let mut t = Table::new(&["trigger offset width", "NIPC", "counter size", "NIPC "]);
+    for i in 0..7 {
+        t.row_owned(vec![
+            width_variants[i].0.clone(),
+            super::f3(widths[i].1),
+            counter_variants[i].0.clone(),
+            super::f3(counters[i].1),
+        ]);
+    }
+    format!(
+        "Table X: trigger-offset width and counter size\n(paper: both rise then saturate; 12-bit offsets cost 64x storage for +0.4% NIPC)\n\n{}",
+        t.render()
+    )
+}
+
+/// **Table XI** — monitoring range 1/2/4/8.
+pub fn tab11_monitor_range(scale: TraceScale) -> String {
+    let specs = sweep_config();
+    let cfg = RunConfig { scale, ..RunConfig::default() };
+    let variants: Vec<(String, PmpConfig)> = [1u32, 2, 4, 8]
+        .iter()
+        .map(|&r| {
+            (format!("range {r}"), PmpConfig { monitoring_range: r, ..PmpConfig::default() })
+        })
+        .collect();
+    let results = pmp_variants(&specs, &cfg, &variants);
+    let mut t = Table::new(&["monitoring range", "NIPC", "PPT bytes"]);
+    for ((label, g), r) in results.into_iter().zip([1u32, 2, 4, 8]) {
+        let ppt_bytes = pmp_core::tables::PcPatternTable::new(5, 64, r, 5).storage_bits() / 8;
+        t.row_owned(vec![label, super::f3(g), ppt_bytes.to_string()]);
+    }
+    format!(
+        "Table XI: PPT monitoring range\n(paper: 1.650 / 1.652 / 1.630 / 1.615 — range 2 is the knee)\n\n{}",
+        t.render()
+    )
+}
+
+/// **Extension study** (not in the paper — its future work): stock PMP
+/// vs PMP-XP (cross-page next-region prediction) vs PMP-Limit, with
+/// traffic cost.
+pub fn xp_extension(scale: TraceScale) -> String {
+    let specs = sweep_config();
+    let cfg = RunConfig { scale, ..RunConfig::default() };
+    let base = run_traces(&specs, &PrefetcherKind::None, &cfg);
+    let base_dram: u64 = base.iter().map(|o| o.result.stats.dram_requests).sum();
+    let mut t = Table::new(&["configuration", "NIPC", "NMT"]);
+    for kind in [
+        PrefetcherKind::Pmp,
+        PrefetcherKind::PmpXp,
+        PrefetcherKind::PmpAdaptive,
+        PrefetcherKind::PmpLimit,
+    ] {
+        let outs = run_traces(&specs, &kind, &cfg);
+        let (_, g) = normalized_ipcs(&base, &outs);
+        let dram: u64 = outs.iter().map(|o| o.result.stats.dram_requests).sum();
+        t.row_owned(vec![
+            kind.label(),
+            super::f3(g),
+            super::pct(dram as f64 / base_dram as f64),
+        ]);
+    }
+    format!(
+        "Extensions: cross-page prefetching and adaptive thresholds (paper future work)\n(expected: PMP-XP gains on region-crossing streams/walks; PMP-A trades a little peak NIPC for less traffic on hostile workloads)\n\n{}",
+        t.render()
+    )
+}
+
+/// **Placement study** (Section V-B's aside): "PMP (at L1) outperforms
+/// the original Bingo at LLC by 16.5%" — heavyweight prefetchers are
+/// realistic only at outer levels, where they see less and help less.
+pub fn placement(scale: TraceScale) -> String {
+    let specs = sweep_config();
+    let cfg = RunConfig { scale, ..RunConfig::default() };
+    let base = run_traces(&specs, &PrefetcherKind::None, &cfg);
+    let mut t = Table::new(&["configuration", "NIPC"]);
+    let mut results = Vec::new();
+    for kind in [PrefetcherKind::Pmp, PrefetcherKind::Bingo, PrefetcherKind::BingoAtLlc] {
+        let outs = run_traces(&specs, &kind, &cfg);
+        let (_, g) = normalized_ipcs(&base, &outs);
+        results.push((kind.label(), g));
+        t.row_owned(vec![kind.label(), super::f3(g)]);
+    }
+    let pmp = results[0].1;
+    let bingo_llc = results[2].1;
+    format!(
+        "Placement study (Section V-B): PMP at L1 vs Bingo at its realistic LLC placement\n(paper: PMP-at-L1 beats Bingo-at-LLC by 16.5%)\n\n{}\nPMP-at-L1 vs Bingo-at-LLC: {}\n",
+        t.render(),
+        super::pct(pmp / bingo_llc - 1.0)
+    )
+}
+
+/// **Related-work shootout** (paper §VI): the simple and historical
+/// prefetchers against PMP, with storage — quantifying the paper's
+/// qualitative discussion of constant-stride and delta-sequence
+/// designs.
+pub fn related_work(scale: TraceScale) -> String {
+    // The full catalog: family differences only show across the whole
+    // workload population (stride prefetchers trivially win on the
+    // stride-heavy representative subset).
+    let specs = pmp_traces::catalog();
+    let cfg = RunConfig { scale, ..RunConfig::default() };
+    let base = run_traces(&specs, &PrefetcherKind::None, &cfg);
+    let mut t = Table::new(&["prefetcher", "family", "NIPC", "KiB"]);
+    let rows: [(PrefetcherKind, &str); 10] = [
+        (PrefetcherKind::NextLine, "constant stride"),
+        (PrefetcherKind::Stride, "constant stride"),
+        (PrefetcherKind::Bop, "constant stride"),
+        (PrefetcherKind::Sandbox, "constant stride"),
+        (PrefetcherKind::Vldp, "delta sequence"),
+        (PrefetcherKind::Ghb, "history buffer"),
+        (PrefetcherKind::Isb, "temporal"),
+        (PrefetcherKind::SppPpf, "delta sequence"),
+        (PrefetcherKind::Sms, "bit vector"),
+        (PrefetcherKind::Pmp, "bit vector (merged)"),
+    ];
+    for (kind, family) in rows {
+        let outs = run_traces(&specs, &kind, &cfg);
+        let (_, g) = normalized_ipcs(&base, &outs);
+        let kib = kind.build().storage_bits() as f64 / 8.0 / 1024.0;
+        t.row_owned(vec![kind.label(), family.into(), super::f3(g), format!("{kib:.1}")]);
+    }
+    format!(
+        "Related work (paper Section VI): pattern families compared\n(note: our synthetic corpus embeds more pure strides than SPEC, so\nconstant-stride designs are stronger here than the paper's discussion\nimplies; PMP still leads the pattern-table families at 4.3KB)\n\n{}",
+        t.render()
+    )
+}
+
+/// Convenience: geomean NIPC of one prefetcher over the sweep subset
+/// (used by integration tests).
+pub fn subset_nipc(kind: &PrefetcherKind, scale: TraceScale) -> f64 {
+    let specs = sweep_config();
+    let cfg = RunConfig { scale, ..RunConfig::default() };
+    geomean_nipc(&specs, kind, &cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ext_schemes_tiny() {
+        let s = ext_schemes(TraceScale::Tiny);
+        assert!(s.contains("AFE"));
+        assert!(s.contains("ARE"));
+    }
+
+    #[test]
+    fn tab11_tiny() {
+        let s = tab11_monitor_range(TraceScale::Tiny);
+        assert!(s.contains("range 2"));
+        assert!(s.contains("640")); // default PPT bytes
+    }
+}

@@ -1,0 +1,67 @@
+//! Storage-budget tables (paper Tables III and V).
+
+use crate::prefetchers::PrefetcherKind;
+use pmp_stats::storage::{ratio, table_iii_items};
+use pmp_stats::Table;
+
+/// **Table III** — the itemised PMP budget (must total ≈4.3KB).
+pub fn tab3_storage() -> String {
+    let items = table_iii_items();
+    let mut t = Table::new(&["Structure", "Bytes"]);
+    let mut total = 0u64;
+    for (name, bytes) in &items {
+        t.row_owned(vec![(*name).into(), bytes.to_string()]);
+        total += bytes;
+    }
+    t.row_owned(vec!["Total".into(), format!("{total} (~{:.1}KB)", total as f64 / 1024.0)]);
+    format!(
+        "Table III: PMP detailed storage overhead\n(paper: 376 + 456 + 2560 + 640 + 332 = ~4.3KB)\n\n{}",
+        t.render()
+    )
+}
+
+/// **Table V** — prefetcher storage budgets plus the paper's headline
+/// ratios relative to PMP.
+pub fn tab5_overheads() -> String {
+    let kinds = [
+        PrefetcherKind::DsPatch,
+        PrefetcherKind::Bingo,
+        PrefetcherKind::SppPpf,
+        PrefetcherKind::Pythia,
+        PrefetcherKind::Pmp,
+    ];
+    let pmp_bits = PrefetcherKind::Pmp.build().storage_bits();
+    let mut t = Table::new(&["prefetcher", "KiB", "× PMP"]);
+    for kind in &kinds {
+        let bits = kind.build().storage_bits();
+        t.row_owned(vec![
+            kind.label(),
+            format!("{:.1}", bits as f64 / 8.0 / 1024.0),
+            format!("{:.1}", ratio(bits, pmp_bits)),
+        ]);
+    }
+    format!(
+        "Table V: prefetcher storage overhead\n(paper: DSPatch 3.6KB, Bingo 127.8KB, SPP+PPF 48.4KB, Pythia 25.5KB, PMP 4.3KB)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tab3_totals() {
+        let s = tab3_storage();
+        assert!(s.contains("4364"));
+        assert!(s.contains("Offset Pattern Table"));
+    }
+
+    #[test]
+    fn tab5_has_all_five() {
+        let s = tab5_overheads();
+        for name in ["dspatch", "bingo", "spp-ppf", "pythia", "pmp"] {
+            assert!(s.contains(name), "{name} missing");
+        }
+    }
+}

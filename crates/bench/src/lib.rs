@@ -1,0 +1,27 @@
+//! # pmp-bench
+//!
+//! The experiment harness: everything needed to regenerate the paper's
+//! tables and figures. The library half provides the prefetcher
+//! registry ([`prefetchers`]) and trace-sweep runner ([`runner`]); each
+//! experiment is a binary under `src/bin/` (see DESIGN.md's experiment
+//! index for the mapping).
+//!
+//! ## Example
+//!
+//! ```
+//! use pmp_bench::prefetchers::PrefetcherKind;
+//! use pmp_bench::runner::{run_trace, RunConfig};
+//! use pmp_traces::{catalog, TraceScale};
+//!
+//! let spec = &catalog()[0];
+//! let cfg = RunConfig { scale: TraceScale::Tiny, ..RunConfig::default() };
+//! let base = run_trace(spec, &PrefetcherKind::None, &cfg);
+//! let pmp = run_trace(spec, &PrefetcherKind::Pmp, &cfg);
+//! assert!(base.result.ipc() > 0.0 && pmp.result.ipc() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod prefetchers;
+pub mod runner;

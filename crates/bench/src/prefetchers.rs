@@ -1,0 +1,166 @@
+//! The prefetcher registry: one enum naming every configuration the
+//! experiments run, buildable into a boxed [`Prefetcher`].
+
+use pmp_baselines::{Bingo, Bop, DsPatch, Ghb, Isb, Pythia, Sandbox, Sms, SppPpf, Vldp};
+use pmp_core::{DesignB, DesignBConfig, Pmp, PmpConfig};
+use pmp_prefetch::{NextLine, NoPrefetch, PlacedLow, Prefetcher, StridePrefetcher};
+
+/// Every prefetcher configuration used by the experiments.
+#[derive(Debug, Clone)]
+pub enum PrefetcherKind {
+    /// Non-prefetching baseline.
+    None,
+    /// Next-line, degree 4.
+    NextLine,
+    /// IP-stride, degree 4.
+    Stride,
+    /// Classic SMS.
+    Sms,
+    /// Best-Offset prefetcher (related work, §VI-A).
+    Bop,
+    /// Sandbox prefetcher (related work, §VI-A).
+    Sandbox,
+    /// VLDP delta-sequence prefetcher (related work, §VI-B).
+    Vldp,
+    /// GHB G/DC history-buffer prefetcher (related work, §VI-C).
+    Ghb,
+    /// ISB temporal prefetcher (related work, §VI-C).
+    Isb,
+    /// DSPatch (paper comparator).
+    DsPatch,
+    /// Enhanced Bingo (paper comparator).
+    Bingo,
+    /// Original-placement Bingo attached at the LLC (Section V-B's
+    /// "PMP (at L1) outperforms the original Bingo at LLC by 16.5%").
+    BingoAtLlc,
+    /// SPP+PPF (paper comparator).
+    SppPpf,
+    /// Pythia (paper comparator).
+    Pythia,
+    /// PMP with the paper's default configuration.
+    Pmp,
+    /// PMP-Limit (low-level prefetch degree 1).
+    PmpLimit,
+    /// PMP-XP: the cross-page future-work extension.
+    PmpXp,
+    /// PMP-A: feedback-adaptive L1D threshold extension.
+    PmpAdaptive,
+    /// Design B with the given associativity (Table VIII).
+    DesignB(usize),
+    /// PMP with a custom configuration (parameter sweeps/ablations).
+    PmpCustom(Box<PmpConfig>),
+}
+
+impl PrefetcherKind {
+    /// The five prefetchers of the paper's headline comparison (Fig. 8),
+    /// in plot order.
+    pub fn paper_five() -> Vec<PrefetcherKind> {
+        vec![
+            PrefetcherKind::DsPatch,
+            PrefetcherKind::Bingo,
+            PrefetcherKind::SppPpf,
+            PrefetcherKind::Pythia,
+            PrefetcherKind::Pmp,
+        ]
+    }
+
+    /// Instantiate the prefetcher.
+    pub fn build(&self) -> Box<dyn Prefetcher> {
+        match self {
+            PrefetcherKind::None => Box::new(NoPrefetch),
+            PrefetcherKind::NextLine => Box::new(NextLine::new(4)),
+            PrefetcherKind::Stride => Box::new(StridePrefetcher::new(4)),
+            PrefetcherKind::Sms => Box::<Sms>::default(),
+            PrefetcherKind::Bop => Box::<Bop>::default(),
+            PrefetcherKind::Sandbox => Box::<Sandbox>::default(),
+            PrefetcherKind::Vldp => Box::<Vldp>::default(),
+            PrefetcherKind::Ghb => Box::<Ghb>::default(),
+            PrefetcherKind::Isb => Box::<Isb>::default(),
+            PrefetcherKind::DsPatch => Box::<DsPatch>::default(),
+            PrefetcherKind::Bingo => Box::<Bingo>::default(),
+            PrefetcherKind::BingoAtLlc => {
+                Box::new(PlacedLow::new(Bingo::default(), pmp_types::CacheLevel::Llc))
+            }
+            PrefetcherKind::SppPpf => Box::<SppPpf>::default(),
+            PrefetcherKind::Pythia => Box::<Pythia>::default(),
+            PrefetcherKind::Pmp => Box::new(Pmp::new(PmpConfig::default())),
+            PrefetcherKind::PmpLimit => Box::new(Pmp::new(PmpConfig::pmp_limit())),
+            PrefetcherKind::PmpXp => Box::new(Pmp::new(PmpConfig::cross_page())),
+            PrefetcherKind::PmpAdaptive => Box::new(Pmp::new(PmpConfig::adaptive())),
+            PrefetcherKind::DesignB(ways) => Box::new(DesignB::new(DesignBConfig {
+                ways: *ways,
+                ..DesignBConfig::default()
+            })),
+            PrefetcherKind::PmpCustom(cfg) => Box::new(Pmp::new((**cfg).clone())),
+        }
+    }
+
+    /// Display label used in experiment output.
+    pub fn label(&self) -> String {
+        match self {
+            PrefetcherKind::None => "baseline".into(),
+            PrefetcherKind::NextLine => "next-line".into(),
+            PrefetcherKind::Stride => "ip-stride".into(),
+            PrefetcherKind::Sms => "sms".into(),
+            PrefetcherKind::Bop => "bop".into(),
+            PrefetcherKind::Sandbox => "sandbox".into(),
+            PrefetcherKind::Vldp => "vldp".into(),
+            PrefetcherKind::Ghb => "ghb".into(),
+            PrefetcherKind::Isb => "isb".into(),
+            PrefetcherKind::DsPatch => "dspatch".into(),
+            PrefetcherKind::Bingo => "bingo".into(),
+            PrefetcherKind::BingoAtLlc => "bingo@llc".into(),
+            PrefetcherKind::SppPpf => "spp-ppf".into(),
+            PrefetcherKind::Pythia => "pythia".into(),
+            PrefetcherKind::Pmp => "pmp".into(),
+            PrefetcherKind::PmpLimit => "pmp-limit".into(),
+            PrefetcherKind::PmpXp => "pmp-xp".into(),
+            PrefetcherKind::PmpAdaptive => "pmp-adaptive".into(),
+            PrefetcherKind::DesignB(w) => format!("design-b/{w}w"),
+            PrefetcherKind::PmpCustom(_) => "pmp-custom".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_build() {
+        let kinds = [
+            PrefetcherKind::None,
+            PrefetcherKind::NextLine,
+            PrefetcherKind::Stride,
+            PrefetcherKind::Sms,
+            PrefetcherKind::Bop,
+            PrefetcherKind::Sandbox,
+            PrefetcherKind::Vldp,
+            PrefetcherKind::Ghb,
+            PrefetcherKind::Isb,
+            PrefetcherKind::DsPatch,
+            PrefetcherKind::Bingo,
+            PrefetcherKind::BingoAtLlc,
+            PrefetcherKind::SppPpf,
+            PrefetcherKind::Pythia,
+            PrefetcherKind::Pmp,
+            PrefetcherKind::PmpLimit,
+            PrefetcherKind::PmpXp,
+            PrefetcherKind::PmpAdaptive,
+            PrefetcherKind::DesignB(8),
+            PrefetcherKind::PmpCustom(Box::default()),
+        ];
+        for k in kinds {
+            let p = k.build();
+            assert!(!p.name().is_empty());
+            assert!(!k.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn paper_five_order() {
+        let five = PrefetcherKind::paper_five();
+        assert_eq!(five.len(), 5);
+        assert_eq!(five[4].label(), "pmp");
+    }
+}

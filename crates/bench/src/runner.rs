@@ -1,0 +1,153 @@
+//! Trace-sweep runner: executes (trace × prefetcher) grids on all
+//! available cores and aggregates normalized IPCs.
+
+use crate::prefetchers::PrefetcherKind;
+use pmp_sim::{SimResult, System, SystemConfig};
+use pmp_traces::{Suite, TraceScale, TraceSpec};
+
+/// Shared run parameters.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Trace scale (memory ops per trace).
+    pub scale: TraceScale,
+    /// Simulated system configuration.
+    pub system: SystemConfig,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { scale: TraceScale::Standard, system: SystemConfig::single_core() }
+    }
+}
+
+/// One (trace, prefetcher) outcome.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Trace name.
+    pub trace: String,
+    /// Trace suite.
+    pub suite: Suite,
+    /// Prefetcher label.
+    pub prefetcher: String,
+    /// Measured-window simulation result.
+    pub result: SimResult,
+}
+
+/// Run one trace under one prefetcher.
+pub fn run_trace(spec: &TraceSpec, kind: &PrefetcherKind, cfg: &RunConfig) -> RunOutcome {
+    let trace = spec.build(cfg.scale);
+    let mut sys = System::new(cfg.system.clone(), kind.build());
+    let result = sys.run(&trace.ops, cfg.scale.warmup_instructions());
+    RunOutcome {
+        trace: trace.name,
+        suite: trace.suite,
+        prefetcher: kind.label(),
+        result,
+    }
+}
+
+/// Run a set of traces under one prefetcher, parallelised across OS
+/// threads (each trace is independent).
+pub fn run_traces(
+    specs: &[TraceSpec],
+    kind: &PrefetcherKind,
+    cfg: &RunConfig,
+) -> Vec<RunOutcome> {
+    parallel_map(specs, |spec| run_trace(spec, kind, cfg))
+}
+
+/// Simple scoped-thread parallel map preserving input order.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = threads.min(items.len()).max(1);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
+        out.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                **slots[i].lock().expect("slot lock") = Some(r);
+            });
+        }
+    });
+    out.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+/// Geometric mean of a non-empty slice of positive values.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn geo_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of nothing");
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Normalized IPCs (per trace, aligned with `base`) and their geomean.
+///
+/// # Panics
+///
+/// Panics if the two slices' traces are misaligned.
+pub fn normalized_ipcs(base: &[RunOutcome], with: &[RunOutcome]) -> (Vec<f64>, f64) {
+    assert_eq!(base.len(), with.len(), "outcome sets must align");
+    let nipcs: Vec<f64> = base
+        .iter()
+        .zip(with)
+        .map(|(b, w)| {
+            assert_eq!(b.trace, w.trace, "outcome sets must align by trace");
+            w.result.ipc() / b.result.ipc().max(1e-12)
+        })
+        .collect();
+    let g = geo_mean(&nipcs);
+    (nipcs, g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_traces::catalog;
+
+    #[test]
+    fn geo_mean_basics() {
+        assert!((geo_mean(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((geo_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_trace_produces_miss_traffic() {
+        let spec = &catalog()[0];
+        let cfg = RunConfig { scale: TraceScale::Tiny, ..RunConfig::default() };
+        let out = run_trace(spec, &PrefetcherKind::None, &cfg);
+        assert!(out.result.stats.llc_mpki() > 0.0, "synthetic traces must miss");
+    }
+
+    #[test]
+    fn normalized_ipcs_align() {
+        let specs = &catalog()[..2];
+        let cfg = RunConfig { scale: TraceScale::Tiny, ..RunConfig::default() };
+        let base = run_traces(specs, &PrefetcherKind::None, &cfg);
+        let next = run_traces(specs, &PrefetcherKind::NextLine, &cfg);
+        let (nipcs, g) = normalized_ipcs(&base, &next);
+        assert_eq!(nipcs.len(), 2);
+        assert!(g > 0.0);
+    }
+}

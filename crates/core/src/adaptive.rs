@@ -1,0 +1,117 @@
+//! Feedback-adaptive extraction thresholds (extension; the paper keeps
+//! T_l1d/T_l2c fixed at 50%/15%, Table II, and notes the aggressiveness
+//! trade-off in Section V-D).
+//!
+//! A small controller watches the L1D prefetch-outcome stream: when
+//! accuracy drops below a low watermark it raises the L1D threshold
+//! (pushing marginal targets down to L2C, where pollution is cheap);
+//! when accuracy is high it lowers the threshold again to harvest more
+//! coverage. This is the classic feedback-directed-prefetching idea
+//! applied to PMP's frequency thresholds.
+
+/// Hysteresis controller for the AFE L1D threshold.
+#[derive(Debug, Clone)]
+pub struct ThresholdController {
+    useful: u32,
+    useless: u32,
+    window: u32,
+    t_l1d: f64,
+    floor: f64,
+    ceiling: f64,
+    low_watermark: f64,
+    high_watermark: f64,
+}
+
+impl Default for ThresholdController {
+    /// Window of 512 outcomes, threshold range 30%..80%, watermarks at
+    /// 55%/75% accuracy.
+    fn default() -> Self {
+        ThresholdController {
+            useful: 0,
+            useless: 0,
+            window: 512,
+            t_l1d: 0.5,
+            floor: 0.3,
+            ceiling: 0.8,
+            low_watermark: 0.55,
+            high_watermark: 0.75,
+        }
+    }
+}
+
+impl ThresholdController {
+    /// The current L1D frequency threshold.
+    pub fn t_l1d(&self) -> f64 {
+        self.t_l1d
+    }
+
+    /// Record one prefetch outcome; adjusts the threshold at window
+    /// boundaries. Returns `true` when the threshold changed.
+    pub fn record(&mut self, useful: bool) -> bool {
+        if useful {
+            self.useful += 1;
+        } else {
+            self.useless += 1;
+        }
+        if self.useful + self.useless < self.window {
+            return false;
+        }
+        let acc = f64::from(self.useful) / f64::from(self.useful + self.useless);
+        self.useful = 0;
+        self.useless = 0;
+        let old = self.t_l1d;
+        if acc < self.low_watermark {
+            self.t_l1d = (self.t_l1d + 0.1).min(self.ceiling);
+        } else if acc > self.high_watermark {
+            self.t_l1d = (self.t_l1d - 0.1).max(self.floor);
+        }
+        (self.t_l1d - old).abs() > 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poor_accuracy_raises_threshold() {
+        let mut c = ThresholdController::default();
+        let mut changed = false;
+        for i in 0..2048 {
+            changed |= c.record(i % 4 == 0); // 25% accuracy
+        }
+        assert!(changed);
+        assert!(c.t_l1d() > 0.5, "threshold must rise: {}", c.t_l1d());
+    }
+
+    #[test]
+    fn great_accuracy_lowers_threshold() {
+        let mut c = ThresholdController::default();
+        for i in 0..2048 {
+            c.record(i % 10 != 0); // 90% accuracy
+        }
+        assert!(c.t_l1d() < 0.5, "threshold must drop: {}", c.t_l1d());
+    }
+
+    #[test]
+    fn threshold_stays_in_bounds() {
+        let mut c = ThresholdController::default();
+        for _ in 0..100_000 {
+            c.record(false);
+        }
+        assert!((c.t_l1d() - 0.8).abs() < 1e-12, "ceiling respected");
+        for _ in 0..100_000 {
+            c.record(true);
+        }
+        assert!((c.t_l1d() - 0.3).abs() < 1e-12, "floor respected");
+    }
+
+    #[test]
+    fn mid_band_accuracy_is_stable() {
+        let mut c = ThresholdController::default();
+        for i in 0..4096 {
+            c.record(i % 3 != 0); // ~67%: between watermarks
+        }
+        assert!((c.t_l1d() - 0.5).abs() < 1e-12, "no drift inside the band");
+    }
+}

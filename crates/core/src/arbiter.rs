@@ -1,0 +1,168 @@
+//! Prefetch-level arbitration between the OPT and PPT candidates
+//! (paper Section IV-C, Fig. 6e).
+//!
+//! The rules, verbatim from the paper:
+//!
+//! 1. a target goes to **L1D** only if *both* tables predict L1D;
+//! 2. if both tables predict a target and either says L2C, it goes to
+//!    **L2C**;
+//! 3. if the PPT has *no predictions at all*, every OPT target is
+//!    **downgraded** one level (L1D→L2C, L2C→LLC);
+//! 4. if the OPT has no predictions, **nothing** is prefetched —
+//!    PPT-only targets are always discarded.
+
+use pmp_types::{CacheLevel, PrefetchPattern};
+
+/// Arbitrate the OPT's full-length candidate against the PPT's coarse
+/// candidate (each PPT entry governs `monitoring_range` adjacent
+/// offsets). Returns the final prefetch pattern.
+///
+/// ```
+/// use pmp_core::arbiter::arbitrate;
+/// use pmp_types::{CacheLevel, PrefetchPattern, PrefetchTarget};
+///
+/// // The paper's Fig. 6 example: OPT (0,0,L1,0,L1,0,0,L2),
+/// // PPT coarse (0,L1,0,L2) with range 2 -> final (0,0,L1,0,L2,0,0,L2).
+/// let mut opt = PrefetchPattern::new(8);
+/// opt.set(2, CacheLevel::L1D);
+/// opt.set(4, CacheLevel::L1D);
+/// opt.set(7, CacheLevel::L2C);
+/// let mut ppt = PrefetchPattern::new(4);
+/// ppt.set(1, CacheLevel::L1D);
+/// ppt.set(3, CacheLevel::L2C);
+/// let f = arbitrate(&opt, &ppt, 2);
+/// assert_eq!(f.target(2), PrefetchTarget::To(CacheLevel::L1D));
+/// assert_eq!(f.target(4), PrefetchTarget::To(CacheLevel::L2C));
+/// assert_eq!(f.target(7), PrefetchTarget::To(CacheLevel::L2C));
+/// assert_eq!(f.count(), 3);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `monitoring_range * ppt.len() != opt.len()`.
+pub fn arbitrate(
+    opt: &PrefetchPattern,
+    ppt: &PrefetchPattern,
+    monitoring_range: u32,
+) -> PrefetchPattern {
+    assert_eq!(
+        ppt.len() * monitoring_range,
+        opt.len(),
+        "PPT length {} × range {} must equal OPT length {}",
+        ppt.len(),
+        monitoring_range,
+        opt.len()
+    );
+    let len = opt.len();
+    let mut out = PrefetchPattern::new(len);
+
+    // Rule 4: no OPT predictions -> no prefetches.
+    if opt.is_empty() {
+        return out;
+    }
+    // Rule 3: PPT silent -> downgrade every OPT target.
+    let ppt_silent = ppt.is_empty();
+
+    for (off, opt_level) in opt.iter_targets() {
+        let level = if ppt_silent {
+            opt_level.downgraded()
+        } else {
+            let group = u8::try_from(u32::from(off) / monitoring_range)
+                .expect("group index fits in u8");
+            match ppt.target(group).level() {
+                // The PPT does not confirm this offset: downgrade.
+                None => opt_level.downgraded(),
+                // Rule 1: both L1D -> L1D.
+                Some(CacheLevel::L1D) if opt_level == CacheLevel::L1D => CacheLevel::L1D,
+                // Rule 2: both predict, either is L2C (or lower) -> L2C.
+                Some(_) => CacheLevel::L2C,
+            }
+        };
+        out.set(off, level);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_types::PrefetchTarget;
+
+    fn pat(len: u32, targets: &[(u8, CacheLevel)]) -> PrefetchPattern {
+        let mut p = PrefetchPattern::new(len);
+        for &(o, l) in targets {
+            p.set(o, l);
+        }
+        p
+    }
+
+    #[test]
+    fn rule4_empty_opt_blocks_everything() {
+        let opt = PrefetchPattern::new(8);
+        let ppt = pat(4, &[(1, CacheLevel::L1D), (2, CacheLevel::L1D)]);
+        assert!(arbitrate(&opt, &ppt, 2).is_empty());
+    }
+
+    #[test]
+    fn rule3_silent_ppt_downgrades() {
+        let opt = pat(8, &[(1, CacheLevel::L1D), (5, CacheLevel::L2C)]);
+        let ppt = PrefetchPattern::new(4);
+        let f = arbitrate(&opt, &ppt, 2);
+        assert_eq!(f.target(1), PrefetchTarget::To(CacheLevel::L2C));
+        assert_eq!(f.target(5), PrefetchTarget::To(CacheLevel::Llc));
+    }
+
+    #[test]
+    fn rule1_both_l1_stays_l1() {
+        let opt = pat(8, &[(2, CacheLevel::L1D)]);
+        let ppt = pat(4, &[(1, CacheLevel::L1D)]); // group 1 covers offsets 2-3
+        let f = arbitrate(&opt, &ppt, 2);
+        assert_eq!(f.target(2), PrefetchTarget::To(CacheLevel::L1D));
+    }
+
+    #[test]
+    fn rule2_any_l2_demotes() {
+        // OPT says L1D, PPT's group says L2C -> L2C.
+        let opt = pat(8, &[(2, CacheLevel::L1D)]);
+        let ppt = pat(4, &[(1, CacheLevel::L2C)]);
+        assert_eq!(arbitrate(&opt, &ppt, 2).target(2), PrefetchTarget::To(CacheLevel::L2C));
+        // OPT says L2C, PPT says L1D -> still L2C.
+        let opt = pat(8, &[(2, CacheLevel::L2C)]);
+        let ppt = pat(4, &[(1, CacheLevel::L1D)]);
+        assert_eq!(arbitrate(&opt, &ppt, 2).target(2), PrefetchTarget::To(CacheLevel::L2C));
+    }
+
+    #[test]
+    fn unconfirmed_offset_downgrades() {
+        // PPT has predictions elsewhere, but not for this group.
+        let opt = pat(8, &[(2, CacheLevel::L1D)]);
+        let ppt = pat(4, &[(3, CacheLevel::L1D)]); // group 3, not group 1
+        assert_eq!(arbitrate(&opt, &ppt, 2).target(2), PrefetchTarget::To(CacheLevel::L2C));
+    }
+
+    #[test]
+    fn ppt_only_targets_discarded() {
+        let opt = pat(8, &[(2, CacheLevel::L1D)]);
+        let ppt = pat(4, &[(1, CacheLevel::L1D), (3, CacheLevel::L1D)]);
+        let f = arbitrate(&opt, &ppt, 2);
+        // Offsets 6-7 (group 3) predicted only by the PPT: dropped.
+        assert_eq!(f.target(6), PrefetchTarget::None);
+        assert_eq!(f.target(7), PrefetchTarget::None);
+        assert_eq!(f.count(), 1);
+    }
+
+    #[test]
+    fn range_one_is_direct_confirmation() {
+        let opt = pat(8, &[(3, CacheLevel::L1D)]);
+        let ppt = pat(8, &[(3, CacheLevel::L1D)]);
+        assert_eq!(arbitrate(&opt, &ppt, 1).target(3), PrefetchTarget::To(CacheLevel::L1D));
+    }
+
+    #[test]
+    #[should_panic(expected = "must equal")]
+    fn mismatched_lengths_rejected() {
+        let opt = PrefetchPattern::new(8);
+        let ppt = PrefetchPattern::new(8);
+        let _ = arbitrate(&opt, &ppt, 2);
+    }
+}

@@ -1,0 +1,274 @@
+//! The Prefetch Buffer (paper Section IV-B, bottom of Fig. 6c).
+//!
+//! Final prefetch patterns are parked here, indexed by the trigger
+//! access's region. PMP has no fixed prefetch degree: it issues as many
+//! targets as the L1D prefetch queue has free entries, nearest-first
+//! relative to the triggering line, and resumes from the buffer when a
+//! later load touches the same region.
+
+use pmp_types::{CacheLevel, PrefetchPattern, RegionAddr};
+
+#[derive(Debug, Clone)]
+struct PbEntry {
+    region: RegionAddr,
+    trigger_offset: u8,
+    pattern: PrefetchPattern,
+    low_level_issued: usize,
+    lru: u64,
+    valid: bool,
+}
+
+/// A small LRU buffer of pending prefetch patterns, keyed by region.
+#[derive(Debug, Clone)]
+pub struct PrefetchBuffer {
+    entries: Vec<PbEntry>,
+    clock: u64,
+    pattern_len: u32,
+}
+
+/// One assembled prefetch target popped from the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingTarget {
+    /// Absolute offset of the target line within the region.
+    pub abs_offset: u8,
+    /// The fill level.
+    pub level: CacheLevel,
+}
+
+impl PrefetchBuffer {
+    /// Create a buffer of `capacity` entries for `pattern_len`-offset
+    /// patterns (paper: 16 entries).
+    pub fn new(capacity: usize, pattern_len: u32) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        PrefetchBuffer {
+            entries: vec![
+                PbEntry {
+                    region: RegionAddr(0),
+                    trigger_offset: 0,
+                    pattern: PrefetchPattern::new(pattern_len),
+                    low_level_issued: 0,
+                    lru: 0,
+                    valid: false,
+                };
+                capacity
+            ],
+            clock: 0,
+            pattern_len,
+        }
+    }
+
+    /// Park a new pattern for `region` (evicting the LRU entry if full;
+    /// an existing entry for the region is replaced).
+    pub fn insert(&mut self, region: RegionAddr, trigger_offset: u8, pattern: PrefetchPattern) {
+        assert_eq!(pattern.len(), self.pattern_len, "pattern length mismatch");
+        self.clock += 1;
+        let clock = self.clock;
+        let slot = if let Some(i) =
+            self.entries.iter().position(|e| e.valid && e.region == region)
+        {
+            i
+        } else if let Some(i) = self.entries.iter().position(|e| !e.valid) {
+            i
+        } else {
+            self.entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .map(|(i, _)| i)
+                .expect("non-empty buffer")
+        };
+        self.entries[slot] = PbEntry {
+            region,
+            trigger_offset,
+            pattern,
+            low_level_issued: 0,
+            lru: clock,
+            valid: true,
+        };
+    }
+
+    /// Pop up to `budget` targets for `region`, nearest-first to the
+    /// absolute offset `near` (the current access's offset). Popped
+    /// targets are removed from the stored pattern; an exhausted entry
+    /// is freed.
+    ///
+    /// `low_level_limit` caps how many targets below L1D (L2C/LLC) a
+    /// single pattern may issue over its lifetime — `None` is
+    /// unlimited, `Some(1)` is the paper's PMP-Limit variant.
+    pub fn pop_targets(
+        &mut self,
+        region: RegionAddr,
+        near: u8,
+        budget: usize,
+        low_level_limit: Option<usize>,
+    ) -> Vec<PendingTarget> {
+        self.clock += 1;
+        let clock = self.clock;
+        let len = self.pattern_len as u16;
+        let Some(entry) = self.entries.iter_mut().find(|e| e.valid && e.region == region) else {
+            return Vec::new();
+        };
+        entry.lru = clock;
+        if budget == 0 {
+            return Vec::new();
+        }
+        // Assemble (anchored offset -> absolute offset, distance) and
+        // sort nearest-first relative to `near`.
+        let trig = u16::from(entry.trigger_offset);
+        let mut targets: Vec<(u8, u8, CacheLevel)> = entry
+            .pattern
+            .iter_targets()
+            .map(|(anch, level)| {
+                let abs = ((trig + u16::from(anch)) % len) as u8;
+                let dist = (i16::from(abs) - i16::from(near)).unsigned_abs() as u8;
+                (dist, abs, level)
+            })
+            .collect();
+        targets.sort_unstable_by_key(|&(dist, abs, _)| (dist, abs));
+
+        let mut out = Vec::with_capacity(budget.min(targets.len()));
+        for (_, abs, level) in targets {
+            if out.len() >= budget {
+                break;
+            }
+            let anch = ((i16::from(abs) - i16::from(entry.trigger_offset))
+                .rem_euclid(len as i16)) as u8;
+            if level > CacheLevel::L1D {
+                if let Some(limit) = low_level_limit {
+                    if entry.low_level_issued >= limit {
+                        // Over the low-level budget: drop silently.
+                        entry.pattern.clear(anch);
+                        continue;
+                    }
+                    entry.low_level_issued += 1;
+                }
+            }
+            entry.pattern.clear(anch);
+            out.push(PendingTarget { abs_offset: abs, level });
+        }
+        if entry.pattern.is_empty() {
+            entry.valid = false;
+        }
+        out
+    }
+
+    /// Whether a pattern is parked for `region`.
+    pub fn contains(&self, region: RegionAddr) -> bool {
+        self.entries.iter().any(|e| e.valid && e.region == region)
+    }
+
+    /// Storage in bits (Table III: region tag 36 + pattern 2×(len−1) +
+    /// LRU 4 per entry at 64-line regions; the tag widens by one bit
+    /// per region-size halving, i.e. tag = 42 − offset bits).
+    pub fn storage_bits(&self) -> u64 {
+        let tag = 42 - u64::from(self.pattern_len.trailing_zeros());
+        let per = tag + 2 * (u64::from(self.pattern_len) - 1) + 4;
+        self.entries.len() as u64 * per
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(len: u32, targets: &[(u8, CacheLevel)]) -> PrefetchPattern {
+        let mut p = PrefetchPattern::new(len);
+        for &(o, l) in targets {
+            p.set(o, l);
+        }
+        p
+    }
+
+    #[test]
+    fn pop_nearest_first() {
+        let mut pb = PrefetchBuffer::new(16, 64);
+        // Trigger offset 10: anchored offsets 1,2,40 -> abs 11,12,50.
+        pb.insert(
+            RegionAddr(3),
+            10,
+            pattern(64, &[(1, CacheLevel::L1D), (2, CacheLevel::L1D), (40, CacheLevel::L2C)]),
+        );
+        let t = pb.pop_targets(RegionAddr(3), 10, 2, None);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].abs_offset, 11);
+        assert_eq!(t[1].abs_offset, 12);
+        // Remaining target pops on resume.
+        let t = pb.pop_targets(RegionAddr(3), 10, 8, None);
+        assert_eq!(t, vec![PendingTarget { abs_offset: 50, level: CacheLevel::L2C }]);
+        assert!(!pb.contains(RegionAddr(3)));
+    }
+
+    #[test]
+    fn wraps_within_region() {
+        let mut pb = PrefetchBuffer::new(16, 64);
+        // Trigger at 62: anchored 3 -> abs (62+3)%64 = 1.
+        pb.insert(RegionAddr(1), 62, pattern(64, &[(3, CacheLevel::L1D)]));
+        let t = pb.pop_targets(RegionAddr(1), 62, 4, None);
+        assert_eq!(t[0].abs_offset, 1);
+    }
+
+    #[test]
+    fn zero_budget_keeps_pattern() {
+        let mut pb = PrefetchBuffer::new(16, 64);
+        pb.insert(RegionAddr(5), 0, pattern(64, &[(1, CacheLevel::L1D)]));
+        assert!(pb.pop_targets(RegionAddr(5), 0, 0, None).is_empty());
+        assert!(pb.contains(RegionAddr(5)));
+    }
+
+    #[test]
+    fn unknown_region_pops_nothing() {
+        let mut pb = PrefetchBuffer::new(16, 64);
+        assert!(pb.pop_targets(RegionAddr(9), 0, 8, None).is_empty());
+    }
+
+    #[test]
+    fn low_level_limit_enforced() {
+        let mut pb = PrefetchBuffer::new(16, 64);
+        pb.insert(
+            RegionAddr(2),
+            0,
+            pattern(
+                64,
+                &[
+                    (1, CacheLevel::L1D),
+                    (2, CacheLevel::L2C),
+                    (3, CacheLevel::L2C),
+                    (4, CacheLevel::Llc),
+                ],
+            ),
+        );
+        let t = pb.pop_targets(RegionAddr(2), 0, 16, Some(1));
+        let low = t.iter().filter(|x| x.level > CacheLevel::L1D).count();
+        assert_eq!(low, 1, "PMP-Limit allows one low-level prefetch: {t:?}");
+        assert_eq!(t.iter().filter(|x| x.level == CacheLevel::L1D).count(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_when_full() {
+        let mut pb = PrefetchBuffer::new(2, 64);
+        pb.insert(RegionAddr(1), 0, pattern(64, &[(1, CacheLevel::L1D)]));
+        pb.insert(RegionAddr(2), 0, pattern(64, &[(1, CacheLevel::L1D)]));
+        // Touch region 1 so region 2 is LRU.
+        pb.pop_targets(RegionAddr(1), 0, 0, None);
+        pb.insert(RegionAddr(3), 0, pattern(64, &[(1, CacheLevel::L1D)]));
+        assert!(pb.contains(RegionAddr(1)));
+        assert!(!pb.contains(RegionAddr(2)));
+        assert!(pb.contains(RegionAddr(3)));
+    }
+
+    #[test]
+    fn reinsert_replaces() {
+        let mut pb = PrefetchBuffer::new(4, 64);
+        pb.insert(RegionAddr(1), 0, pattern(64, &[(1, CacheLevel::L1D)]));
+        pb.insert(RegionAddr(1), 5, pattern(64, &[(2, CacheLevel::L2C)]));
+        let t = pb.pop_targets(RegionAddr(1), 5, 8, None);
+        assert_eq!(t, vec![PendingTarget { abs_offset: 7, level: CacheLevel::L2C }]);
+    }
+
+    #[test]
+    fn storage_matches_table_iii() {
+        let pb = PrefetchBuffer::new(16, 64);
+        // 16 × (36 + 126 + 4) = 2656 bits = 332 bytes.
+        assert_eq!(pb.storage_bits(), 332 * 8);
+    }
+}

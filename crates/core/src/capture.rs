@@ -1,0 +1,405 @@
+//! The SMS-style pattern-capturing framework (paper Section II-B,
+//! Fig. 1): a Filter Table records the first access to each region, an
+//! Accumulation Table assembles the region's bit-vector pattern, and
+//! eviction of the region's data (or AT replacement) completes the
+//! pattern.
+//!
+//! PMP, Bingo, DSPatch, and Design B all train on patterns produced by
+//! this framework, so it lives here as a reusable component.
+
+use pmp_types::{BitPattern, LineAddr, Pc, RegionAddr, RegionGeometry};
+
+/// Capture-framework geometry and table sizes (defaults from the
+/// paper's Table III: FT 8×8, AT 2×16).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaptureConfig {
+    /// Region geometry (pattern length).
+    pub geometry: RegionGeometry,
+    /// Filter-table sets.
+    pub ft_sets: usize,
+    /// Filter-table ways.
+    pub ft_ways: usize,
+    /// Accumulation-table sets.
+    pub at_sets: usize,
+    /// Accumulation-table ways.
+    pub at_ways: usize,
+}
+
+impl Default for CaptureConfig {
+    fn default() -> Self {
+        CaptureConfig {
+            geometry: RegionGeometry::default(),
+            ft_sets: 8,
+            ft_ways: 8,
+            at_sets: 2,
+            at_ways: 16,
+        }
+    }
+}
+
+impl CaptureConfig {
+    /// Storage in bits (Table III: FT entry = region tag 33 + hashed PC
+    /// 5 + trigger offset + LRU 3; AT entry = region tag 35 + hashed PC
+    /// 5 + bit vector + trigger offset + LRU 4).
+    ///
+    /// Region tags widen as regions shrink (one extra bit per halving),
+    /// which is how the paper's Table IX reaches 2.5KB (PMP-32) and
+    /// 1.6KB (PMP-16): tag width = 39 − offset bits (FT) and 41 −
+    /// offset bits (AT), matching Table III at the default 6-bit offset.
+    pub fn storage_bits(&self) -> u64 {
+        let off = u64::from(self.geometry.offset_bits());
+        let len = u64::from(self.geometry.lines_per_region());
+        let ft_entry = (39 - off) + 5 + off + 3;
+        let at_entry = (41 - off) + 5 + len + off + 4;
+        (self.ft_sets * self.ft_ways) as u64 * ft_entry
+            + (self.at_sets * self.at_ways) as u64 * at_entry
+    }
+}
+
+/// A completed region pattern delivered to the prefetcher's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapturedPattern {
+    /// The region the pattern was observed in.
+    pub region: RegionAddr,
+    /// Offset of the region's first access.
+    pub trigger_offset: u8,
+    /// PC of the region's first access.
+    pub trigger_pc: Pc,
+    /// The *unanchored* bit vector (bit i ⇔ offset i accessed).
+    pub pattern: BitPattern,
+}
+
+impl CapturedPattern {
+    /// The pattern left-rotated so the trigger offset is position 0
+    /// (the form the pattern tables merge).
+    pub fn anchored(&self) -> BitPattern {
+        self.pattern.rotate_to_anchor(self.trigger_offset)
+    }
+}
+
+/// Result of observing one load: whether it triggered a new region
+/// generation, plus any pattern flushed by AT replacement.
+#[derive(Debug, Default)]
+pub struct CaptureOutcome {
+    /// `Some` when this load is the first access to its region.
+    pub trigger: Option<TriggerEvent>,
+    /// Pattern evicted from the AT to make room (if any).
+    pub flushed: Option<CapturedPattern>,
+}
+
+/// A trigger access: the first access to a region (paper Fig. 7 —
+/// "if the region of an L1D load misses in the AT and the FT, it is a
+/// trigger access").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TriggerEvent {
+    /// The region being opened.
+    pub region: RegionAddr,
+    /// The trigger offset.
+    pub offset: u8,
+    /// The trigger PC.
+    pub pc: Pc,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FtEntry {
+    region: RegionAddr,
+    pc: Pc,
+    offset: u8,
+    lru: u64,
+    valid: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct AtEntry {
+    region: RegionAddr,
+    pc: Pc,
+    offset: u8,
+    pattern: BitPattern,
+    lru: u64,
+    valid: bool,
+}
+
+/// The two-table capture engine.
+#[derive(Debug, Clone)]
+pub struct PatternCapture {
+    cfg: CaptureConfig,
+    ft: Vec<Vec<FtEntry>>,
+    at: Vec<Vec<AtEntry>>,
+    clock: u64,
+}
+
+impl PatternCapture {
+    /// Build the engine from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero-sized tables.
+    pub fn new(cfg: CaptureConfig) -> Self {
+        assert!(cfg.ft_sets > 0 && cfg.ft_ways > 0, "degenerate FT");
+        assert!(cfg.at_sets > 0 && cfg.at_ways > 0, "degenerate AT");
+        let len = cfg.geometry.lines_per_region();
+        let ft = vec![
+            vec![
+                FtEntry {
+                    region: RegionAddr(0),
+                    pc: Pc(0),
+                    offset: 0,
+                    lru: 0,
+                    valid: false
+                };
+                cfg.ft_ways
+            ];
+            cfg.ft_sets
+        ];
+        let at = vec![
+            vec![
+                AtEntry {
+                    region: RegionAddr(0),
+                    pc: Pc(0),
+                    offset: 0,
+                    pattern: BitPattern::new(len),
+                    lru: 0,
+                    valid: false
+                };
+                cfg.at_ways
+            ];
+            cfg.at_sets
+        ];
+        PatternCapture { cfg, ft, at, clock: 0 }
+    }
+
+    /// The configured region geometry.
+    pub fn geometry(&self) -> RegionGeometry {
+        self.cfg.geometry
+    }
+
+    fn ft_set(&self, region: RegionAddr) -> usize {
+        (region.0 as usize) % self.cfg.ft_sets
+    }
+
+    fn at_set(&self, region: RegionAddr) -> usize {
+        (region.0 as usize) % self.cfg.at_sets
+    }
+
+    /// Observe an L1D demand load.
+    pub fn on_load(&mut self, pc: Pc, line: LineAddr) -> CaptureOutcome {
+        self.clock += 1;
+        let clock = self.clock;
+        let geom = self.cfg.geometry;
+        let region = geom.region_of_line(line);
+        let offset = geom.offset_of_line(line);
+
+        // 1. AT hit: accumulate.
+        let at_set = self.at_set(region);
+        if let Some(e) =
+            self.at[at_set].iter_mut().find(|e| e.valid && e.region == region)
+        {
+            e.pattern.set(offset);
+            e.lru = clock;
+            return CaptureOutcome::default();
+        }
+
+        // 2. FT hit: second (distinct-offset) access promotes to AT.
+        let ft_set = self.ft_set(region);
+        if let Some(fi) =
+            self.ft[ft_set].iter().position(|e| e.valid && e.region == region)
+        {
+            let fe = self.ft[ft_set][fi];
+            if fe.offset == offset {
+                // Same line again: stays in the FT.
+                self.ft[ft_set][fi].lru = clock;
+                return CaptureOutcome::default();
+            }
+            self.ft[ft_set][fi].valid = false;
+            let len = geom.lines_per_region();
+            let mut pattern = BitPattern::new(len);
+            pattern.set(fe.offset);
+            pattern.set(offset);
+            let new_entry = AtEntry {
+                region,
+                pc: fe.pc,
+                offset: fe.offset,
+                pattern,
+                lru: clock,
+                valid: true,
+            };
+            let flushed = self.at_insert(at_set, new_entry);
+            return CaptureOutcome { trigger: None, flushed };
+        }
+
+        // 3. Miss in both: trigger access — allocate an FT entry.
+        let victim = self.ft[ft_set]
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.lru } else { 0 })
+            .expect("non-empty FT set");
+        *victim = FtEntry { region, pc, offset, lru: clock, valid: true };
+        CaptureOutcome {
+            trigger: Some(TriggerEvent { region, offset, pc }),
+            flushed: None,
+        }
+    }
+
+    fn at_insert(&mut self, set: usize, entry: AtEntry) -> Option<CapturedPattern> {
+        if let Some(e) = self.at[set].iter_mut().find(|e| !e.valid) {
+            *e = entry;
+            return None;
+        }
+        let victim =
+            self.at[set].iter_mut().min_by_key(|e| e.lru).expect("non-empty AT set");
+        let flushed = CapturedPattern {
+            region: victim.region,
+            trigger_offset: victim.offset,
+            trigger_pc: victim.pc,
+            pattern: victim.pattern,
+        };
+        *victim = entry;
+        Some(flushed)
+    }
+
+    /// Observe an L1D eviction: if a line of an accumulating region
+    /// leaves the cache, the region's pattern is complete.
+    pub fn on_evict(&mut self, line: LineAddr) -> Option<CapturedPattern> {
+        let region = self.cfg.geometry.region_of_line(line);
+        let at_set = self.at_set(region);
+        if let Some(e) =
+            self.at[at_set].iter_mut().find(|e| e.valid && e.region == region)
+        {
+            e.valid = false;
+            return Some(CapturedPattern {
+                region: e.region,
+                trigger_offset: e.offset,
+                trigger_pc: e.pc,
+                pattern: e.pattern,
+            });
+        }
+        // A single-access region in the FT carries no pattern.
+        let ft_set = self.ft_set(region);
+        if let Some(e) =
+            self.ft[ft_set].iter_mut().find(|e| e.valid && e.region == region)
+        {
+            e.valid = false;
+        }
+        None
+    }
+
+    /// Drain every accumulated pattern (end-of-simulation flush, used
+    /// by the analysis tooling to avoid losing in-flight patterns).
+    pub fn drain(&mut self) -> Vec<CapturedPattern> {
+        let mut out = Vec::new();
+        for set in &mut self.at {
+            for e in set.iter_mut().filter(|e| e.valid) {
+                e.valid = false;
+                out.push(CapturedPattern {
+                    region: e.region,
+                    trigger_offset: e.offset,
+                    trigger_pc: e.pc,
+                    pattern: e.pattern,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_types::Addr;
+
+    fn line(region: u64, off: u64) -> LineAddr {
+        Addr(region * 4096 + off * 64).line()
+    }
+
+    #[test]
+    fn first_access_is_trigger() {
+        let mut c = PatternCapture::new(CaptureConfig::default());
+        let out = c.on_load(Pc(0x400), line(5, 3));
+        let t = out.trigger.expect("trigger");
+        assert_eq!(t.region, RegionAddr(5));
+        assert_eq!(t.offset, 3);
+        assert_eq!(t.pc, Pc(0x400));
+        // Second access to the same line: no trigger, no pattern.
+        let out = c.on_load(Pc(0x404), line(5, 3));
+        assert!(out.trigger.is_none());
+        assert!(out.flushed.is_none());
+    }
+
+    #[test]
+    fn eviction_completes_pattern_fig1() {
+        // The paper's Fig. 6a example: accesses P+2, P+1, P+4.
+        let mut c = PatternCapture::new(CaptureConfig::default());
+        assert!(c.on_load(Pc(1), line(7, 2)).trigger.is_some());
+        assert!(c.on_load(Pc(2), line(7, 1)).trigger.is_none());
+        assert!(c.on_load(Pc(3), line(7, 4)).trigger.is_none());
+        let p = c.on_evict(line(7, 2)).expect("completed pattern");
+        assert_eq!(p.trigger_offset, 2);
+        assert_eq!(p.trigger_pc, Pc(1));
+        assert_eq!(p.pattern.iter_set().collect::<Vec<_>>(), vec![1, 2, 4]);
+        // Anchoring matches the paper: (1,0,1,0,0,0,0,1) over 8 offsets
+        // — here over 64, so set bits are {0, 2, 63}.
+        let anchored = p.anchored();
+        assert!(anchored.get(0) && anchored.get(2) && anchored.get(63));
+        assert_eq!(anchored.count(), 3);
+    }
+
+    #[test]
+    fn eviction_of_ft_only_region_is_silent() {
+        let mut c = PatternCapture::new(CaptureConfig::default());
+        c.on_load(Pc(1), line(9, 0));
+        assert!(c.on_evict(line(9, 0)).is_none());
+        // Region is gone: next access triggers again.
+        assert!(c.on_load(Pc(1), line(9, 1)).trigger.is_some());
+    }
+
+    #[test]
+    fn at_replacement_flushes_victim() {
+        // AT is 2 sets × 16 ways = 32 entries; open 33+ two-access
+        // regions mapping to the same AT set to force a flush.
+        let mut c = PatternCapture::new(CaptureConfig::default());
+        let mut flushed = 0;
+        for r in 0..40u64 {
+            let region = r * 2; // all even -> AT set 0
+            c.on_load(Pc(1), line(region, 0));
+            let out = c.on_load(Pc(1), line(region, 1));
+            if out.flushed.is_some() {
+                flushed += 1;
+            }
+        }
+        assert!(flushed > 0, "AT replacement must flush patterns");
+    }
+
+    #[test]
+    fn drain_returns_in_flight() {
+        let mut c = PatternCapture::new(CaptureConfig::default());
+        c.on_load(Pc(1), line(3, 0));
+        c.on_load(Pc(1), line(3, 5));
+        c.on_load(Pc(1), line(4, 2));
+        c.on_load(Pc(1), line(4, 3));
+        let drained = c.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(c.drain().is_empty());
+    }
+
+    #[test]
+    fn small_regions_supported() {
+        let cfg = CaptureConfig {
+            geometry: RegionGeometry::new(16),
+            ..CaptureConfig::default()
+        };
+        let mut c = PatternCapture::new(cfg);
+        // 16-line (1KB) regions: line 17 is region 1 offset 1.
+        let out = c.on_load(Pc(1), LineAddr(17));
+        assert_eq!(out.trigger.unwrap().region, RegionAddr(1));
+        c.on_load(Pc(1), LineAddr(19));
+        let p = c.on_evict(LineAddr(17)).unwrap();
+        assert_eq!(p.pattern.len(), 16);
+        assert_eq!(p.trigger_offset, 1);
+    }
+
+    #[test]
+    fn storage_matches_table_iii() {
+        let cfg = CaptureConfig::default();
+        // FT 376 bytes + AT 456 bytes.
+        assert_eq!(cfg.storage_bits(), (376 + 456) * 8);
+    }
+}

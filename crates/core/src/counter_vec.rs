@@ -1,0 +1,235 @@
+//! Counter vectors: the pattern-merging representation (paper
+//! Section IV-A, Fig. 6a).
+//!
+//! A counter vector holds one saturating counter per anchored offset.
+//! Merging an anchored bit vector increments the counters of its set
+//! offsets. The counter at position 0 — the trigger offset — increments
+//! on *every* merge and is therefore the **time counter**; when it
+//! saturates, every counter is halved, aging old history while keeping
+//! the offsets' access *frequencies* (counter / time) stable.
+
+use pmp_types::BitPattern;
+
+/// A vector of saturating counters merging anchored bit patterns.
+///
+/// ```
+/// use pmp_core::CounterVector;
+/// use pmp_types::BitPattern;
+///
+/// // The paper's running example (Fig. 6a), with 2-bit counters so the
+/// // halving triggers: merge (1,0,1,0,0,0,0,1) into (3,0,3,0,3,0,0,0).
+/// let mut cv = CounterVector::new(8, 2);
+/// for _ in 0..3 {
+///     cv.merge(BitPattern::from_bits(0b0001_0101, 8)); // offsets 0,2,4
+/// }
+/// assert_eq!(cv.counters(), &[3, 0, 3, 0, 3, 0, 0, 0]);
+/// cv.merge(BitPattern::from_bits(0b1000_0101, 8)); // offsets 0,2,7
+/// // Time counter exceeded 3 -> halved from (4,0,4,0,3,0,0,1).
+/// assert_eq!(cv.counters(), &[2, 0, 2, 0, 1, 0, 0, 0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterVector {
+    counters: Vec<u16>,
+    cap: u16,
+}
+
+impl CounterVector {
+    /// Create a zeroed vector of `len` counters of `bits` bits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `1..=15` or `len` is zero.
+    pub fn new(len: u32, bits: u32) -> Self {
+        assert!(len > 0, "counter vector length must be positive");
+        assert!((1..=15).contains(&bits), "counter bits must be in 1..=15, got {bits}");
+        CounterVector { counters: vec![0; len as usize], cap: (1u16 << bits) - 1 }
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> u32 {
+        self.counters.len() as u32
+    }
+
+    /// True before any pattern has been merged.
+    pub fn is_empty(&self) -> bool {
+        self.time() == 0
+    }
+
+    /// The saturation cap (`2^bits - 1`).
+    pub fn cap(&self) -> u16 {
+        self.cap
+    }
+
+    /// The time counter — the element at the trigger position, which
+    /// counts merges.
+    pub fn time(&self) -> u16 {
+        self.counters[0]
+    }
+
+    /// Raw counters (index = anchored offset).
+    pub fn counters(&self) -> &[u16] {
+        &self.counters
+    }
+
+    /// Merge one anchored bit pattern.
+    ///
+    /// The pattern's bit 0 (the trigger itself) is always set by
+    /// construction; merging increments every set offset's counter,
+    /// then halves all counters if the time counter exceeded the cap —
+    /// reproducing the paper's example where (4,0,4,0,3,0,0,1) with cap
+    /// 3 halves to (2,0,2,0,1,0,0,0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern length differs from the vector length.
+    pub fn merge(&mut self, anchored: BitPattern) {
+        assert_eq!(
+            anchored.len(),
+            self.len(),
+            "pattern length {} != counter vector length {}",
+            anchored.len(),
+            self.len()
+        );
+        debug_assert!(anchored.get(0), "anchored patterns always contain their trigger");
+        for off in anchored.iter_set() {
+            self.counters[usize::from(off)] += 1;
+        }
+        // Invariant: counters[i] <= counters[0] <= cap + 1, so u16 never
+        // overflows for bits <= 15.
+        if self.counters[0] > self.cap {
+            for c in &mut self.counters {
+                *c /= 2;
+            }
+        }
+    }
+
+    /// Access frequency of anchored offset `i`: counter / time counter
+    /// (paper Section IV-B, AFE). Zero before any merge.
+    pub fn frequency(&self, i: u8) -> f64 {
+        let t = self.time();
+        if t == 0 {
+            0.0
+        } else {
+            f64::from(self.counters[usize::from(i)]) / f64::from(t)
+        }
+    }
+
+    /// Access ratio of anchored offset `i`: counter / (sum of all
+    /// counters excluding the trigger's) — the ARE denominator.
+    pub fn ratio(&self, i: u8) -> f64 {
+        let denom: u32 =
+            self.counters[1..].iter().map(|&c| u32::from(c)).sum();
+        if denom == 0 {
+            0.0
+        } else {
+            f64::from(self.counters[usize::from(i)]) / denom as f64
+        }
+    }
+
+    /// Reset every counter to zero.
+    pub fn clear(&mut self) {
+        self.counters.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pat(bits: u64, len: u32) -> BitPattern {
+        BitPattern::from_bits(bits, len)
+    }
+
+    #[test]
+    fn paper_fig6a_merge_and_halve() {
+        let mut cv = CounterVector::new(8, 2); // cap = 3
+        for _ in 0..3 {
+            cv.merge(pat(0b0001_0101, 8));
+        }
+        assert_eq!(cv.counters(), &[3, 0, 3, 0, 3, 0, 0, 0]);
+        assert_eq!(cv.time(), 3);
+        cv.merge(pat(0b1000_0101, 8));
+        assert_eq!(cv.counters(), &[2, 0, 2, 0, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn counters_never_exceed_time() {
+        let mut cv = CounterVector::new(16, 4);
+        for i in 0..200u64 {
+            let bits = 1 | (i % 0xffff) << 1;
+            cv.merge(pat(bits, 16));
+            let t = cv.time();
+            assert!(cv.counters().iter().all(|&c| c <= t), "at merge {i}");
+            assert!(t <= cv.cap(), "time exceeds cap after halving");
+        }
+    }
+
+    #[test]
+    fn frequency_survives_halving() {
+        // An offset accessed on every merge keeps frequency 1.0 across
+        // halvings — the property that lets AFE avoid retraining
+        // (paper Section IV-B).
+        let mut cv = CounterVector::new(8, 3);
+        for _ in 0..50 {
+            cv.merge(pat(0b0000_0011, 8));
+        }
+        assert!((cv.frequency(1) - 1.0).abs() < 1e-9);
+        // A never-accessed offset stays at 0.
+        assert_eq!(cv.frequency(5), 0.0);
+    }
+
+    #[test]
+    fn frequency_tracks_half_rate() {
+        let mut cv = CounterVector::new(8, 5);
+        for i in 0..60 {
+            let bits = if i % 2 == 0 { 0b101 } else { 0b001 };
+            cv.merge(pat(bits, 8));
+        }
+        let f = cv.frequency(2);
+        assert!((f - 0.5).abs() < 0.15, "freq = {f}");
+    }
+
+    #[test]
+    fn ratio_excludes_trigger() {
+        // Counter vector (4,2,0,1): ratios (−, 2/3, 0, 1/3).
+        let mut cv = CounterVector::new(4, 4);
+        for i in 0..4 {
+            let mut bits = 0b0001u64;
+            if i < 2 {
+                bits |= 0b0010;
+            }
+            if i < 1 {
+                bits |= 0b1000;
+            }
+            cv.merge(pat(bits, 4));
+        }
+        assert_eq!(cv.counters(), &[4, 2, 0, 1]);
+        assert!((cv.ratio(1) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(cv.ratio(2), 0.0);
+        assert!((cv.ratio(3) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_vector_reports_zero() {
+        let cv = CounterVector::new(8, 5);
+        assert!(cv.is_empty());
+        assert_eq!(cv.frequency(3), 0.0);
+        assert_eq!(cv.ratio(3), 0.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut cv = CounterVector::new(8, 5);
+        cv.merge(pat(0b11, 8));
+        assert!(!cv.is_empty());
+        cv.clear();
+        assert!(cv.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn merge_rejects_length_mismatch() {
+        let mut cv = CounterVector::new(8, 5);
+        cv.merge(pat(0b1, 16));
+    }
+}

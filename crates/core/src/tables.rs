@@ -1,0 +1,244 @@
+//! The dual pattern tables (paper Section IV-C, Fig. 6c-d).
+//!
+//! Both tables are **tagless and direct-mapped**: because counter
+//! vectors merge every pattern sharing a feature value without ever
+//! evicting, no tags or replacement are needed — the key property that
+//! makes PMP 30× smaller than Bingo.
+//!
+//! * The **Offset Pattern Table (OPT)**, indexed by trigger offset, is
+//!   the primary table: full-length counter vectors.
+//! * The **PC Pattern Table (PPT)**, indexed by hashed trigger PC, is
+//!   the supplement: *coarse* counter vectors, each counter monitoring
+//!   `monitoring_range` adjacent offsets (Fig. 6d), which only refine
+//!   the prefetch *level* during arbitration.
+
+use crate::counter_vec::CounterVector;
+use crate::extract::ExtractionScheme;
+use pmp_types::{BitPattern, LineAddr, Pc, PrefetchPattern};
+
+/// The trigger-offset-indexed primary table.
+#[derive(Debug, Clone)]
+pub struct OffsetPatternTable {
+    entries: Vec<CounterVector>,
+    index_bits: u32,
+    pattern_len: u32,
+    counter_bits: u32,
+}
+
+impl OffsetPatternTable {
+    /// Create an OPT with `2^index_bits` entries of `pattern_len`
+    /// counters of `counter_bits` bits (paper defaults: 6 / 64 / 5).
+    ///
+    /// Index widths beyond the region-offset width use additional low
+    /// line-address bits, widening the feature exactly as the paper's
+    /// Table X sweep does ("the sizes of direct-mapped tables are equal
+    /// to the value ranges of features").
+    pub fn new(index_bits: u32, pattern_len: u32, counter_bits: u32) -> Self {
+        assert!((1..=16).contains(&index_bits), "index bits out of range");
+        OffsetPatternTable {
+            entries: (0..1usize << index_bits)
+                .map(|_| CounterVector::new(pattern_len, counter_bits))
+                .collect(),
+            index_bits,
+            pattern_len,
+            counter_bits,
+        }
+    }
+
+    /// The table index for a trigger line address.
+    pub fn index_of(&self, line: LineAddr) -> usize {
+        (line.0 & ((1u64 << self.index_bits) - 1)) as usize
+    }
+
+    /// Merge an anchored pattern under the feature value of `line`.
+    pub fn train(&mut self, line: LineAddr, anchored: BitPattern) {
+        let idx = self.index_of(line);
+        self.entries[idx].merge(anchored);
+    }
+
+    /// Extract the candidate prefetch pattern for a trigger at `line`.
+    pub fn predict(&self, line: LineAddr, scheme: &ExtractionScheme) -> PrefetchPattern {
+        scheme.extract(&self.entries[self.index_of(line)])
+    }
+
+    /// Direct access to an entry (analysis tooling).
+    pub fn entry(&self, idx: usize) -> &CounterVector {
+        &self.entries[idx]
+    }
+
+    /// Number of entries.
+    pub fn entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Storage in bits: entries × pattern length × counter width.
+    pub fn storage_bits(&self) -> u64 {
+        self.entries.len() as u64 * u64::from(self.pattern_len) * u64::from(self.counter_bits)
+    }
+}
+
+/// The hashed-PC-indexed supplement table with coarse counter vectors.
+#[derive(Debug, Clone)]
+pub struct PcPatternTable {
+    entries: Vec<CounterVector>,
+    index_bits: u32,
+    monitoring_range: u32,
+    coarse_len: u32,
+    counter_bits: u32,
+}
+
+impl PcPatternTable {
+    /// Create a PPT with `2^index_bits` entries; each coarse counter
+    /// monitors `monitoring_range` adjacent offsets of a
+    /// `pattern_len`-offset region (paper defaults: 5 / 2 / 64 → 32
+    /// coarse counters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `monitoring_range` does not divide `pattern_len` or
+    /// collapses the pattern to fewer than 2 groups.
+    pub fn new(
+        index_bits: u32,
+        pattern_len: u32,
+        monitoring_range: u32,
+        counter_bits: u32,
+    ) -> Self {
+        assert!((1..=16).contains(&index_bits), "index bits out of range");
+        assert!(
+            monitoring_range >= 1 && pattern_len.is_multiple_of(monitoring_range),
+            "monitoring range must divide the pattern length"
+        );
+        let coarse_len = pattern_len / monitoring_range;
+        assert!(coarse_len >= 2, "monitoring range collapses the pattern");
+        PcPatternTable {
+            entries: (0..1usize << index_bits)
+                .map(|_| CounterVector::new(coarse_len, counter_bits))
+                .collect(),
+            index_bits,
+            monitoring_range,
+            coarse_len,
+            counter_bits,
+        }
+    }
+
+    /// The monitoring range (offsets per coarse counter).
+    pub fn monitoring_range(&self) -> u32 {
+        self.monitoring_range
+    }
+
+    /// The table index for a trigger PC.
+    pub fn index_of(&self, pc: Pc) -> usize {
+        pc.hash_bits(self.index_bits) as usize
+    }
+
+    /// Merge an anchored (full-length) pattern under `pc`: the pattern
+    /// is coarsened by OR-ing each `monitoring_range`-wide group first.
+    pub fn train(&mut self, pc: Pc, anchored: BitPattern) {
+        let coarse = anchored.coarsen(self.monitoring_range);
+        let idx = self.index_of(pc);
+        self.entries[idx].merge(coarse);
+    }
+
+    /// Extract the candidate *coarse* prefetch pattern for a trigger PC.
+    /// Entry `g` of the result governs offsets
+    /// `g*monitoring_range .. (g+1)*monitoring_range`.
+    pub fn predict(&self, pc: Pc, scheme: &ExtractionScheme) -> PrefetchPattern {
+        scheme.extract_coarse(&self.entries[self.index_of(pc)])
+    }
+
+    /// Number of entries.
+    pub fn entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Storage in bits.
+    pub fn storage_bits(&self) -> u64 {
+        self.entries.len() as u64 * u64::from(self.coarse_len) * u64::from(self.counter_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_types::{CacheLevel, PrefetchTarget};
+
+    fn anchored_stream(len: u32) -> BitPattern {
+        BitPattern::from_bits(u64::MAX, len)
+    }
+
+    #[test]
+    fn opt_default_storage_matches_table_iii() {
+        let opt = OffsetPatternTable::new(6, 64, 5);
+        assert_eq!(opt.storage_bits(), 2560 * 8);
+        assert_eq!(opt.entries(), 64);
+    }
+
+    #[test]
+    fn ppt_default_storage_matches_table_iii() {
+        let ppt = PcPatternTable::new(5, 64, 2, 5);
+        assert_eq!(ppt.storage_bits(), 640 * 8);
+        assert_eq!(ppt.entries(), 32);
+    }
+
+    #[test]
+    fn opt_learns_per_trigger_offset() {
+        let mut opt = OffsetPatternTable::new(6, 64, 5);
+        let scheme = ExtractionScheme::default();
+        // Train trigger offset 3 with a stream; offset 9 stays empty.
+        let line3 = LineAddr(64 + 3);
+        for _ in 0..4 {
+            opt.train(line3, anchored_stream(64));
+        }
+        assert_eq!(opt.predict(line3, &scheme).count(), 63);
+        assert_eq!(opt.predict(LineAddr(64 + 9), &scheme).count(), 0);
+    }
+
+    #[test]
+    fn opt_wider_index_separates_regions() {
+        // 8-bit index: lines 3 and 64+3 (same 6-bit offset, different
+        // 8-bit low bits) train different entries.
+        let opt = OffsetPatternTable::new(8, 64, 5);
+        assert_ne!(opt.index_of(LineAddr(3)), opt.index_of(LineAddr(64 + 3)));
+        let opt6 = OffsetPatternTable::new(6, 64, 5);
+        assert_eq!(opt6.index_of(LineAddr(3)), opt6.index_of(LineAddr(64 + 3)));
+    }
+
+    #[test]
+    fn ppt_coarsens_patterns() {
+        let mut ppt = PcPatternTable::new(5, 8, 2, 5);
+        let pc = Pc(0x400100);
+        // Anchored 10100001 (offsets 0,2,7) -> coarse 1101 (paper Fig. 6d).
+        let mut p = BitPattern::new(8);
+        for o in [0u8, 2, 7] {
+            p.set(o);
+        }
+        for _ in 0..4 {
+            ppt.train(pc, p);
+        }
+        let pred = ppt.predict(pc, &ExtractionScheme::default());
+        // Coarse groups 1 (offsets 2-3) and 3 (offsets 6-7) predicted.
+        assert_eq!(pred.target(1), PrefetchTarget::To(CacheLevel::L1D));
+        assert_eq!(pred.target(3), PrefetchTarget::To(CacheLevel::L1D));
+        assert_eq!(pred.target(2), PrefetchTarget::None);
+    }
+
+    #[test]
+    fn ppt_distinguishes_pcs() {
+        let mut ppt = PcPatternTable::new(5, 64, 2, 5);
+        let pc_a = Pc(0x400100);
+        // Find a PC that does not hash-collide with pc_a.
+        let pc_b = (1..)
+            .map(|i| Pc(0x900000 + i * 4))
+            .find(|p| ppt.index_of(*p) != ppt.index_of(pc_a))
+            .unwrap();
+        ppt.train(pc_a, anchored_stream(64));
+        assert!(ppt.predict(pc_a, &ExtractionScheme::default()).count() > 0);
+        assert_eq!(ppt.predict(pc_b, &ExtractionScheme::default()).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn ppt_rejects_bad_range() {
+        let _ = PcPatternTable::new(5, 64, 3, 5);
+    }
+}

@@ -1,0 +1,147 @@
+//! The [`Prefetcher`] trait and its input/output types.
+
+use pmp_types::{CacheLevel, LineAddr, MemAccess};
+
+/// A prefetch request emitted by a prefetcher: fetch `line` and fill it
+/// into `fill_level` (and, for inclusion, every level outward of it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PrefetchRequest {
+    /// The cache line to prefetch.
+    pub line: LineAddr,
+    /// The level the line should be filled into (L1D / L2C / LLC).
+    pub fill_level: CacheLevel,
+}
+
+impl PrefetchRequest {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(line: LineAddr, fill_level: CacheLevel) -> Self {
+        PrefetchRequest { line, fill_level }
+    }
+}
+
+/// Everything a prefetcher sees about one demand access at the L1D.
+#[derive(Debug, Clone, Copy)]
+pub struct AccessInfo {
+    /// The demand access (PC, address, load/store).
+    pub access: MemAccess,
+    /// Whether the access hit in the L1D.
+    pub hit: bool,
+    /// Current simulation cycle.
+    pub cycle: u64,
+    /// Free entries in the L1D prefetch queue. PMP uses this to decide
+    /// how many prefetches to issue now and keeps the remainder in its
+    /// Prefetch Buffer (Section IV-B of the paper).
+    pub pq_free: usize,
+}
+
+/// Notification that a line was evicted from the L1D.
+#[derive(Debug, Clone, Copy)]
+pub struct EvictInfo {
+    /// The evicted line.
+    pub line: LineAddr,
+    /// Current simulation cycle.
+    pub cycle: u64,
+}
+
+/// Outcome feedback for a previously issued prefetch, used by learning
+/// prefetchers (PPF's perceptron update, Pythia's RL reward).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedbackKind {
+    /// The prefetched line was demanded before eviction (useful).
+    Useful,
+    /// The prefetched line was evicted without being demanded (useless).
+    Useless,
+    /// The prefetch was dropped (queue/MSHR full or redundant).
+    Dropped,
+}
+
+/// A hardware data prefetcher attached to the L1D.
+///
+/// The simulator calls [`Prefetcher::on_access`] for every demand access
+/// the core issues to the L1D, [`Prefetcher::on_evict`] for every L1D
+/// eviction (this is what ends SMS-style pattern accumulation), and
+/// [`Prefetcher::on_feedback`] when the fate of a prefetched line is
+/// known.
+///
+/// Implementations append any number of [`PrefetchRequest`]s to `out`;
+/// the simulator applies queue/MSHR admission control and may drop
+/// requests (reported via [`FeedbackKind::Dropped`]).
+pub trait Prefetcher {
+    /// Short human-readable name, e.g. `"pmp"` or `"bingo"`.
+    fn name(&self) -> &'static str;
+
+    /// Observe one demand access; append prefetch requests to `out`.
+    ///
+    /// `out` is not cleared by the callee: the simulator passes a fresh
+    /// or pre-cleared buffer.
+    fn on_access(&mut self, info: &AccessInfo, out: &mut Vec<PrefetchRequest>);
+
+    /// Observe an L1D eviction. Default: ignore.
+    fn on_evict(&mut self, _info: &EvictInfo) {}
+
+    /// Learn from the outcome of a previously issued prefetch.
+    /// Default: ignore.
+    fn on_feedback(&mut self, _line: LineAddr, _kind: FeedbackKind) {}
+
+    /// Total hardware storage this prefetcher would require, in bits —
+    /// used to regenerate the paper's Table III / Table V budgets.
+    fn storage_bits(&self) -> u64;
+}
+
+/// Storage in kibibytes for a bit budget, rounded to one decimal, the
+/// way the paper reports Table V.
+///
+/// ```
+/// use pmp_prefetch::api::storage_kib;
+/// assert_eq!(storage_kib(4_3 * 1024 * 8 / 10), 4.3);
+/// ```
+pub fn storage_kib(bits: u64) -> f64 {
+    (bits as f64 / 8.0 / 1024.0 * 10.0).round() / 10.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_types::{Addr, Pc};
+
+    struct Dummy;
+    impl Prefetcher for Dummy {
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+        fn on_access(&mut self, info: &AccessInfo, out: &mut Vec<PrefetchRequest>) {
+            if !info.hit {
+                out.push(PrefetchRequest::new(
+                    info.access.addr.line().offset_by(1).unwrap(),
+                    CacheLevel::L2C,
+                ));
+            }
+        }
+        fn storage_bits(&self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn trait_defaults_are_noops() {
+        let mut d = Dummy;
+        d.on_evict(&EvictInfo { line: LineAddr(1), cycle: 0 });
+        d.on_feedback(LineAddr(1), FeedbackKind::Useful);
+        let mut out = Vec::new();
+        let info = AccessInfo {
+            access: MemAccess::load(Pc(0), Addr(0)),
+            hit: false,
+            cycle: 0,
+            pq_free: 1,
+        };
+        d.on_access(&info, &mut out);
+        assert_eq!(out, vec![PrefetchRequest::new(LineAddr(1), CacheLevel::L2C)]);
+    }
+
+    #[test]
+    fn storage_kib_rounds() {
+        assert_eq!(storage_kib(8 * 1024), 1.0);
+        assert_eq!(storage_kib(8 * 1024 + 8 * 512), 1.5);
+    }
+}

@@ -1,0 +1,43 @@
+//! # pmp-prefetch
+//!
+//! The prefetcher framework: the [`Prefetcher`] trait that the cache
+//! simulator drives, the [`PrefetchRequest`] type prefetchers emit, and
+//! simple reference prefetchers (no-op, next-line, IP-stride).
+//!
+//! All prefetchers in this workspace — PMP itself (`pmp-core`), and the
+//! baselines (DSPatch, Bingo, SPP+PPF, Pythia) — implement [`Prefetcher`]
+//! and sit at the L1D, exactly as in the paper's evaluation ("all
+//! prefetchers are placed at L1D, and no helper prefetchers exist in the
+//! other cache levels", Section V-A1).
+//!
+//! ## Example
+//!
+//! ```
+//! use pmp_prefetch::{AccessInfo, NextLine, Prefetcher};
+//! use pmp_types::{Addr, CacheLevel, MemAccess, Pc};
+//!
+//! let mut pf = NextLine::new(2);
+//! let mut out = Vec::new();
+//! let info = AccessInfo {
+//!     access: MemAccess::load(Pc(0x400), Addr(0x1000)),
+//!     hit: false,
+//!     cycle: 0,
+//!     pq_free: 8,
+//! };
+//! pf.on_access(&info, &mut out);
+//! assert_eq!(out.len(), 2);
+//! assert_eq!(out[0].line.0, (0x1000 >> 6) + 1);
+//! assert_eq!(out[0].fill_level, CacheLevel::L1D);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod placement;
+pub mod replay;
+pub mod simple;
+
+pub use api::{AccessInfo, EvictInfo, FeedbackKind, Prefetcher, PrefetchRequest};
+pub use placement::PlacedLow;
+pub use replay::ReplayQueue;
+pub use simple::{NextLine, NoPrefetch, StridePrefetcher};

@@ -1,0 +1,102 @@
+//! A small FIFO of pending prefetch requests.
+//!
+//! Bit-vector prefetchers generate dozens of targets per prediction —
+//! far more than the L1D prefetch queue accepts in one cycle. Real
+//! implementations keep the excess in an internal queue and drip-feed
+//! it as PQ slots open (Bingo's DPC-3 code does exactly this; PMP uses
+//! its region-indexed Prefetch Buffer instead). [`ReplayQueue`] is that
+//! internal queue.
+
+use crate::api::PrefetchRequest;
+use std::collections::VecDeque;
+
+/// Bounded FIFO of not-yet-issued prefetch requests.
+#[derive(Debug, Clone)]
+pub struct ReplayQueue {
+    pending: VecDeque<PrefetchRequest>,
+    capacity: usize,
+}
+
+impl ReplayQueue {
+    /// Create a queue holding at most `capacity` pending requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay queue capacity must be positive");
+        ReplayQueue { pending: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Append requests, dropping the oldest when over capacity (new
+    /// predictions are fresher than stale leftovers).
+    pub fn push_all<I: IntoIterator<Item = PrefetchRequest>>(&mut self, reqs: I) {
+        for r in reqs {
+            if self.pending.len() == self.capacity {
+                self.pending.pop_front();
+            }
+            self.pending.push_back(r);
+        }
+    }
+
+    /// Move up to `budget` requests into `out`.
+    pub fn issue(&mut self, budget: usize, out: &mut Vec<PrefetchRequest>) {
+        for _ in 0..budget {
+            match self.pending.pop_front() {
+                Some(r) => out.push(r),
+                None => break,
+            }
+        }
+    }
+
+    /// Pending request count.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_types::{CacheLevel, LineAddr};
+
+    fn req(l: u64) -> PrefetchRequest {
+        PrefetchRequest::new(LineAddr(l), CacheLevel::L1D)
+    }
+
+    #[test]
+    fn fifo_issue_respects_budget() {
+        let mut q = ReplayQueue::new(8);
+        q.push_all((0..5).map(req));
+        let mut out = Vec::new();
+        q.issue(3, &mut out);
+        assert_eq!(out.iter().map(|r| r.line.0).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(q.len(), 2);
+        q.issue(10, &mut out);
+        assert_eq!(q.len(), 0);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut q = ReplayQueue::new(3);
+        q.push_all((0..5).map(req));
+        let mut out = Vec::new();
+        q.issue(3, &mut out);
+        assert_eq!(out.iter().map(|r| r.line.0).collect::<Vec<_>>(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_issue_is_noop() {
+        let mut q = ReplayQueue::new(3);
+        let mut out = Vec::new();
+        q.issue(4, &mut out);
+        assert!(out.is_empty());
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! A set-associative cache with true LRU and per-line prefetch metadata.
+
+use crate::config::CacheConfig;
+use pmp_types::{CacheLevel, LineAddr};
+
+/// Why a line is resident: demand fill or prefetch fill.
+///
+/// A prefetch-filled line keeps its marker until the first demand hit
+/// consumes it; a line evicted with the marker still set was a useless
+/// prefetch. This is exactly how ChampSim attributes useful/useless
+/// prefetches per level, which the paper's Figs. 9-10 report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineMeta {
+    /// Set when the line was brought in by a prefetch and has not yet
+    /// been demanded at this level.
+    pub prefetched: bool,
+    /// The level the prefetch originally targeted (for bookkeeping).
+    pub pf_origin: CacheLevel,
+    /// Set when the copy has been written (write-back caches: a dirty
+    /// LLC eviction costs a DRAM write).
+    pub dirty: bool,
+}
+
+impl Default for LineMeta {
+    fn default() -> Self {
+        LineMeta { prefetched: false, pf_origin: CacheLevel::L1D, dirty: false }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    line: LineAddr,
+    valid: bool,
+    lru: u64, // larger = more recently used
+    meta: LineMeta,
+}
+
+impl Default for Way {
+    fn default() -> Self {
+        Way { line: LineAddr(0), valid: false, lru: 0, meta: LineMeta::default() }
+    }
+}
+
+/// The result of inserting a line: the victim, if a valid line was
+/// evicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// The evicted line address.
+    pub line: LineAddr,
+    /// Its metadata at eviction time.
+    pub meta: LineMeta,
+}
+
+/// A set-associative, true-LRU cache directory.
+///
+/// The cache stores only tags and metadata — the simulator is
+/// trace-driven, so no data payloads exist.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: Vec<Vec<Way>>,
+    set_mask: u64,
+    lru_clock: u64,
+}
+
+impl Cache {
+    /// Build a cache from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(cfg: &CacheConfig) -> Self {
+        assert!(cfg.sets.is_power_of_two(), "set count must be a power of two");
+        assert!(cfg.ways > 0, "need at least one way");
+        Cache {
+            sets: vec![vec![Way::default(); cfg.ways]; cfg.sets],
+            set_mask: (cfg.sets - 1) as u64,
+            lru_clock: 0,
+        }
+    }
+
+    #[inline]
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.0 & self.set_mask) as usize
+    }
+
+    /// Whether `line` is resident (does not touch LRU).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.sets[self.set_index(line)].iter().any(|w| w.valid && w.line == line)
+    }
+
+    /// Look up `line`; on hit, update LRU and return a mutable reference
+    /// to the line's metadata.
+    pub fn lookup(&mut self, line: LineAddr) -> Option<&mut LineMeta> {
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let idx = self.set_index(line);
+        self.sets[idx]
+            .iter_mut()
+            .find(|w| w.valid && w.line == line)
+            .map(|w| {
+                w.lru = clock;
+                &mut w.meta
+            })
+    }
+
+    /// Peek at metadata without updating LRU.
+    pub fn peek(&self, line: LineAddr) -> Option<&LineMeta> {
+        self.sets[self.set_index(line)]
+            .iter()
+            .find(|w| w.valid && w.line == line)
+            .map(|w| &w.meta)
+    }
+
+    /// Insert `line` with `meta`, evicting the LRU way if the set is
+    /// full. If the line is already resident its metadata is left
+    /// untouched (but LRU is refreshed) and no eviction occurs.
+    pub fn insert(&mut self, line: LineAddr, meta: LineMeta) -> Option<Eviction> {
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+
+        if let Some(w) = set.iter_mut().find(|w| w.valid && w.line == line) {
+            w.lru = clock;
+            return None;
+        }
+        if let Some(w) = set.iter_mut().find(|w| !w.valid) {
+            *w = Way { line, valid: true, lru: clock, meta };
+            return None;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| w.lru)
+            .expect("non-empty set");
+        let ev = Eviction { line: victim.line, meta: victim.meta };
+        *victim = Way { line, valid: true, lru: clock, meta };
+        Some(ev)
+    }
+
+    /// Invalidate `line` if resident, returning its metadata (used for
+    /// back-invalidation when an inclusive LLC evicts).
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<LineMeta> {
+        let idx = self.set_index(line);
+        self.sets[idx]
+            .iter_mut()
+            .find(|w| w.valid && w.line == line)
+            .map(|w| {
+                w.valid = false;
+                w.meta
+            })
+    }
+
+    /// Number of valid lines (test/diagnostic helper).
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().flatten().filter(|w| w.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        Cache::new(&CacheConfig { sets: 2, ways: 2, latency: 1, mshrs: 4, pq_entries: 4 })
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = tiny();
+        assert!(c.lookup(LineAddr(4)).is_none());
+        assert!(c.insert(LineAddr(4), LineMeta::default()).is_none());
+        assert!(c.lookup(LineAddr(4)).is_some());
+        assert!(c.contains(LineAddr(4)));
+        assert!(!c.contains(LineAddr(6)));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Set 0 holds even line addresses (mask 1).
+        c.insert(LineAddr(0), LineMeta::default());
+        c.insert(LineAddr(2), LineMeta::default());
+        // Touch 0 so 2 is LRU.
+        c.lookup(LineAddr(0));
+        let ev = c.insert(LineAddr(4), LineMeta::default()).expect("eviction");
+        assert_eq!(ev.line, LineAddr(2));
+        assert!(c.contains(LineAddr(0)));
+        assert!(c.contains(LineAddr(4)));
+    }
+
+    #[test]
+    fn reinsert_does_not_evict() {
+        let mut c = tiny();
+        c.insert(LineAddr(0), LineMeta::default());
+        c.insert(LineAddr(2), LineMeta::default());
+        assert!(c.insert(LineAddr(0), LineMeta::default()).is_none());
+        assert_eq!(c.occupancy(), 2);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = tiny();
+        let meta = LineMeta { prefetched: true, pf_origin: CacheLevel::L2C, dirty: false };
+        c.insert(LineAddr(2), meta);
+        assert_eq!(c.invalidate(LineAddr(2)), Some(meta));
+        assert!(!c.contains(LineAddr(2)));
+        assert_eq!(c.invalidate(LineAddr(2)), None);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        // Lines 1 and 3 go to set 1; they must not evict set 0 contents.
+        c.insert(LineAddr(0), LineMeta::default());
+        c.insert(LineAddr(1), LineMeta::default());
+        c.insert(LineAddr(3), LineMeta::default());
+        c.insert(LineAddr(5), LineMeta::default()); // evicts in set 1
+        assert!(c.contains(LineAddr(0)));
+    }
+
+    #[test]
+    fn prefetch_meta_round_trips() {
+        let mut c = tiny();
+        c.insert(
+            LineAddr(8),
+            LineMeta { prefetched: true, pf_origin: CacheLevel::Llc, dirty: false },
+        );
+        let m = c.lookup(LineAddr(8)).unwrap();
+        assert!(m.prefetched);
+        m.prefetched = false;
+        assert!(!c.peek(LineAddr(8)).unwrap().prefetched);
+    }
+}

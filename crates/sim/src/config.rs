@@ -1,0 +1,208 @@
+//! Simulated system configuration (the paper's Table IV).
+
+use crate::tlb::TlbConfig;
+use pmp_types::LINE_BYTES;
+
+/// Configuration of one cache level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets.
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Access (hit) latency in cycles.
+    pub latency: u64,
+    /// Number of MSHR entries.
+    pub mshrs: usize,
+    /// Number of prefetch-queue entries.
+    pub pq_entries: usize,
+}
+
+impl CacheConfig {
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        (self.sets * self.ways) as u64 * LINE_BYTES
+    }
+
+    /// The paper's L1D: 48KB, 12-way, 8-entry PQ, 16-entry MSHR, 5 cycles.
+    pub fn l1d() -> Self {
+        CacheConfig { sets: 64, ways: 12, latency: 5, mshrs: 16, pq_entries: 8 }
+    }
+
+    /// The paper's L2C: 512KB, 8-way, 16-entry PQ, 32-entry MSHR, 10 cycles.
+    pub fn l2c() -> Self {
+        CacheConfig { sets: 1024, ways: 8, latency: 10, mshrs: 32, pq_entries: 16 }
+    }
+
+    /// The paper's LLC scaled per core count: 2MB, 16-way, 32-entry PQ,
+    /// 64-entry MSHR, 20 cycles per core.
+    pub fn llc(cores: usize) -> Self {
+        assert!(cores >= 1, "need at least one core");
+        CacheConfig {
+            sets: 2048 * cores,
+            ways: 16,
+            latency: 20,
+            mshrs: 64 * cores,
+            pq_entries: 32 * cores,
+        }
+    }
+}
+
+/// Core (front-end) configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Dispatch/retire width (instructions per cycle).
+    pub width: usize,
+    /// Reorder-buffer entries.
+    pub rob_entries: usize,
+    /// Load-queue entries (bounds outstanding loads).
+    pub lq_entries: usize,
+    /// Store-queue entries.
+    pub sq_entries: usize,
+}
+
+impl Default for CoreConfig {
+    /// Table IV: 4-wide, 352-entry ROB, 128-entry LQ, 72-entry SQ.
+    fn default() -> Self {
+        CoreConfig { width: 4, rob_entries: 352, lq_entries: 128, sq_entries: 72 }
+    }
+}
+
+/// DRAM configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramConfig {
+    /// Transfer rate in mega-transfers per second (MT/s).
+    pub mts: u64,
+    /// Number of channels (1 single-core, 2 in the 4-core setup).
+    pub channels: usize,
+    /// Core clock in Hz (4 GHz in Table IV).
+    pub core_hz: u64,
+    /// Idle access latency in core cycles (row activate + CAS + transfer).
+    pub latency: u64,
+}
+
+impl DramConfig {
+    /// Core cycles to stream one 64-byte cache line over one channel.
+    ///
+    /// A DDR channel moves 8 bytes per transfer, so bytes/sec =
+    /// `mts * 1e6 * 8`; at `core_hz` cycles per second a line occupies
+    /// the channel for `64 / bytes_per_cycle` cycles.
+    pub fn cycles_per_line(&self) -> f64 {
+        let bytes_per_sec = self.mts as f64 * 1.0e6 * 8.0;
+        let bytes_per_cycle = bytes_per_sec / self.core_hz as f64;
+        LINE_BYTES as f64 / bytes_per_cycle
+    }
+}
+
+impl Default for DramConfig {
+    /// Table IV: 3200 MT/s, one channel, 4 GHz core.
+    fn default() -> Self {
+        DramConfig { mts: 3200, channels: 1, core_hz: 4_000_000_000, latency: 160 }
+    }
+}
+
+/// Full single- or multi-core system configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Core front-end parameters.
+    pub core: CoreConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// L2 cache.
+    pub l2c: CacheConfig,
+    /// Shared, inclusive last-level cache.
+    pub llc: CacheConfig,
+    /// DRAM channel model.
+    pub dram: DramConfig,
+    /// Two-level data TLB (Table IV: 64-entry DTLB, 1536-entry L2 TLB).
+    pub tlb: TlbConfig,
+}
+
+impl SystemConfig {
+    /// The paper's single-core configuration (Table IV).
+    pub fn single_core() -> Self {
+        SystemConfig {
+            core: CoreConfig::default(),
+            l1d: CacheConfig::l1d(),
+            l2c: CacheConfig::l2c(),
+            llc: CacheConfig::llc(1),
+            dram: DramConfig::default(),
+            tlb: TlbConfig::default(),
+        }
+    }
+
+    /// The paper's 4-core configuration: shared 8MB LLC, 2 DRAM channels.
+    pub fn quad_core() -> Self {
+        SystemConfig {
+            llc: CacheConfig::llc(4),
+            dram: DramConfig { channels: 2, ..DramConfig::default() },
+            ..SystemConfig::single_core()
+        }
+    }
+
+    /// Override DRAM transfer rate (Fig. 12a sweep).
+    pub fn with_dram_mts(mut self, mts: u64) -> Self {
+        self.dram.mts = mts;
+        self
+    }
+
+    /// Override LLC capacity in megabytes by scaling sets (Fig. 12b
+    /// sweep; the paper enlarges the LLC "by increasing the number of
+    /// LLC sets").
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mb` is one of 2, 4, 8.
+    pub fn with_llc_mb(mut self, mb: usize) -> Self {
+        assert!(matches!(mb, 2 | 4 | 8), "LLC size must be 2, 4, or 8 MB");
+        self.llc.sets = 2048 * (mb / 2);
+        self
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::single_core()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_capacities() {
+        assert_eq!(CacheConfig::l1d().capacity_bytes(), 48 * 1024);
+        assert_eq!(CacheConfig::l2c().capacity_bytes(), 512 * 1024);
+        assert_eq!(CacheConfig::llc(1).capacity_bytes(), 2 * 1024 * 1024);
+        assert_eq!(CacheConfig::llc(4).capacity_bytes(), 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn dram_bandwidth_scaling() {
+        let d = DramConfig::default();
+        // 3200 MT/s * 8B = 25.6 GB/s; 4GHz -> 6.4 B/cycle -> 10 cycles/line.
+        assert!((d.cycles_per_line() - 10.0).abs() < 1e-9);
+        let slow = DramConfig { mts: 800, ..d };
+        assert!((slow.cycles_per_line() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn llc_size_override() {
+        let c = SystemConfig::single_core().with_llc_mb(8);
+        assert_eq!(c.llc.capacity_bytes(), 8 * 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "LLC size")]
+    fn llc_size_rejects_odd() {
+        let _ = SystemConfig::single_core().with_llc_mb(3);
+    }
+
+    #[test]
+    fn quad_core_has_two_channels() {
+        let c = SystemConfig::quad_core();
+        assert_eq!(c.dram.channels, 2);
+        assert_eq!(c.llc.capacity_bytes(), 8 * 1024 * 1024);
+    }
+}

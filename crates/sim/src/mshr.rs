@@ -1,0 +1,142 @@
+//! Miss status holding registers (MSHRs).
+//!
+//! Each cache level owns a bounded set of MSHR entries tracking lines
+//! with in-flight misses. Accesses to a line already in flight merge
+//! into the existing entry (and complete when it does); when all entries
+//! are busy, a new miss must wait for the earliest completion.
+
+use pmp_types::LineAddr;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    line: LineAddr,
+    ready: u64,
+}
+
+/// A bounded MSHR file for one cache level.
+#[derive(Debug, Clone)]
+pub struct Mshr {
+    entries: Vec<Entry>,
+    capacity: usize,
+}
+
+/// Result of attempting to allocate an MSHR entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// The line already had an in-flight miss completing at this cycle.
+    Merged(u64),
+    /// A fresh entry was allocated; the caller supplies the completion
+    /// time via [`Mshr::allocate`]'s `ready` argument. The payload is
+    /// the number of cycles the request had to wait for a free entry
+    /// (0 when an entry was immediately available).
+    Allocated(u64),
+}
+
+impl Mshr {
+    /// Create an MSHR file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be positive");
+        Mshr { entries: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Drop entries whose miss completed at or before `now`.
+    fn purge(&mut self, now: u64) {
+        self.entries.retain(|e| e.ready > now);
+    }
+
+    /// Number of in-flight entries at `now`.
+    pub fn occupancy(&mut self, now: u64) -> usize {
+        self.purge(now);
+        self.entries.len()
+    }
+
+    /// Free entries at `now`.
+    pub fn free(&mut self, now: u64) -> usize {
+        self.capacity - self.occupancy(now)
+    }
+
+    /// Completion time of the in-flight miss for `line`, if any.
+    pub fn inflight(&mut self, now: u64, line: LineAddr) -> Option<u64> {
+        self.purge(now);
+        self.entries.iter().find(|e| e.line == line).map(|e| e.ready)
+    }
+
+    /// Cycles until at least one entry is free (0 if one is free now).
+    pub fn wait_for_free(&mut self, now: u64) -> u64 {
+        self.purge(now);
+        if self.entries.len() < self.capacity {
+            0
+        } else {
+            let earliest = self.entries.iter().map(|e| e.ready).min().expect("full file");
+            earliest - now
+        }
+    }
+
+    /// Allocate an entry for `line` completing at `ready`.
+    ///
+    /// The caller must have consulted [`Mshr::inflight`] /
+    /// [`Mshr::wait_for_free`] first; this method evicts the earliest
+    /// completing entry if the file is somehow still full (which models
+    /// the entry having completed by `ready`).
+    pub fn allocate(&mut self, now: u64, line: LineAddr, ready: u64) {
+        self.purge(now);
+        if self.entries.len() == self.capacity {
+            // The earliest entry completes before `ready`; retire it.
+            let idx = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.ready)
+                .map(|(i, _)| i)
+                .expect("full file");
+            self.entries.swap_remove(idx);
+        }
+        self.entries.push(Entry { line, ready });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_in_flight() {
+        let mut m = Mshr::new(2);
+        m.allocate(0, LineAddr(1), 100);
+        assert_eq!(m.inflight(0, LineAddr(1)), Some(100));
+        assert_eq!(m.inflight(0, LineAddr(2)), None);
+    }
+
+    #[test]
+    fn entries_expire() {
+        let mut m = Mshr::new(2);
+        m.allocate(0, LineAddr(1), 100);
+        assert_eq!(m.occupancy(50), 1);
+        assert_eq!(m.occupancy(100), 0);
+        assert_eq!(m.inflight(100, LineAddr(1)), None);
+    }
+
+    #[test]
+    fn wait_when_full() {
+        let mut m = Mshr::new(2);
+        m.allocate(0, LineAddr(1), 100);
+        m.allocate(0, LineAddr(2), 60);
+        assert_eq!(m.wait_for_free(10), 50);
+        // After 60, one slot is free.
+        assert_eq!(m.wait_for_free(60), 0);
+    }
+
+    #[test]
+    fn free_counts() {
+        let mut m = Mshr::new(3);
+        assert_eq!(m.free(0), 3);
+        m.allocate(0, LineAddr(1), 10);
+        m.allocate(0, LineAddr(2), 20);
+        assert_eq!(m.free(5), 1);
+        assert_eq!(m.free(15), 2);
+    }
+}

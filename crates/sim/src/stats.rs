@@ -1,0 +1,173 @@
+//! Raw simulation counters.
+
+use pmp_types::CacheLevel;
+
+/// Per-cache-level counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Demand loads that reached this level.
+    pub load_accesses: u64,
+    /// Demand loads that missed at this level.
+    pub load_misses: u64,
+    /// Demand stores that reached this level.
+    pub store_accesses: u64,
+    /// Demand stores that missed at this level.
+    pub store_misses: u64,
+    /// Prefetch fills into this level.
+    pub pf_fills: u64,
+    /// Prefetched lines demanded before eviction at this level.
+    pub pf_useful: u64,
+    /// Prefetched lines evicted (or invalidated) untouched.
+    pub pf_useless: u64,
+    /// Prefetched lines that arrived after a demand miss to the same
+    /// line was already outstanding (late prefetches).
+    pub pf_late: u64,
+    /// Dirty evictions at this level (write-backs to the next level).
+    pub writebacks: u64,
+}
+
+impl LevelStats {
+    /// Demand accesses (loads + stores).
+    pub fn accesses(&self) -> u64 {
+        self.load_accesses + self.store_accesses
+    }
+
+    /// Demand misses (loads + stores).
+    pub fn misses(&self) -> u64 {
+        self.load_misses + self.store_misses
+    }
+
+    /// Prefetch accuracy at this level: useful / (useful + useless).
+    /// Returns `None` when no prefetch outcome has been observed.
+    pub fn accuracy(&self) -> Option<f64> {
+        let total = self.pf_useful + self.pf_useless;
+        (total > 0).then(|| self.pf_useful as f64 / total as f64)
+    }
+}
+
+/// Counters for one simulated core plus the memory system it saw.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Elapsed core cycles.
+    pub cycles: u64,
+    /// Per-level counters, indexed by [`CacheLevel::index`].
+    pub levels: [LevelStats; 3],
+    /// Prefetch requests emitted by the prefetcher.
+    pub pf_issued: u64,
+    /// Requests admitted into a prefetch queue.
+    pub pf_admitted: u64,
+    /// Requests dropped for a full PQ or MSHR.
+    pub pf_dropped: u64,
+    /// Requests dropped because the line was already resident close
+    /// enough to the core.
+    pub pf_redundant: u64,
+    /// DRAM line requests (demand + prefetch), for NMT.
+    pub dram_requests: u64,
+    /// DRAM writes from dirty LLC evictions.
+    pub dram_writes: u64,
+}
+
+impl SimStats {
+    /// Counters for `level`.
+    pub fn level(&self, level: CacheLevel) -> &LevelStats {
+        &self.levels[level.index()]
+    }
+
+    /// Mutable counters for `level`.
+    pub fn level_mut(&mut self, level: CacheLevel) -> &mut LevelStats {
+        &mut self.levels[level.index()]
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// LLC misses per kilo-instruction (the paper's workload-selection
+    /// metric: every evaluated trace has MPKI > 5 without prefetching).
+    pub fn llc_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.level(CacheLevel::Llc).misses() as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+}
+
+/// Field-wise `a - b` for counters: extracts a measured window from
+/// cumulative stats given a warm-up snapshot.
+pub fn diff_stats(a: &SimStats, b: &SimStats) -> SimStats {
+    let mut out = SimStats {
+        instructions: a.instructions - b.instructions,
+        cycles: a.cycles - b.cycles,
+        pf_issued: a.pf_issued - b.pf_issued,
+        pf_admitted: a.pf_admitted - b.pf_admitted,
+        pf_dropped: a.pf_dropped - b.pf_dropped,
+        pf_redundant: a.pf_redundant - b.pf_redundant,
+        dram_requests: a.dram_requests - b.dram_requests,
+        dram_writes: a.dram_writes - b.dram_writes,
+        ..SimStats::default()
+    };
+    for i in 0..3 {
+        out.levels[i].load_accesses = a.levels[i].load_accesses - b.levels[i].load_accesses;
+        out.levels[i].load_misses = a.levels[i].load_misses - b.levels[i].load_misses;
+        out.levels[i].store_accesses = a.levels[i].store_accesses - b.levels[i].store_accesses;
+        out.levels[i].store_misses = a.levels[i].store_misses - b.levels[i].store_misses;
+        out.levels[i].pf_fills = a.levels[i].pf_fills - b.levels[i].pf_fills;
+        out.levels[i].pf_useful = a.levels[i].pf_useful - b.levels[i].pf_useful;
+        out.levels[i].pf_useless = a.levels[i].pf_useless - b.levels[i].pf_useless;
+        out.levels[i].pf_late = a.levels[i].pf_late - b.levels[i].pf_late;
+        out.levels[i].writebacks = a.levels[i].writebacks - b.levels[i].writebacks;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_subtracts_fields() {
+        let mut a = SimStats { instructions: 100, cycles: 50, ..SimStats::default() };
+        a.levels[0].load_accesses = 30;
+        let mut b = SimStats { instructions: 40, cycles: 20, ..SimStats::default() };
+        b.levels[0].load_accesses = 10;
+        let d = diff_stats(&a, &b);
+        assert_eq!(d.instructions, 60);
+        assert_eq!(d.cycles, 30);
+        assert_eq!(d.levels[0].load_accesses, 20);
+    }
+
+    #[test]
+    fn accuracy_none_without_outcomes() {
+        let l = LevelStats::default();
+        assert_eq!(l.accuracy(), None);
+    }
+
+    #[test]
+    fn accuracy_ratio() {
+        let l = LevelStats { pf_useful: 3, pf_useless: 1, ..LevelStats::default() };
+        assert_eq!(l.accuracy(), Some(0.75));
+    }
+
+    #[test]
+    fn ipc_and_mpki() {
+        let mut s = SimStats { instructions: 2000, cycles: 1000, ..SimStats::default() };
+        s.level_mut(CacheLevel::Llc).load_misses = 20;
+        assert_eq!(s.ipc(), 2.0);
+        assert_eq!(s.llc_mpki(), 10.0);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.llc_mpki(), 0.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Derived evaluation metrics (paper Section V-C and V-D).
+
+use pmp_sim::SimStats;
+use pmp_types::CacheLevel;
+
+/// Prefetch **coverage** at a level: the fraction of the baseline's
+/// demand-load misses the prefetcher removed —
+/// "the ratio of reduced load misses to the total load misses of the
+/// baseline" (Section V-C).
+///
+/// Returns `None` when the baseline had no load misses at that level.
+pub fn coverage(base: &SimStats, with: &SimStats, level: CacheLevel) -> Option<f64> {
+    let b = base.level(level).load_misses;
+    if b == 0 {
+        return None;
+    }
+    let w = with.level(level).load_misses;
+    Some((b.saturating_sub(w)) as f64 / b as f64)
+}
+
+/// Prefetch **accuracy** at a level: useful / (useful + useless)
+/// (Section V-C). `None` when no prefetch outcome was observed.
+pub fn accuracy(with: &SimStats, level: CacheLevel) -> Option<f64> {
+    with.level(level).accuracy()
+}
+
+/// **Normalized Memory Traffic**: total DRAM line requests relative to
+/// the non-prefetching baseline (Section V-D; the paper reports PMP at
+/// 199.6%).
+///
+/// Returns `None` when the baseline made no DRAM requests.
+pub fn nmt(base: &SimStats, with: &SimStats) -> Option<f64> {
+    if base.dram_requests == 0 {
+        return None;
+    }
+    Some(with.dram_requests as f64 / base.dram_requests as f64)
+}
+
+/// Useful/useless prefetch-fill breakdown per level (Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchBreakdown {
+    /// Prefetch fills into each level (indexed by [`CacheLevel::index`]).
+    pub fills: [u64; 3],
+    /// Useful prefetches per level.
+    pub useful: [u64; 3],
+    /// Useless prefetches per level.
+    pub useless: [u64; 3],
+    /// Late-but-useful prefetches per level.
+    pub late: [u64; 3],
+}
+
+impl PrefetchBreakdown {
+    /// Extract the breakdown from simulation counters.
+    pub fn of(stats: &SimStats) -> Self {
+        let mut out = PrefetchBreakdown {
+            fills: [0; 3],
+            useful: [0; 3],
+            useless: [0; 3],
+            late: [0; 3],
+        };
+        for l in CacheLevel::ALL {
+            let s = stats.level(l);
+            out.fills[l.index()] = s.pf_fills;
+            out.useful[l.index()] = s.pf_useful;
+            out.useless[l.index()] = s.pf_useless;
+            out.late[l.index()] = s.pf_late;
+        }
+        out
+    }
+
+    /// Total valid (filled) prefetches across levels.
+    pub fn total_fills(&self) -> u64 {
+        self.fills.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with(level: CacheLevel, load_misses: u64, dram: u64) -> SimStats {
+        let mut s = SimStats { dram_requests: dram, ..SimStats::default() };
+        s.level_mut(level).load_misses = load_misses;
+        s
+    }
+
+    #[test]
+    fn coverage_basic() {
+        let base = stats_with(CacheLevel::L2C, 100, 0);
+        let with = stats_with(CacheLevel::L2C, 25, 0);
+        assert_eq!(coverage(&base, &with, CacheLevel::L2C), Some(0.75));
+    }
+
+    #[test]
+    fn coverage_clamps_negative() {
+        // A prefetcher that *increases* misses yields 0, not negative
+        // (saturating subtraction mirrors how the paper plots it).
+        let base = stats_with(CacheLevel::L1D, 100, 0);
+        let with = stats_with(CacheLevel::L1D, 140, 0);
+        assert_eq!(coverage(&base, &with, CacheLevel::L1D), Some(0.0));
+    }
+
+    #[test]
+    fn coverage_none_without_baseline_misses() {
+        let base = SimStats::default();
+        let with = stats_with(CacheLevel::L1D, 5, 0);
+        assert_eq!(coverage(&base, &with, CacheLevel::L1D), None);
+    }
+
+    #[test]
+    fn nmt_ratio() {
+        let base = stats_with(CacheLevel::L1D, 0, 1000);
+        let with = stats_with(CacheLevel::L1D, 0, 1996);
+        assert!((nmt(&base, &with).unwrap() - 1.996).abs() < 1e-12);
+        assert_eq!(nmt(&SimStats::default(), &with), None);
+    }
+
+    #[test]
+    fn breakdown_extracts_all_levels() {
+        let mut s = SimStats::default();
+        s.level_mut(CacheLevel::L1D).pf_fills = 10;
+        s.level_mut(CacheLevel::L1D).pf_useful = 6;
+        s.level_mut(CacheLevel::L2C).pf_useless = 3;
+        s.level_mut(CacheLevel::Llc).pf_late = 1;
+        let b = PrefetchBreakdown::of(&s);
+        assert_eq!(b.fills[0], 10);
+        assert_eq!(b.useful[0], 6);
+        assert_eq!(b.useless[1], 3);
+        assert_eq!(b.late[2], 1);
+        assert_eq!(b.total_fills(), 10);
+    }
+}

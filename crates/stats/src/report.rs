@@ -1,0 +1,193 @@
+//! Plain-text table / series / CSV rendering used by every experiment
+//! binary, so all regenerated tables and figures share one look.
+
+use std::fmt::Write as _;
+
+/// A column-aligned text table.
+///
+/// ```
+/// use pmp_stats::Table;
+/// let mut t = Table::new(&["prefetcher", "NIPC"]);
+/// t.row(&["pmp", "1.652"]);
+/// t.row(&["bingo", "1.610"]);
+/// let s = t.render();
+/// assert!(s.contains("pmp"));
+/// assert!(s.lines().count() >= 4); // header + rule + 2 rows
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        assert!(!headers.is_empty(), "a table needs columns");
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Append a row of already-owned cells.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].chars().count());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:<width$}", cell, width = widths[c]);
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &mut out);
+        let rule: String = widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ");
+        out.push_str(&rule);
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Render as CSV (comma-separated; cells containing commas are
+    /// quoted).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A named numeric series (one line of a figure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Series label (e.g. a prefetcher name).
+    pub name: String,
+    /// (x label, y value) points.
+    pub points: Vec<(String, f64)>,
+}
+
+impl Series {
+    /// Create an empty series.
+    pub fn new(name: &str) -> Self {
+        Series { name: name.to_string(), points: Vec::new() }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: impl Into<String>, y: f64) -> &mut Self {
+        self.points.push((x.into(), y));
+        self
+    }
+}
+
+/// Render several series as a figure-like table: one row per x value,
+/// one column per series — the shape the paper's figures tabulate.
+pub fn render_series(x_label: &str, series: &[Series]) -> String {
+    let mut headers = vec![x_label];
+    for s in series {
+        headers.push(&s.name);
+    }
+    let mut t = Table::new(&headers);
+    let xs: Vec<&String> = series.first().map(|s| s.points.iter().map(|(x, _)| x).collect())
+        .unwrap_or_default();
+    for (i, x) in xs.iter().enumerate() {
+        let mut row = vec![(*x).clone()];
+        for s in series {
+            row.push(
+                s.points
+                    .get(i)
+                    .map(|(_, y)| format!("{y:.3}"))
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        t.row_owned(row);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(&["name", "v"]);
+        t.row(&["a-long-name", "1"]).row(&["b", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width (trailing alignment).
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a-long-name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new(&["name", "note"]);
+        t.row(&["x", "a,b"]);
+        t.row(&["y", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn series_rendering() {
+        let mut a = Series::new("pmp");
+        a.push("800", 1.2).push("1600", 1.5);
+        let mut b = Series::new("bingo");
+        b.push("800", 1.3).push("1600", 1.4);
+        let s = render_series("MT/s", &[a, b]);
+        assert!(s.contains("MT/s"));
+        assert!(s.contains("1.500"));
+        assert!(s.contains("bingo"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Storage-budget accounting (paper Tables III and V).
+//!
+//! Every prefetcher reports its own bit-accurate budget via
+//! [`pmp_prefetch::Prefetcher::storage_bits`]; this module renders the
+//! comparison table and provides the itemised PMP breakdown of
+//! Table III.
+
+use pmp_prefetch::Prefetcher;
+
+/// One row of a storage table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageRow {
+    /// Structure or prefetcher name.
+    pub name: String,
+    /// Budget in bits.
+    pub bits: u64,
+}
+
+impl StorageRow {
+    /// Budget in KiB, one decimal.
+    pub fn kib(&self) -> f64 {
+        (self.bits as f64 / 8.0 / 1024.0 * 10.0).round() / 10.0
+    }
+
+    /// Budget in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bits / 8
+    }
+}
+
+/// Build Table V rows from a set of prefetchers.
+pub fn table_v(prefetchers: &[(&str, &dyn Prefetcher)]) -> Vec<StorageRow> {
+    prefetchers
+        .iter()
+        .map(|(name, p)| StorageRow { name: (*name).to_string(), bits: p.storage_bits() })
+        .collect()
+}
+
+/// The itemised PMP budget of Table III for the default configuration:
+/// (structure, bytes) pairs that must sum to ≈4.3KB.
+pub fn table_iii_items() -> Vec<(&'static str, u64)> {
+    use pmp_core::{buffer::PrefetchBuffer, capture::CaptureConfig};
+    use pmp_core::tables::{OffsetPatternTable, PcPatternTable};
+    let capture = CaptureConfig::default();
+    // Table III splits the capture framework into FT and AT.
+    let off = u64::from(capture.geometry.offset_bits());
+    let len = u64::from(capture.geometry.lines_per_region());
+    let ft_bits = (capture.ft_sets * capture.ft_ways) as u64 * ((39 - off) + 5 + off + 3);
+    let at_bits =
+        (capture.at_sets * capture.at_ways) as u64 * ((41 - off) + 5 + len + off + 4);
+    vec![
+        ("Filter Table", ft_bits / 8),
+        ("Accumulation Table", at_bits / 8),
+        ("Offset Pattern Table", OffsetPatternTable::new(6, 64, 5).storage_bits() / 8),
+        ("PC Pattern Table", PcPatternTable::new(5, 64, 2, 5).storage_bits() / 8),
+        ("Prefetch Buffer", PrefetchBuffer::new(16, 64).storage_bits() / 8),
+    ]
+}
+
+/// Storage ratio `a / b` rounded to the nearest integer — the paper's
+/// "30× lesser storage overhead" style comparisons.
+pub fn ratio(a_bits: u64, b_bits: u64) -> f64 {
+    if b_bits == 0 {
+        return f64::INFINITY;
+    }
+    a_bits as f64 / b_bits as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_baselines::{Bingo, DsPatch, Pythia, SppPpf};
+    use pmp_core::{Pmp, PmpConfig};
+
+    #[test]
+    fn table_iii_sums_to_4_3_kb() {
+        let items = table_iii_items();
+        let total: u64 = items.iter().map(|(_, b)| b).sum();
+        assert_eq!(total, 4364, "Table III total: 376+456+2560+640+332");
+        assert_eq!(items[0].1, 376);
+        assert_eq!(items[1].1, 456);
+        assert_eq!(items[2].1, 2560);
+        assert_eq!(items[3].1, 640);
+        assert_eq!(items[4].1, 332);
+    }
+
+    #[test]
+    fn pmp_is_30x_smaller_than_bingo() {
+        let pmp = Pmp::new(PmpConfig::default());
+        let bingo = Bingo::default();
+        let r = ratio(
+            pmp_prefetch::Prefetcher::storage_bits(&bingo),
+            pmp_prefetch::Prefetcher::storage_bits(&pmp),
+        );
+        assert!((20.0..=45.0).contains(&r), "Bingo/PMP storage ratio ≈30×, got {r:.1}");
+    }
+
+    #[test]
+    fn pmp_is_about_6x_smaller_than_pythia() {
+        let pmp = Pmp::new(PmpConfig::default());
+        let pythia = Pythia::default();
+        let r = ratio(
+            pmp_prefetch::Prefetcher::storage_bits(&pythia),
+            pmp_prefetch::Prefetcher::storage_bits(&pmp),
+        );
+        assert!((4.0..=10.0).contains(&r), "Pythia/PMP ratio ≈6×, got {r:.1}");
+    }
+
+    #[test]
+    fn table_v_renders_rows() {
+        let dspatch = DsPatch::default();
+        let spp = SppPpf::default();
+        let rows = table_v(&[("dspatch", &dspatch), ("spp-ppf", &spp)]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].kib() > 1.0);
+        assert!(rows[1].bytes() > rows[0].bytes());
+    }
+}

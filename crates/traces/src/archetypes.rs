@@ -1,0 +1,584 @@
+//! Access-pattern archetypes: the generative models behind every
+//! synthetic trace.
+//!
+//! Each archetype is a small parametric program whose memory behaviour
+//! matches one of the pattern families the paper analyses. All
+//! generators are deterministic functions of `(config, seed, mem_ops)`.
+
+use crate::trace::TraceScale;
+use pmp_types::{AccessKind, Addr, MemAccess, Pc, TraceOp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * KB;
+
+/// Builder state shared by all generators.
+struct Emitter {
+    rng: StdRng,
+    ops: Vec<TraceOp>,
+    gap_mean: u16,
+    store_fraction: f64,
+}
+
+impl Emitter {
+    fn new(seed: u64, mem_ops: usize, gap_mean: u16, store_fraction: f64) -> Self {
+        Emitter {
+            rng: StdRng::seed_from_u64(seed),
+            ops: Vec::with_capacity(mem_ops),
+            gap_mean,
+            store_fraction,
+        }
+    }
+
+    fn gap(&mut self) -> u16 {
+        if self.gap_mean == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..=self.gap_mean * 2)
+        }
+    }
+
+    fn push(&mut self, pc: u64, addr: u64, kind: AccessKind, dep: bool) {
+        let gap = self.gap();
+        let access = match kind {
+            AccessKind::Load => MemAccess::load(Pc(pc), Addr(addr)),
+            AccessKind::Store => MemAccess::store(Pc(pc), Addr(addr)),
+        };
+        self.ops.push(TraceOp::new(access, gap, dep));
+    }
+
+    fn push_load(&mut self, pc: u64, addr: u64, dep: bool) {
+        self.push(pc, addr, AccessKind::Load, dep);
+    }
+
+    fn maybe_store(&mut self, pc: u64, addr: u64) {
+        if self.rng.gen_bool(self.store_fraction) {
+            self.push(pc, addr, AccessKind::Store, false);
+        }
+    }
+
+    fn full(&self, mem_ops: usize) -> bool {
+        self.ops.len() >= mem_ops
+    }
+}
+
+/// Dense sequential streaming over several big arrays (SPEC-FP style:
+/// libquantum / lbm / streaming kernels).
+///
+/// Every line of a region ends up accessed, so the captured bit-vector
+/// patterns are dense suffixes of the region starting at the trigger
+/// offset — the most prefetch-friendly family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamGen {
+    /// Concurrent streams (each gets its own PC and array).
+    pub streams: usize,
+    /// Bytes consumed per access (8 = one access per double).
+    pub element_bytes: u64,
+    /// Bytes per stream array (footprint driver).
+    pub array_bytes: u64,
+    /// Mean non-memory instructions between accesses.
+    pub gap_mean: u16,
+    /// Probability of a store access following a load.
+    pub store_fraction: f64,
+}
+
+impl StreamGen {
+    fn generate(&self, seed: u64, mem_ops: usize) -> Vec<TraceOp> {
+        assert!(self.streams > 0 && self.element_bytes > 0 && self.array_bytes > 0);
+        let mut em = Emitter::new(seed, mem_ops, self.gap_mean, self.store_fraction);
+        let bases: Vec<u64> = (0..self.streams).map(|s| (s as u64 + 1) << 33).collect();
+        let mut pos: Vec<u64> = (0..self.streams)
+            .map(|_| em.rng.gen_range(0..self.array_bytes / 2))
+            .collect();
+        let mut s = 0usize;
+        while !em.full(mem_ops) {
+            // Unrolled loop body: four load PCs per stream, as compilers
+            // produce (keeps PC-indexed tables honest).
+            let unroll = (pos[s] / self.element_bytes) % 4;
+            let pc = 0x400_000 + (s as u64) * 0x40 + unroll * 4;
+            let addr = bases[s] + (pos[s] % self.array_bytes);
+            em.push_load(pc, addr, false);
+            em.maybe_store(pc + 8, addr + (1 << 30));
+            pos[s] += self.element_bytes;
+            s = (s + 1) % self.streams;
+        }
+        em.ops.truncate(mem_ops);
+        em.ops
+    }
+}
+
+/// Constant-stride walks with several distinct strides (the Astar
+/// "three slashes" of Fig. 5b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrideGen {
+    /// Stride of each walker, in cache lines (may be negative).
+    pub strides_lines: Vec<i64>,
+    /// Bytes per walker array.
+    pub array_bytes: u64,
+    /// Field accesses per visited position (record walks touch several
+    /// fields of one element).
+    pub accesses_per_pos: u32,
+    /// Mean non-memory gap.
+    pub gap_mean: u16,
+    /// Store probability.
+    pub store_fraction: f64,
+}
+
+impl StrideGen {
+    fn generate(&self, seed: u64, mem_ops: usize) -> Vec<TraceOp> {
+        assert!(!self.strides_lines.is_empty() && self.array_bytes > 0);
+        let mut em = Emitter::new(seed, mem_ops, self.gap_mean, self.store_fraction);
+        let lines = (self.array_bytes / 64) as i64;
+        let mut pos: Vec<i64> =
+            (0..self.strides_lines.len()).map(|_| em.rng.gen_range(0..lines)) .collect();
+        let mut s = 0usize;
+        while !em.full(mem_ops) {
+            let pc = 0x410_000 + (s as u64) * 0x40;
+            let base = (s as u64 + 9) << 33;
+            let line = pos[s].rem_euclid(lines) as u64;
+            for f in 0..u64::from(self.accesses_per_pos.max(1)) {
+                em.push_load(pc + f * 4, base + line * 64 + f * 8, false);
+                if em.full(mem_ops) {
+                    break;
+                }
+            }
+            em.maybe_store(pc + 0x20, base + (1 << 30) + line * 64);
+            pos[s] += self.strides_lines[s];
+            s = (s + 1) % self.strides_lines.len();
+        }
+        em.ops.truncate(mem_ops);
+        em.ops
+    }
+}
+
+/// Backward pointer walk over a big array (the MCF `pflowup.c` loops of
+/// Fig. 5a): chases `pred` pointers toward lower addresses, reading a
+/// couple of fields around each node, restarting near region ends so
+/// trigger offsets are large.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackwardWalkGen {
+    /// Bytes of the node array.
+    pub array_bytes: u64,
+    /// Field accesses around each node (the near-diagonal of Fig. 5a).
+    pub near_accesses: usize,
+    /// Maximum backward step per hop, in lines (sampled 1..=max).
+    pub max_step_lines: u64,
+    /// Expected hops before restarting at a fresh high position.
+    pub walk_len: usize,
+    /// Mean non-memory gap.
+    pub gap_mean: u16,
+    /// Store probability.
+    pub store_fraction: f64,
+}
+
+impl BackwardWalkGen {
+    fn generate(&self, seed: u64, mem_ops: usize) -> Vec<TraceOp> {
+        assert!(self.array_bytes >= MB && self.walk_len > 0 && self.max_step_lines > 0);
+        let mut em = Emitter::new(seed, mem_ops, self.gap_mean, self.store_fraction);
+        let base = 0x20u64 << 33;
+        let lines = self.array_bytes / 64;
+        let lines_per_region = 64u64;
+        let mut line = Self::restart(&mut em.rng, lines, lines_per_region);
+        let mut hops = 0usize;
+        // MCF's update loop chases from two distinct loops (iplus/jplus);
+        // pick one per walk.
+        let mut chase_pc = 0x420_000u64;
+        while !em.full(mem_ops) {
+            // Chase the node itself: depends on the previous load.
+            em.push_load(chase_pc, base + line * 64, true);
+            // Nearby field reads (same or adjacent line).
+            for k in 0..self.near_accesses {
+                let delta = em.rng.gen_range(0..=1u64);
+                em.push_load(0x420_040 + k as u64 * 8, base + (line + delta) * 64 + 8, false);
+            }
+            em.maybe_store(0x420_100, base + line * 64 + 16);
+            let step = em.rng.gen_range(1..=self.max_step_lines);
+            line = line.saturating_sub(step);
+            hops += 1;
+            if hops >= self.walk_len || line < lines_per_region {
+                line = Self::restart(&mut em.rng, lines, lines_per_region);
+                chase_pc = 0x420_000 + em.rng.gen_range(0..4u64) * 0x200;
+                hops = 0;
+            }
+        }
+        em.ops.truncate(mem_ops);
+        em.ops
+    }
+
+    /// Restart near the end of a random 64-line region, producing the
+    /// big trigger offsets the paper observes for MCF.
+    fn restart(rng: &mut StdRng, lines: u64, lpr: u64) -> u64 {
+        let region = rng.gen_range(1..lines / lpr);
+        region * lpr + rng.gen_range(lpr - 8..lpr)
+    }
+}
+
+/// Graph-analytics frontier expansion (Ligra): irregular vertex reads
+/// feeding sequential edge-list scans, with occasional dependent
+/// neighbour lookups and frontier stores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphGen {
+    /// Vertex count (vertex record = 16 bytes).
+    pub vertices: u64,
+    /// Mean out-degree of scanned vertices.
+    pub avg_degree: u64,
+    /// Probability that an edge triggers a dependent neighbour lookup.
+    pub neighbor_prob: f64,
+    /// Mean non-memory gap.
+    pub gap_mean: u16,
+    /// Store probability (frontier updates).
+    pub store_fraction: f64,
+}
+
+impl GraphGen {
+    fn generate(&self, seed: u64, mem_ops: usize) -> Vec<TraceOp> {
+        assert!(self.vertices > 1024 && self.avg_degree > 0);
+        let mut em = Emitter::new(seed, mem_ops, self.gap_mean, self.store_fraction);
+        let vtx_base = 0x30u64 << 33;
+        let edge_base = 0x31u64 << 33;
+        let out_base = 0x32u64 << 33;
+        while !em.full(mem_ops) {
+            let v = em.rng.gen_range(0..self.vertices);
+            // Vertex record read (irregular), from one of 8 sites.
+            let site = em.rng.gen_range(0..8u64) * 0x80;
+            em.push_load(0x430_000 + site, vtx_base + v * 16, false);
+            // Edge list scan: sequential lines starting at this vertex's
+            // segment; degree is geometric-ish around avg_degree.
+            let degree = em.rng.gen_range(1..=self.avg_degree * 2);
+            let edges_at = edge_base + v * self.avg_degree * 8;
+            for e in 0..degree {
+                em.push_load(0x430_040 + (e % 4) * 4, edges_at + e * 8, false);
+                if em.rng.gen_bool(self.neighbor_prob) {
+                    let n = em.rng.gen_range(0..self.vertices);
+                    em.push_load(0x430_080, vtx_base + n * 16, true);
+                }
+                if em.full(mem_ops) {
+                    break;
+                }
+            }
+            em.maybe_store(0x430_0c0, out_base + v * 8);
+        }
+        em.ops.truncate(mem_ops);
+        em.ops
+    }
+}
+
+/// Open-addressing hash-table probing with short linear bursts and a
+/// hot subset (SPEC-int style: gcc / omnetpp / xalancbmk).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HashProbeGen {
+    /// Table size in bytes.
+    pub table_bytes: u64,
+    /// Fraction of probes landing in a hot subset.
+    pub hot_fraction: f64,
+    /// Size of the hot subset in bytes.
+    pub hot_bytes: u64,
+    /// Maximum probe-burst length in lines.
+    pub max_burst: u64,
+    /// Mean non-memory gap.
+    pub gap_mean: u16,
+    /// Store probability (insertions).
+    pub store_fraction: f64,
+}
+
+impl HashProbeGen {
+    fn generate(&self, seed: u64, mem_ops: usize) -> Vec<TraceOp> {
+        assert!(self.table_bytes > self.hot_bytes && self.max_burst >= 1);
+        let mut em = Emitter::new(seed, mem_ops, self.gap_mean, self.store_fraction);
+        let base = 0x40u64 << 33;
+        let table_lines = self.table_bytes / 64;
+        let hot_lines = (self.hot_bytes / 64).max(1);
+        while !em.full(mem_ops) {
+            let hot = em.rng.gen_bool(self.hot_fraction);
+            let line = if hot {
+                em.rng.gen_range(0..hot_lines)
+            } else {
+                em.rng.gen_range(0..table_lines)
+            };
+            // Probes come from one of eight call sites (lookup callers).
+            let site = em.rng.gen_range(0..8u64) * 0x100;
+            let burst = em.rng.gen_range(1..=self.max_burst);
+            for b in 0..burst {
+                em.push_load(0x440_000 + site + b * 4, base + ((line + b) % table_lines) * 64, b == 0);
+                if em.full(mem_ops) {
+                    break;
+                }
+            }
+            em.maybe_store(0x440_100, base + (line % table_lines) * 64 + 8);
+        }
+        em.ops.truncate(mem_ops);
+        em.ops
+    }
+}
+
+/// Tiled stencil sweep with partial region coverage (PARSEC kernels):
+/// regular row walks touching every `stride`-th line, revisited across
+/// passes, with output stores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StencilGen {
+    /// Grid size in bytes.
+    pub grid_bytes: u64,
+    /// Row length in bytes (rows are walked in order).
+    pub row_bytes: u64,
+    /// Access every `stride_lines`-th line within a row.
+    pub stride_lines: u64,
+    /// Mean non-memory gap.
+    pub gap_mean: u16,
+    /// Store probability (output grid writes).
+    pub store_fraction: f64,
+}
+
+impl StencilGen {
+    fn generate(&self, seed: u64, mem_ops: usize) -> Vec<TraceOp> {
+        assert!(self.row_bytes >= 64 && self.grid_bytes >= self.row_bytes);
+        assert!(self.stride_lines >= 1);
+        let mut em = Emitter::new(seed, mem_ops, self.gap_mean, self.store_fraction);
+        let base = 0x50u64 << 33;
+        let out = 0x51u64 << 33;
+        let rows = self.grid_bytes / self.row_bytes;
+        let row_lines = self.row_bytes / 64;
+        let mut row = 0u64;
+        while !em.full(mem_ops) {
+            let row_at = |r: u64| base + (r % rows) * self.row_bytes;
+            let mut l = 0u64;
+            while l < row_lines && !em.full(mem_ops) {
+                // 3-point stencil: this row plus the rows above/below;
+                // the row loop is 4-way unrolled (distinct PCs).
+                let u = (l / self.stride_lines) % 4 * 4;
+                em.push_load(0x450_000 + u, row_at(row) + l * 64, false);
+                em.push_load(0x450_040 + u, row_at(row + 1) + l * 64, false);
+                if row > 0 {
+                    em.push_load(0x450_080 + u, row_at(row - 1) + l * 64, false);
+                }
+                em.maybe_store(0x450_0c0, out + ((row % rows) * self.row_bytes) + l * 64);
+                l += self.stride_lines;
+            }
+            row += 1;
+        }
+        em.ops.truncate(mem_ops);
+        em.ops
+    }
+}
+
+/// One access-pattern archetype with its parameters.
+///
+/// `Phased` concatenates sub-archetypes, splitting the op budget evenly
+/// — modelling applications with distinct phases.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Archetype {
+    /// Sequential streaming.
+    Stream(StreamGen),
+    /// Constant-stride walks.
+    Stride(StrideGen),
+    /// Backward pointer walk (MCF-like).
+    Backward(BackwardWalkGen),
+    /// Graph frontier expansion (Ligra-like).
+    Graph(GraphGen),
+    /// Hash-table probing.
+    Hash(HashProbeGen),
+    /// Tiled stencil (PARSEC-like).
+    Stencil(StencilGen),
+    /// Phase concatenation.
+    Phased(Vec<Archetype>),
+}
+
+impl Archetype {
+    /// Generate `mem_ops` memory operations deterministically.
+    pub fn generate(&self, seed: u64, mem_ops: usize) -> Vec<TraceOp> {
+        match self {
+            Archetype::Stream(g) => g.generate(seed, mem_ops),
+            Archetype::Stride(g) => g.generate(seed, mem_ops),
+            Archetype::Backward(g) => g.generate(seed, mem_ops),
+            Archetype::Graph(g) => g.generate(seed, mem_ops),
+            Archetype::Hash(g) => g.generate(seed, mem_ops),
+            Archetype::Stencil(g) => g.generate(seed, mem_ops),
+            Archetype::Phased(phases) => {
+                assert!(!phases.is_empty(), "phased archetype needs phases");
+                let per = mem_ops / phases.len();
+                let mut out = Vec::with_capacity(mem_ops);
+                for (i, p) in phases.iter().enumerate() {
+                    let n = if i + 1 == phases.len() { mem_ops - out.len() } else { per };
+                    out.extend(p.generate(seed.wrapping_add(i as u64 * 0x9e37), n));
+                }
+                out
+            }
+        }
+    }
+
+    /// Generate at a named scale.
+    pub fn generate_scaled(&self, seed: u64, scale: TraceScale) -> Vec<TraceOp> {
+        self.generate(seed, scale.mem_ops())
+    }
+}
+
+/// Convenient defaults used by the catalog.
+pub mod presets {
+    use super::*;
+
+    /// A default dense streaming workload.
+    pub fn stream(streams: usize, array_mb: u64) -> Archetype {
+        Archetype::Stream(StreamGen {
+            streams,
+            element_bytes: 8,
+            array_bytes: array_mb * MB,
+            gap_mean: 16,
+            store_fraction: 0.1,
+        })
+    }
+
+    /// A default multi-stride workload.
+    pub fn strided(strides: Vec<i64>, array_mb: u64) -> Archetype {
+        Archetype::Stride(StrideGen {
+            strides_lines: strides,
+            array_bytes: array_mb * MB,
+            accesses_per_pos: 4,
+            gap_mean: 26,
+            store_fraction: 0.08,
+        })
+    }
+
+    /// A default MCF-like backward walk.
+    pub fn backward(array_mb: u64, walk_len: usize) -> Archetype {
+        Archetype::Backward(BackwardWalkGen {
+            array_bytes: array_mb * MB,
+            near_accesses: 2,
+            max_step_lines: 3,
+            walk_len,
+            gap_mean: 10,
+            store_fraction: 0.12,
+        })
+    }
+
+    /// A default Ligra-like graph workload.
+    pub fn graph(vertices_k: u64, avg_degree: u64) -> Archetype {
+        Archetype::Graph(GraphGen {
+            vertices: vertices_k * 1024,
+            avg_degree,
+            neighbor_prob: 0.25,
+            gap_mean: 12,
+            store_fraction: 0.1,
+        })
+    }
+
+    /// A default hash-probing workload.
+    pub fn hash(table_mb: u64, hot_fraction: f64) -> Archetype {
+        Archetype::Hash(HashProbeGen {
+            table_bytes: table_mb * MB,
+            hot_fraction,
+            hot_bytes: 256 * KB,
+            max_burst: 3,
+            gap_mean: 20,
+            store_fraction: 0.15,
+        })
+    }
+
+    /// A default PARSEC-like stencil.
+    pub fn stencil(grid_mb: u64, stride_lines: u64) -> Archetype {
+        Archetype::Stencil(StencilGen {
+            grid_bytes: grid_mb * MB,
+            row_bytes: 16 * KB,
+            stride_lines,
+            gap_mean: 22,
+            store_fraction: 0.2,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_types::RegionGeometry;
+    use std::collections::HashSet;
+
+    fn footprint_lines(ops: &[TraceOp]) -> usize {
+        ops.iter().map(|o| o.access.addr.line().0).collect::<HashSet<_>>().len()
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        for a in [
+            presets::stream(4, 16),
+            presets::strided(vec![1, 3, -2], 16),
+            presets::backward(32, 40),
+            presets::graph(512, 8),
+            presets::hash(16, 0.3),
+            presets::stencil(16, 2),
+        ] {
+            let x = a.generate(42, 3000);
+            let y = a.generate(42, 3000);
+            assert_eq!(x, y);
+            assert_eq!(x.len(), 3000);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = presets::hash(16, 0.3);
+        assert_ne!(a.generate(1, 1000), a.generate(2, 1000));
+    }
+
+    #[test]
+    fn stream_covers_regions_densely() {
+        let ops = presets::stream(1, 16).generate(7, 4000);
+        // ~3600 loads at 8B each cover ~455 lines, plus sparse store
+        // mirror lines: a compact, dense footprint.
+        let fp = footprint_lines(&ops);
+        assert!(fp > 300 && fp < 1000, "footprint = {fp}");
+    }
+
+    #[test]
+    fn backward_walk_has_big_trigger_offsets_and_deps() {
+        let ops = presets::backward(32, 40).generate(9, 4000);
+        let geom = RegionGeometry::new(64);
+        let deps = ops.iter().filter(|o| o.dep_on_prev_load).count();
+        assert!(deps > 500, "chase loads should dominate: {deps}");
+        // Offsets of chase loads trend downward within walks (backward).
+        let first = ops.iter().find(|o| o.dep_on_prev_load).unwrap();
+        let off = geom.offset_of_line(first.access.addr.line());
+        assert!(off < 64);
+    }
+
+    #[test]
+    fn graph_mixes_sequential_and_irregular() {
+        let ops = presets::graph(512, 8).generate(3, 6000);
+        let fp = footprint_lines(&ops);
+        assert!(fp > 1000, "graph should have a large, scattered footprint: {fp}");
+        assert!(ops.iter().any(|o| o.dep_on_prev_load));
+        assert!(ops.iter().any(|o| !o.access.kind.is_load()));
+    }
+
+    #[test]
+    fn stencil_strides_within_rows() {
+        let ops = presets::stencil(16, 2).generate(5, 4000);
+        let geom = RegionGeometry::new(64);
+        // With stride 2 every touched offset within a region is even.
+        let odd = ops
+            .iter()
+            .filter(|o| o.access.kind.is_load())
+            .filter(|o| geom.offset_of_line(o.access.addr.line()) % 2 == 1)
+            .count();
+        assert_eq!(odd, 0);
+    }
+
+    #[test]
+    fn phased_splits_budget() {
+        let a = Archetype::Phased(vec![presets::stream(2, 8), presets::hash(8, 0.5)]);
+        let ops = a.generate(11, 5001);
+        assert_eq!(ops.len(), 5001);
+    }
+
+    #[test]
+    fn hash_probes_have_little_locality() {
+        // The 16MB table dwarfs the 2MB LLC; probes must be mostly
+        // unique lines so the baseline misses heavily (paper's >5 MPKI
+        // selection criterion).
+        let ops = presets::hash(16, 0.3).generate(1, 20_000);
+        let distinct = footprint_lines(&ops);
+        assert!(
+            distinct * 2 > ops.len(),
+            "probes should be mostly unique lines: {distinct} of {}",
+            ops.len()
+        );
+    }
+}

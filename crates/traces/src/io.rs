@@ -1,0 +1,186 @@
+//! Compact binary trace serialisation.
+//!
+//! The synthetic catalog regenerates deterministically, but exporting
+//! traces lets external tools (or a real ChampSim) consume the same
+//! workloads, and importing lets this harness replay traces captured
+//! elsewhere. The format is a simple little-endian record stream:
+//!
+//! ```text
+//! magic  "PMPT"            4 bytes
+//! version u16              currently 1
+//! suite   u8               0..=3 (Table VI order)
+//! name    u16 len + bytes  UTF-8
+//! count   u64              number of records
+//! records count × 20 bytes pc u64 | addr u64 | gap u16 | flags u8 | pad u8
+//!                          flags bit0 = store, bit1 = dep_on_prev_load
+//! ```
+
+use crate::trace::{Suite, Trace};
+use pmp_types::{AccessKind, Addr, MemAccess, Pc, TraceOp};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"PMPT";
+const VERSION: u16 = 1;
+
+fn suite_code(s: Suite) -> u8 {
+    match s {
+        Suite::Spec06 => 0,
+        Suite::Spec17 => 1,
+        Suite::Ligra => 2,
+        Suite::Parsec => 3,
+    }
+}
+
+fn suite_from(code: u8) -> io::Result<Suite> {
+    Ok(match code {
+        0 => Suite::Spec06,
+        1 => Suite::Spec17,
+        2 => Suite::Ligra,
+        3 => Suite::Parsec,
+        _ => return Err(bad(format!("unknown suite code {code}"))),
+    })
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Serialise a trace to `w`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&[suite_code(trace.suite)])?;
+    let name = trace.name.as_bytes();
+    let name_len = u16::try_from(name.len()).map_err(|_| bad("trace name too long".into()))?;
+    w.write_all(&name_len.to_le_bytes())?;
+    w.write_all(name)?;
+    w.write_all(&(trace.ops.len() as u64).to_le_bytes())?;
+    let mut buf = [0u8; 20];
+    for op in &trace.ops {
+        buf[0..8].copy_from_slice(&op.access.pc.0.to_le_bytes());
+        buf[8..16].copy_from_slice(&op.access.addr.0.to_le_bytes());
+        buf[16..18].copy_from_slice(&op.nonmem_before.to_le_bytes());
+        let mut flags = 0u8;
+        if !op.access.kind.is_load() {
+            flags |= 1;
+        }
+        if op.dep_on_prev_load {
+            flags |= 2;
+        }
+        buf[18] = flags;
+        buf[19] = 0;
+        w.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+/// Deserialise a trace from `r`.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a bad magic/version/suite/flags, and
+/// propagates I/O errors (including truncation) from the reader.
+pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a PMPT trace file".into()));
+    }
+    let mut u16b = [0u8; 2];
+    r.read_exact(&mut u16b)?;
+    let version = u16::from_le_bytes(u16b);
+    if version != VERSION {
+        return Err(bad(format!("unsupported trace version {version}")));
+    }
+    let mut u8b = [0u8; 1];
+    r.read_exact(&mut u8b)?;
+    let suite = suite_from(u8b[0])?;
+    r.read_exact(&mut u16b)?;
+    let name_len = usize::from(u16::from_le_bytes(u16b));
+    let mut name_bytes = vec![0u8; name_len];
+    r.read_exact(&mut name_bytes)?;
+    let name = String::from_utf8(name_bytes).map_err(|e| bad(e.to_string()))?;
+    let mut u64b = [0u8; 8];
+    r.read_exact(&mut u64b)?;
+    let count = u64::from_le_bytes(u64b);
+    let mut ops = Vec::with_capacity(usize::try_from(count).map_err(|e| bad(e.to_string()))?);
+    let mut buf = [0u8; 20];
+    for _ in 0..count {
+        r.read_exact(&mut buf)?;
+        let pc = Pc(u64::from_le_bytes(buf[0..8].try_into().expect("slice len")));
+        let addr = Addr(u64::from_le_bytes(buf[8..16].try_into().expect("slice len")));
+        let gap = u16::from_le_bytes(buf[16..18].try_into().expect("slice len"));
+        let flags = buf[18];
+        if flags & !0b11 != 0 {
+            return Err(bad(format!("unknown flag bits {flags:#04x}")));
+        }
+        let kind = if flags & 1 != 0 { AccessKind::Store } else { AccessKind::Load };
+        let access = MemAccess { pc, addr, kind };
+        ops.push(TraceOp::new(access, gap, flags & 2 != 0));
+    }
+    Ok(Trace { name, suite, ops })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::catalog;
+    use crate::trace::TraceScale;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let trace = catalog()[30].build(TraceScale::Tiny);
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).expect("serialise");
+        let back = read_trace(buf.as_slice()).expect("deserialise");
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn record_size_is_compact() {
+        let trace = catalog()[0].build(TraceScale::Tiny);
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).expect("serialise");
+        let header = 4 + 2 + 1 + 2 + trace.name.len() + 8;
+        assert_eq!(buf.len(), header + trace.ops.len() * 20);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_trace(&b"NOPE....."[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let trace = catalog()[0].build(TraceScale::Tiny);
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).expect("serialise");
+        buf.truncate(buf.len() - 7);
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let trace = catalog()[0].build(TraceScale::Tiny);
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).expect("serialise");
+        let header = 4 + 2 + 1 + 2 + trace.name.len() + 8;
+        buf[header + 18] = 0xff; // corrupt first record's flags
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn all_suites_roundtrip() {
+        for idx in [0usize, 40, 80, 120] {
+            let trace = catalog()[idx].build(TraceScale::Tiny);
+            let mut buf = Vec::new();
+            write_trace(&trace, &mut buf).expect("serialise");
+            assert_eq!(read_trace(buf.as_slice()).expect("deserialise").suite, trace.suite);
+        }
+    }
+}

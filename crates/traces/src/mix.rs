@@ -1,0 +1,173 @@
+//! Heterogeneous 4-core workload mixes (the paper's Table VII).
+//!
+//! The paper classifies traces by baseline LLC MPKI — Low (5, 10],
+//! Medium (10, 20], High (> 20) — then randomises 10 mixes for each of
+//! six class combinations. Classification requires a baseline
+//! simulation, so this module takes the measured MPKIs as input and
+//! reproduces the mix construction deterministically.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Baseline-LLC-MPKI class of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MpkiClass {
+    /// 5 < MPKI ≤ 10.
+    Low,
+    /// 10 < MPKI ≤ 20.
+    Medium,
+    /// MPKI > 20.
+    High,
+}
+
+impl MpkiClass {
+    /// Classify a measured baseline MPKI. Values at or below 5 fall
+    /// into `Low` as well — the paper excludes them from its trace
+    /// list, but synthetic baselines can drift slightly below the line
+    /// and we'd rather keep the workload than lose a mix slot.
+    pub fn of(mpki: f64) -> MpkiClass {
+        if mpki > 20.0 {
+            MpkiClass::High
+        } else if mpki > 10.0 {
+            MpkiClass::Medium
+        } else {
+            MpkiClass::Low
+        }
+    }
+}
+
+/// One 4-core workload: four trace names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MixSpec {
+    /// Human-readable mix kind, e.g. `"half-low-half-high"`.
+    pub kind: &'static str,
+    /// The four traces, by catalog name.
+    pub traces: [String; 4],
+}
+
+/// The six Table VII combinations, 10 mixes each (60 workloads).
+///
+/// `classified` maps trace names to their baseline class; traces listed
+/// there are drawn from uniformly (deterministically, from `seed`).
+/// Classes with no traces fall back to the nearest populated class so
+/// the harness still produces 60 runnable mixes.
+pub fn table_vii_mixes(
+    classified: &[(String, MpkiClass)],
+    seed: u64,
+) -> Vec<MixSpec> {
+    let pool = |c: MpkiClass| -> Vec<&String> {
+        classified.iter().filter(|(_, k)| *k == c).map(|(n, _)| n).collect()
+    };
+    let mut low = pool(MpkiClass::Low);
+    let mut med = pool(MpkiClass::Medium);
+    let mut high = pool(MpkiClass::High);
+    // Fallbacks keep the mix table total even for skewed populations.
+    if low.is_empty() {
+        low = if med.is_empty() { high.clone() } else { med.clone() };
+    }
+    if med.is_empty() {
+        med = if low.is_empty() { high.clone() } else { low.clone() };
+    }
+    if high.is_empty() {
+        high = if med.is_empty() { low.clone() } else { med.clone() };
+    }
+    assert!(!low.is_empty(), "no classified traces supplied");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pick = |pool: &[&String], rng: &mut StdRng| -> String {
+        (*pool.choose(rng).expect("non-empty pool")).clone()
+    };
+
+    let combos: [(&'static str, [MpkiClass; 4]); 6] = [
+        ("all-low", [MpkiClass::Low; 4]),
+        ("all-medium", [MpkiClass::Medium; 4]),
+        ("all-high", [MpkiClass::High; 4]),
+        (
+            "half-low-half-medium",
+            [MpkiClass::Low, MpkiClass::Low, MpkiClass::Medium, MpkiClass::Medium],
+        ),
+        (
+            "half-low-half-high",
+            [MpkiClass::Low, MpkiClass::Low, MpkiClass::High, MpkiClass::High],
+        ),
+        (
+            "half-medium-half-high",
+            [MpkiClass::Medium, MpkiClass::Medium, MpkiClass::High, MpkiClass::High],
+        ),
+    ];
+
+    let mut out = Vec::with_capacity(60);
+    for (kind, classes) in combos {
+        for _ in 0..10 {
+            let traces = classes.map(|c| match c {
+                MpkiClass::Low => pick(&low, &mut rng),
+                MpkiClass::Medium => pick(&med, &mut rng),
+                MpkiClass::High => pick(&high, &mut rng),
+            });
+            out.push(MixSpec { kind, traces });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classified() -> Vec<(String, MpkiClass)> {
+        let mut v = Vec::new();
+        for i in 0..10 {
+            v.push((format!("low_{i}"), MpkiClass::Low));
+            v.push((format!("med_{i}"), MpkiClass::Medium));
+            v.push((format!("high_{i}"), MpkiClass::High));
+        }
+        v
+    }
+
+    #[test]
+    fn sixty_mixes() {
+        let m = table_vii_mixes(&classified(), 1);
+        assert_eq!(m.len(), 60);
+        assert_eq!(m.iter().filter(|x| x.kind == "all-low").count(), 10);
+        assert_eq!(m.iter().filter(|x| x.kind == "half-medium-half-high").count(), 10);
+    }
+
+    #[test]
+    fn mixes_respect_classes() {
+        let m = table_vii_mixes(&classified(), 1);
+        for mix in m.iter().filter(|x| x.kind == "all-high") {
+            assert!(mix.traces.iter().all(|t| t.starts_with("high_")), "{mix:?}");
+        }
+        for mix in m.iter().filter(|x| x.kind == "half-low-half-medium") {
+            assert!(mix.traces[..2].iter().all(|t| t.starts_with("low_")));
+            assert!(mix.traces[2..].iter().all(|t| t.starts_with("med_")));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = table_vii_mixes(&classified(), 7);
+        let b = table_vii_mixes(&classified(), 7);
+        assert_eq!(a, b);
+        let c = table_vii_mixes(&classified(), 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn class_boundaries() {
+        assert_eq!(MpkiClass::of(6.0), MpkiClass::Low);
+        assert_eq!(MpkiClass::of(10.0), MpkiClass::Low);
+        assert_eq!(MpkiClass::of(10.1), MpkiClass::Medium);
+        assert_eq!(MpkiClass::of(20.0), MpkiClass::Medium);
+        assert_eq!(MpkiClass::of(25.0), MpkiClass::High);
+    }
+
+    #[test]
+    fn empty_class_falls_back() {
+        let only_high: Vec<(String, MpkiClass)> =
+            (0..5).map(|i| (format!("h{i}"), MpkiClass::High)).collect();
+        let m = table_vii_mixes(&only_high, 3);
+        assert_eq!(m.len(), 60);
+    }
+}

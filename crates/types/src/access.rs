@@ -1,0 +1,133 @@
+//! Memory access records — the unit the simulator and prefetchers consume.
+
+use crate::addr::{Addr, Pc};
+use core::fmt;
+
+/// Whether an access reads or writes memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A demand load.
+    Load,
+    /// A demand store (write-allocate in our hierarchy).
+    Store,
+}
+
+impl AccessKind {
+    /// True for [`AccessKind::Load`].
+    #[inline]
+    pub fn is_load(self) -> bool {
+        matches!(self, AccessKind::Load)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Load => write!(f, "load"),
+            AccessKind::Store => write!(f, "store"),
+        }
+    }
+}
+
+/// A single memory access: the instruction's PC, the data address, and
+/// the access kind.
+///
+/// ```
+/// use pmp_types::{MemAccess, AccessKind, Addr, Pc};
+/// let a = MemAccess::load(Pc(0x400100), Addr(0x7000));
+/// assert!(a.kind.is_load());
+/// assert_eq!(a.addr.line().0, 0x7000 >> 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemAccess {
+    /// PC of the load/store instruction.
+    pub pc: Pc,
+    /// Byte address accessed.
+    pub addr: Addr,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
+impl MemAccess {
+    /// Construct a load access.
+    #[inline]
+    pub fn load(pc: Pc, addr: Addr) -> Self {
+        MemAccess { pc, addr, kind: AccessKind::Load }
+    }
+
+    /// Construct a store access.
+    #[inline]
+    pub fn store(pc: Pc, addr: Addr) -> Self {
+        MemAccess { pc, addr, kind: AccessKind::Store }
+    }
+}
+
+impl fmt::Display for MemAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} @{}", self.kind, self.addr, self.pc)
+    }
+}
+
+/// One record of a compact execution trace: `nonmem_before` non-memory
+/// instructions followed by one memory access.
+///
+/// `dep_on_prev_load` marks loads whose address depends on the previous
+/// load in program order (pointer chasing); the core model serialises
+/// such loads, which is what makes MCF-style workloads latency-bound.
+///
+/// ```
+/// use pmp_types::{access::TraceOp, MemAccess, Addr, Pc};
+/// let op = TraceOp::new(MemAccess::load(Pc(1), Addr(64)), 3, false);
+/// assert_eq!(op.instruction_count(), 4); // 3 non-mem + 1 mem
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceOp {
+    /// The memory access itself.
+    pub access: MemAccess,
+    /// Number of non-memory instructions preceding this access.
+    pub nonmem_before: u16,
+    /// Whether this load's address depends on the previous load.
+    pub dep_on_prev_load: bool,
+}
+
+impl TraceOp {
+    /// Construct a trace record.
+    #[inline]
+    pub fn new(access: MemAccess, nonmem_before: u16, dep_on_prev_load: bool) -> Self {
+        TraceOp { access, nonmem_before, dep_on_prev_load }
+    }
+
+    /// Instructions this record represents (non-mem + the access).
+    #[inline]
+    pub fn instruction_count(&self) -> u64 {
+        u64::from(self.nonmem_before) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_op_counts() {
+        let op = TraceOp::new(MemAccess::load(Pc(1), Addr(64)), 0, true);
+        assert_eq!(op.instruction_count(), 1);
+        assert!(op.dep_on_prev_load);
+    }
+
+    #[test]
+    fn constructors() {
+        let l = MemAccess::load(Pc(1), Addr(2));
+        assert_eq!(l.kind, AccessKind::Load);
+        assert!(l.kind.is_load());
+        let s = MemAccess::store(Pc(1), Addr(2));
+        assert_eq!(s.kind, AccessKind::Store);
+        assert!(!s.kind.is_load());
+    }
+
+    #[test]
+    fn display() {
+        let l = MemAccess::load(Pc(0x10), Addr(0x40));
+        assert_eq!(l.to_string(), "load 0x40 @PC0x10");
+    }
+}

@@ -1,0 +1,303 @@
+//! Address newtypes and region geometry.
+//!
+//! The paper tracks memory accesses at cache-line granularity inside
+//! fixed-size *memory regions* (4KB by default, matching pages; 2KB and
+//! 1KB variants are evaluated in Table IX). [`RegionGeometry`] captures
+//! that parameterisation so the rest of the workspace never hard-codes
+//! a region size.
+
+use core::fmt;
+
+/// Log2 of the cache-line size in bytes.
+pub const LINE_SHIFT: u32 = 6;
+/// Cache-line size in bytes (64B, as in the paper's ChampSim setup).
+pub const LINE_BYTES: u64 = 1 << LINE_SHIFT;
+/// Page size in bytes (4KB pages; PMP never crosses pages).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// A byte-granularity (virtual) memory address.
+///
+/// ```
+/// use pmp_types::Addr;
+/// let a = Addr(0x1234);
+/// assert_eq!(a.line().0, 0x1234 >> 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The cache line containing this address.
+    #[inline]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+
+    /// Byte offset within the cache line.
+    #[inline]
+    pub fn line_offset(self) -> u64 {
+        self.0 & (LINE_BYTES - 1)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+/// A cache-line-granularity address (byte address >> 6).
+///
+/// ```
+/// use pmp_types::{Addr, LineAddr};
+/// assert_eq!(Addr(0x1000).line(), LineAddr(0x40));
+/// assert_eq!(LineAddr(0x40).base_addr(), Addr(0x1000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// The first byte address of this line.
+    #[inline]
+    pub fn base_addr(self) -> Addr {
+        Addr(self.0 << LINE_SHIFT)
+    }
+
+    /// The line `delta` lines after this one (may be negative).
+    ///
+    /// Returns `None` on address-space overflow.
+    #[inline]
+    pub fn offset_by(self, delta: i64) -> Option<LineAddr> {
+        self.0.checked_add_signed(delta).map(LineAddr)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+/// A region-granularity address: the region index within the address
+/// space for a given [`RegionGeometry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RegionAddr(pub u64);
+
+impl fmt::Display for RegionAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{:#x}", self.0)
+    }
+}
+
+/// A program counter (the address of the load/store instruction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pc(pub u64);
+
+impl Pc {
+    /// A simple xor-fold hash of the PC down to `bits` bits.
+    ///
+    /// The paper uses hashed PCs (5 bits for the PC Pattern Table); the
+    /// exact hash is unspecified, so we use a deterministic xor fold,
+    /// which preserves the property that nearby PCs usually land in
+    /// different buckets.
+    ///
+    /// ```
+    /// use pmp_types::Pc;
+    /// let h = Pc(0xdead_beef).hash_bits(5);
+    /// assert!(h < 32);
+    /// ```
+    #[inline]
+    pub fn hash_bits(self, bits: u32) -> u64 {
+        debug_assert!(bits > 0 && bits <= 32, "hash width out of range");
+        let mut v = self.0;
+        // xor-fold 64 -> 32 -> 16 ... until within `bits`
+        v ^= v >> 32;
+        v ^= v >> 16;
+        v ^= v >> 8;
+        if bits < 8 {
+            v ^= v >> bits.max(4);
+        }
+        v & ((1u64 << bits) - 1)
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PC{:#x}", self.0)
+    }
+}
+
+/// Geometry of the tracked memory regions: how many cache lines each
+/// region holds (the paper's *pattern length*: 64, 32, or 16 — Table IX).
+///
+/// ```
+/// use pmp_types::{Addr, RegionGeometry};
+/// let g = RegionGeometry::new(64);
+/// assert_eq!(g.region_bytes(), 4096);
+/// let line = Addr(0x1fc0).line(); // last line of the first 4KB page
+/// assert_eq!(g.offset_of_line(line), 63);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegionGeometry {
+    lines_per_region: u32,
+    offset_bits: u32,
+}
+
+impl RegionGeometry {
+    /// Create a geometry with `lines_per_region` cache lines per region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines_per_region` is not a power of two in `2..=64`.
+    pub fn new(lines_per_region: u32) -> Self {
+        assert!(
+            lines_per_region.is_power_of_two() && (2..=64).contains(&lines_per_region),
+            "lines_per_region must be a power of two in 2..=64, got {lines_per_region}"
+        );
+        RegionGeometry {
+            lines_per_region,
+            offset_bits: lines_per_region.trailing_zeros(),
+        }
+    }
+
+    /// Number of cache lines per region (the pattern length).
+    #[inline]
+    pub fn lines_per_region(self) -> u32 {
+        self.lines_per_region
+    }
+
+    /// Number of bits in a line offset within the region.
+    #[inline]
+    pub fn offset_bits(self) -> u32 {
+        self.offset_bits
+    }
+
+    /// Region size in bytes.
+    #[inline]
+    pub fn region_bytes(self) -> u64 {
+        u64::from(self.lines_per_region) * LINE_BYTES
+    }
+
+    /// The region containing `line`.
+    #[inline]
+    pub fn region_of_line(self, line: LineAddr) -> RegionAddr {
+        RegionAddr(line.0 >> self.offset_bits)
+    }
+
+    /// The line offset of `line` within its region, in `0..lines_per_region`.
+    #[inline]
+    pub fn offset_of_line(self, line: LineAddr) -> u8 {
+        (line.0 & u64::from(self.lines_per_region - 1)) as u8
+    }
+
+    /// Reconstruct a line address from a region and an in-region offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `offset >= lines_per_region`.
+    #[inline]
+    pub fn line_of(self, region: RegionAddr, offset: u8) -> LineAddr {
+        debug_assert!(u32::from(offset) < self.lines_per_region, "offset out of region");
+        LineAddr((region.0 << self.offset_bits) | u64::from(offset))
+    }
+}
+
+impl Default for RegionGeometry {
+    /// The paper's default: 64-line (4KB) regions.
+    fn default() -> Self {
+        RegionGeometry::new(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_line_roundtrip() {
+        let a = Addr(0xabcd);
+        assert_eq!(a.line().base_addr().0, 0xabcd & !(LINE_BYTES - 1));
+        assert_eq!(a.line_offset(), 0xabcd % LINE_BYTES);
+    }
+
+    #[test]
+    fn line_offset_by() {
+        let l = LineAddr(100);
+        assert_eq!(l.offset_by(5), Some(LineAddr(105)));
+        assert_eq!(l.offset_by(-100), Some(LineAddr(0)));
+        assert_eq!(l.offset_by(-101), None);
+        assert_eq!(LineAddr(u64::MAX).offset_by(1), None);
+    }
+
+    #[test]
+    fn geometry_default_is_4kb() {
+        let g = RegionGeometry::default();
+        assert_eq!(g.lines_per_region(), 64);
+        assert_eq!(g.region_bytes(), 4096);
+        assert_eq!(g.offset_bits(), 6);
+    }
+
+    #[test]
+    fn geometry_region_and_offset() {
+        let g = RegionGeometry::new(64);
+        let line = Addr(0x3040).line(); // page 3, line 1
+        assert_eq!(g.region_of_line(line), RegionAddr(3));
+        assert_eq!(g.offset_of_line(line), 1);
+        assert_eq!(g.line_of(RegionAddr(3), 1), line);
+    }
+
+    #[test]
+    fn geometry_small_regions() {
+        let g = RegionGeometry::new(16); // 1KB regions
+        assert_eq!(g.region_bytes(), 1024);
+        let line = LineAddr(0x47); // region 4, offset 7
+        assert_eq!(g.region_of_line(line), RegionAddr(4));
+        assert_eq!(g.offset_of_line(line), 7);
+        assert_eq!(g.line_of(RegionAddr(4), 7), line);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn geometry_rejects_non_pow2() {
+        let _ = RegionGeometry::new(48);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn geometry_rejects_too_large() {
+        let _ = RegionGeometry::new(128);
+    }
+
+    #[test]
+    fn pc_hash_in_range() {
+        for bits in [5u32, 6, 12, 32] {
+            for pc in [0u64, 1, 0xffff_ffff_ffff_ffff, 0x4004_1000] {
+                assert!(Pc(pc).hash_bits(bits) < (1 << bits));
+            }
+        }
+    }
+
+    #[test]
+    fn pc_hash_deterministic_and_spread() {
+        let a = Pc(0x400100).hash_bits(5);
+        let b = Pc(0x400100).hash_bits(5);
+        assert_eq!(a, b);
+        // nearby PCs should not all collide
+        let hashes: std::collections::HashSet<u64> =
+            (0..32u64).map(|i| Pc(0x400000 + i * 4).hash_bits(5)).collect();
+        assert!(hashes.len() > 8, "hash should spread nearby PCs: {hashes:?}");
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(Addr(0x10).to_string(), "0x10");
+        assert_eq!(LineAddr(0x10).to_string(), "L0x10");
+        assert_eq!(RegionAddr(0x10).to_string(), "R0x10");
+        assert_eq!(Pc(0x10).to_string(), "PC0x10");
+    }
+}

@@ -1,0 +1,102 @@
+//! Cache level identifiers.
+
+use core::fmt;
+
+/// A data-cache level in the simulated three-level hierarchy.
+///
+/// PMP issues prefetches targeted at a specific fill level depending on
+/// the extraction confidence (Section IV-B of the paper): high-confidence
+/// targets fill L1D, medium-confidence targets fill L2C, and arbitration
+/// rule 3 can downgrade predictions to the LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CacheLevel {
+    /// Level-1 data cache (closest to the core).
+    L1D,
+    /// Unified level-2 cache.
+    L2C,
+    /// Last-level cache (shared, inclusive).
+    Llc,
+}
+
+impl CacheLevel {
+    /// All levels, ordered from closest to the core outward.
+    pub const ALL: [CacheLevel; 3] = [CacheLevel::L1D, CacheLevel::L2C, CacheLevel::Llc];
+
+    /// The next level further from the core, or `None` for the LLC.
+    ///
+    /// ```
+    /// use pmp_types::CacheLevel;
+    /// assert_eq!(CacheLevel::L1D.outer(), Some(CacheLevel::L2C));
+    /// assert_eq!(CacheLevel::Llc.outer(), None);
+    /// ```
+    #[inline]
+    pub fn outer(self) -> Option<CacheLevel> {
+        match self {
+            CacheLevel::L1D => Some(CacheLevel::L2C),
+            CacheLevel::L2C => Some(CacheLevel::Llc),
+            CacheLevel::Llc => None,
+        }
+    }
+
+    /// Demote one level outward, saturating at the LLC.
+    ///
+    /// This implements the paper's arbitration rule 3 ("the cache level
+    /// of prefetches predicted by the OPT will be downgraded, e.g. L2C
+    /// to LLC") as a total function.
+    #[inline]
+    pub fn downgraded(self) -> CacheLevel {
+        self.outer().unwrap_or(CacheLevel::Llc)
+    }
+
+    /// Index in `0..3`, L1D first.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            CacheLevel::L1D => 0,
+            CacheLevel::L2C => 1,
+            CacheLevel::Llc => 2,
+        }
+    }
+}
+
+impl fmt::Display for CacheLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheLevel::L1D => write!(f, "L1D"),
+            CacheLevel::L2C => write!(f, "L2C"),
+            CacheLevel::Llc => write!(f, "LLC"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_core_outward() {
+        assert!(CacheLevel::L1D < CacheLevel::L2C);
+        assert!(CacheLevel::L2C < CacheLevel::Llc);
+    }
+
+    #[test]
+    fn outer_chain() {
+        assert_eq!(CacheLevel::L1D.outer(), Some(CacheLevel::L2C));
+        assert_eq!(CacheLevel::L2C.outer(), Some(CacheLevel::Llc));
+        assert_eq!(CacheLevel::Llc.outer(), None);
+    }
+
+    #[test]
+    fn downgrade_saturates() {
+        assert_eq!(CacheLevel::L1D.downgraded(), CacheLevel::L2C);
+        assert_eq!(CacheLevel::L2C.downgraded(), CacheLevel::Llc);
+        assert_eq!(CacheLevel::Llc.downgraded(), CacheLevel::Llc);
+    }
+
+    #[test]
+    fn index_matches_all() {
+        for (i, l) in CacheLevel::ALL.iter().enumerate() {
+            assert_eq!(l.index(), i);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! A one-command shootout: the five evaluated prefetchers over one
+//! representative trace per workload family, with storage budgets —
+//! the paper's efficiency argument in a single table.
+//!
+//! ```sh
+//! cargo run --release --example prefetcher_shootout
+//! ```
+
+use pmp_bench::prefetchers::PrefetcherKind;
+use pmp_bench::runner::{geo_mean, normalized_ipcs, run_traces, RunConfig};
+use pmp_stats::Table;
+use pmp_traces::{representative_subset, TraceScale};
+
+fn main() {
+    let specs = representative_subset();
+    let cfg = RunConfig { scale: TraceScale::Small, ..RunConfig::default() };
+    println!("running {} traces × 6 configurations...", specs.len());
+    let base = run_traces(&specs, &PrefetcherKind::None, &cfg);
+
+    let mut table = Table::new(&["prefetcher", "geomean NIPC", "storage KiB", "NIPC per KiB"]);
+    let mut kinds = PrefetcherKind::paper_five();
+    kinds.push(PrefetcherKind::PmpLimit);
+    for kind in kinds {
+        let outs = run_traces(&specs, &kind, &cfg);
+        let (nipcs, g) = normalized_ipcs(&base, &outs);
+        let kib = kind.build().storage_bits() as f64 / 8.0 / 1024.0;
+        let gain_per_kib = (g - 1.0).max(0.0) / kib;
+        table.row_owned(vec![
+            kind.label(),
+            format!("{g:.3}"),
+            format!("{kib:.1}"),
+            format!("{gain_per_kib:.4}"),
+        ]);
+        let _ = geo_mean(&nipcs);
+    }
+    println!("\n{}", table.render());
+    println!("The PMP rows show the paper's headline: near-best performance at a\nfraction of the storage (4.3KB vs Bingo's >100KB).");
+}

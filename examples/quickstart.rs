@@ -1,0 +1,65 @@
+//! Quickstart: build a synthetic workload, attach PMP to a simulated
+//! core, and compare against the non-prefetching baseline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pmp_core::{Pmp, PmpConfig};
+use pmp_prefetch::{NoPrefetch, Prefetcher};
+use pmp_sim::{System, SystemConfig};
+use pmp_traces::{catalog, TraceScale};
+use pmp_types::CacheLevel;
+
+fn main() {
+    // 1. Pick a workload from the 125-trace catalog — here an MCF-like
+    //    backward pointer chase, the paper's running example.
+    let spec = catalog()
+        .into_iter()
+        .find(|s| s.name == "spec06.mcf_2")
+        .expect("catalog trace");
+    let trace = spec.build(TraceScale::Small);
+    println!(
+        "trace {}: {} memory ops, {} instructions, {:.1} MB footprint",
+        trace.name,
+        trace.mem_ops(),
+        trace.instruction_count(),
+        trace.footprint_lines() as f64 * 64.0 / 1.0e6,
+    );
+
+    // 2. Run the baseline (Table IV system, no prefetcher).
+    let cfg = SystemConfig::single_core();
+    let warmup = TraceScale::Small.warmup_instructions();
+    let base = System::new(cfg.clone(), Box::new(NoPrefetch)).run(&trace.ops, warmup);
+    println!(
+        "baseline: IPC {:.3}, LLC MPKI {:.1}",
+        base.ipc(),
+        base.stats.llc_mpki()
+    );
+
+    // 3. Run PMP with the paper's default configuration (Table II) —
+    //    a 4.3KB prefetcher.
+    let pmp = Pmp::new(PmpConfig::default());
+    println!(
+        "PMP storage: {:.1} KiB (Table III)",
+        pmp.storage_bits() as f64 / 8.0 / 1024.0
+    );
+    let with = System::new(cfg, Box::new(pmp)).run(&trace.ops, warmup);
+
+    // 4. Report the outcome.
+    println!(
+        "with PMP: IPC {:.3} -> speedup {:.2}x",
+        with.ipc(),
+        with.ipc() / base.ipc()
+    );
+    for level in CacheLevel::ALL {
+        let s = with.stats.level(level);
+        println!(
+            "  {level}: {} prefetch fills, {} useful, {} useless (accuracy {})",
+            s.pf_fills,
+            s.pf_useful,
+            s.pf_useless,
+            s.accuracy().map_or("n/a".into(), |a| format!("{:.0}%", a * 100.0)),
+        );
+    }
+}

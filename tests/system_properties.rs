@@ -1,0 +1,165 @@
+//! Whole-system property tests and failure injection: the simulator
+//! must uphold its accounting invariants for arbitrary small traces and
+//! stay correct under degenerate resource configurations.
+
+use pmp_bench::prefetchers::PrefetcherKind;
+use pmp_sim::{CacheConfig, System, SystemConfig};
+use pmp_types::{AccessKind, Addr, CacheLevel, MemAccess, Pc, TraceOp};
+use proptest::prelude::*;
+
+/// Arbitrary short trace: bounded address space, mixed loads/stores,
+/// occasional dependencies and gaps.
+fn arb_trace() -> impl Strategy<Value = Vec<TraceOp>> {
+    prop::collection::vec(
+        (0u64..1 << 22, 0u64..64, any::<bool>(), 0u16..6, any::<bool>()),
+        1..400,
+    )
+    .prop_map(|items| {
+        items
+            .into_iter()
+            .map(|(addr, pc, store, gap, dep)| {
+                let access = MemAccess {
+                    pc: Pc(0x400 + pc * 4),
+                    addr: Addr(addr & !7),
+                    kind: if store { AccessKind::Store } else { AccessKind::Load },
+                };
+                TraceOp::new(access, gap, dep)
+            })
+            .collect()
+    })
+}
+
+/// Accounting invariants that must hold for every run of every
+/// prefetcher.
+fn check_invariants(ops: &[TraceOp], kind: &PrefetcherKind) {
+    let mut sys = System::new(SystemConfig::single_core(), kind.build());
+    let r = sys.run(ops, 0);
+    let total_instr: u64 = ops.iter().map(|o| o.instruction_count()).sum();
+    assert_eq!(r.instructions, total_instr, "every instruction is accounted");
+    assert!(r.cycles > 0);
+    // Per level: misses never exceed accesses; prefetch outcomes never
+    // exceed fills; loads+stores consistent.
+    for level in CacheLevel::ALL {
+        let s = r.stats.level(level);
+        assert!(s.load_misses <= s.load_accesses, "{level} load misses");
+        assert!(s.store_misses <= s.store_accesses, "{level} store misses");
+        assert!(
+            s.pf_useful + s.pf_useless <= s.pf_fills,
+            "{level}: outcomes ({} + {}) exceed fills ({})",
+            s.pf_useful,
+            s.pf_useless,
+            s.pf_fills
+        );
+        assert!(s.pf_late <= s.pf_useful, "{level}: late is a subset of useful");
+    }
+    // Outer levels see at most the inner level's misses (demand
+    // filtering through the hierarchy).
+    let l1 = r.stats.level(CacheLevel::L1D);
+    let l2 = r.stats.level(CacheLevel::L2C);
+    assert!(l2.load_accesses <= l1.load_misses, "L2 sees only L1 misses");
+    // Prefetch issue accounting: admitted + dropped + redundant = issued.
+    assert_eq!(
+        r.stats.pf_admitted + r.stats.pf_dropped + r.stats.pf_redundant,
+        r.stats.pf_issued,
+        "prefetch dispositions partition issues"
+    );
+    // DRAM reads can't exceed total misses+prefetches and must cover
+    // LLC demand misses (modulo MSHR merges, which reduce them).
+    assert!(r.stats.dram_requests >= 1 || r.stats.level(CacheLevel::Llc).misses() == 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn invariants_hold_without_prefetching(ops in arb_trace()) {
+        check_invariants(&ops, &PrefetcherKind::None);
+    }
+
+    #[test]
+    fn invariants_hold_with_pmp(ops in arb_trace()) {
+        check_invariants(&ops, &PrefetcherKind::Pmp);
+    }
+
+    #[test]
+    fn invariants_hold_with_bingo(ops in arb_trace()) {
+        check_invariants(&ops, &PrefetcherKind::Bingo);
+    }
+
+    #[test]
+    fn invariants_hold_with_spp(ops in arb_trace()) {
+        check_invariants(&ops, &PrefetcherKind::SppPpf);
+    }
+
+    #[test]
+    fn runs_are_deterministic(ops in arb_trace()) {
+        let run = |k: &PrefetcherKind| {
+            let mut sys = System::new(SystemConfig::single_core(), k.build());
+            let r = sys.run(&ops, 0);
+            (r.cycles, r.stats.pf_issued, r.stats.dram_requests)
+        };
+        prop_assert_eq!(run(&PrefetcherKind::Pmp), run(&PrefetcherKind::Pmp));
+        prop_assert_eq!(run(&PrefetcherKind::Pythia), run(&PrefetcherKind::Pythia));
+    }
+}
+
+/// Failure injection: degenerate resource configurations must not
+/// wedge, panic, or corrupt accounting.
+#[test]
+fn degenerate_configs_complete() {
+    let ops: Vec<TraceOp> = (0..2000u64)
+        .map(|i| {
+            let access = if i % 5 == 0 {
+                MemAccess::store(Pc(0x400), Addr(i * 64 % (1 << 20)))
+            } else {
+                MemAccess::load(Pc(0x404 + (i % 3) * 4), Addr(((i * 7919) % (1 << 22)) & !63))
+            };
+            TraceOp::new(access, 2, i % 11 == 0)
+        })
+        .collect();
+
+    let tiny_cache = CacheConfig { sets: 1, ways: 1, latency: 1, mshrs: 1, pq_entries: 1 };
+    let configs = [
+        // One-way, one-MSHR, one-PQ everywhere.
+        SystemConfig {
+            l1d: tiny_cache.clone(),
+            l2c: CacheConfig { sets: 2, ..tiny_cache.clone() },
+            llc: CacheConfig { sets: 4, ..tiny_cache.clone() },
+            ..SystemConfig::single_core()
+        },
+        // Starved core: 1-wide, tiny ROB/queues.
+        SystemConfig {
+            core: pmp_sim::CoreConfig { width: 1, rob_entries: 2, lq_entries: 1, sq_entries: 1 },
+            ..SystemConfig::single_core()
+        },
+        // Crawling DRAM.
+        SystemConfig::single_core().with_dram_mts(800),
+    ];
+    for (ci, cfg) in configs.into_iter().enumerate() {
+        for kind in [PrefetcherKind::None, PrefetcherKind::Pmp, PrefetcherKind::Bingo] {
+            let mut sys = System::new(cfg.clone(), kind.build());
+            let r = sys.run(&ops, 100);
+            assert!(r.cycles > 0, "config {ci} with {} wedged", kind.label());
+            assert!(r.ipc() > 0.0);
+        }
+    }
+}
+
+/// The tiniest legal caches still maintain inclusion under prefetch
+/// pressure.
+#[test]
+fn inclusion_survives_prefetch_pressure() {
+    let cfg = SystemConfig {
+        llc: CacheConfig { sets: 2, ways: 2, latency: 20, mshrs: 8, pq_entries: 8 },
+        ..SystemConfig::single_core()
+    };
+    let ops: Vec<TraceOp> = (0..4000u64)
+        .map(|i| TraceOp::new(MemAccess::load(Pc(0x400), Addr(i * 64 % (1 << 18))), 1, false))
+        .collect();
+    let mut sys = System::new(cfg, Box::new(pmp_core::Pmp::new(pmp_core::PmpConfig::default())));
+    let r = sys.run(&ops, 0);
+    // With an 8-line LLC and inclusive back-invalidation the system
+    // still completes and counts coherently.
+    let l1 = r.stats.level(CacheLevel::L1D);
+    assert!(l1.pf_useful + l1.pf_useless <= l1.pf_fills);
+}
