@@ -15,7 +15,7 @@
 //! behaviour is essential for the storage-efficiency comparison.
 
 use pmp_core::capture::{CaptureConfig, CapturedPattern, PatternCapture};
-use pmp_prefetch::{AccessInfo, EvictInfo, Prefetcher, PrefetchRequest, ReplayQueue};
+use pmp_prefetch::{AccessInfo, EvictInfo, Introspect, PrefetchRequest, Prefetcher, ReplayQueue};
 use pmp_types::{BitPattern, CacheLevel, Pc};
 
 /// Bingo configuration.
@@ -135,6 +135,8 @@ impl Default for Bingo {
         Bingo::new(BingoConfig::default())
     }
 }
+
+impl Introspect for Bingo {}
 
 impl Prefetcher for Bingo {
     fn name(&self) -> &'static str {

@@ -3,7 +3,7 @@
 //! scores a list of candidate offsets against recent requests and
 //! prefetches with the single best one.
 
-use pmp_prefetch::{AccessInfo, EvictInfo, Prefetcher, PrefetchRequest};
+use pmp_prefetch::{AccessInfo, EvictInfo, Introspect, PrefetchRequest, Prefetcher};
 use pmp_types::{CacheLevel, LineAddr, PAGE_BYTES};
 use std::collections::VecDeque;
 
@@ -96,6 +96,8 @@ impl Default for Bop {
         Bop::new(BopConfig::default())
     }
 }
+
+impl Introspect for Bop {}
 
 impl Prefetcher for Bop {
     fn name(&self) -> &'static str {

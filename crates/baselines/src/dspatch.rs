@@ -13,13 +13,15 @@
 //! patterns completely") — reproducing that behaviour faithfully is the
 //! point of this module.
 //!
-//! Simplification vs. the original: DSPatch measures DRAM bandwidth
-//! directly; our prefetcher-side proxy is the recent useless-prefetch
-//! ratio from fill feedback, which rises exactly when prefetch traffic
-//! is wasting bandwidth.
+//! Like the original, DSPatch measures DRAM bandwidth directly when the
+//! simulator delivers utilization samples (interval sampling enabled —
+//! see [`Prefetcher::on_bandwidth`]); without sampling it falls back to
+//! a prefetcher-side proxy, the recent useless-prefetch ratio from fill
+//! feedback, which rises exactly when prefetch traffic is wasting
+//! bandwidth.
 
 use pmp_core::capture::{CaptureConfig, CapturedPattern, PatternCapture};
-use pmp_prefetch::{AccessInfo, EvictInfo, FeedbackKind, Prefetcher, PrefetchRequest, ReplayQueue};
+use pmp_prefetch::{AccessInfo, EvictInfo, FeedbackKind, Introspect, PrefetchRequest, Prefetcher, ReplayQueue};
 use pmp_types::{BitPattern, CacheLevel, LineAddr, Pc};
 
 /// DSPatch configuration.
@@ -65,6 +67,10 @@ pub struct DsPatch {
     /// Sliding usefulness window: (useful, useless) decayed counters.
     useful: u32,
     useless: u32,
+    /// Latest DRAM bandwidth-utilization sample from the simulator
+    /// (`None` until the first sample arrives; then it replaces the
+    /// useless-ratio proxy as the CovP/AccP switch signal).
+    measured_bw: Option<f64>,
 }
 
 impl DsPatch {
@@ -87,6 +93,7 @@ impl DsPatch {
             replay: ReplayQueue::new(128),
             useful: 0,
             useless: 0,
+            measured_bw: None,
             cfg,
         }
     }
@@ -135,11 +142,33 @@ impl DsPatch {
             f64::from(self.useless) / f64::from(total)
         }
     }
+
+    /// The bandwidth-pressure signal driving CovP/AccP selection: the
+    /// measured DRAM utilization when the simulator provides one, else
+    /// the useless-ratio proxy.
+    fn pressure(&self) -> f64 {
+        self.measured_bw.unwrap_or_else(|| self.useless_ratio())
+    }
 }
 
 impl Default for DsPatch {
     fn default() -> Self {
         DsPatch::new(DsPatchConfig::default())
+    }
+}
+
+impl Introspect for DsPatch {
+    fn gauges(&self, out: &mut Vec<pmp_prefetch::Gauge>) {
+        let occ = self.spt.iter().filter(|e| e.valid).count();
+        out.push(pmp_prefetch::Gauge::new(
+            "spt_occupancy",
+            occ as f64 / self.spt.len() as f64,
+        ));
+        out.push(pmp_prefetch::Gauge::new("bw_pressure", self.pressure()));
+        out.push(pmp_prefetch::Gauge::new(
+            "bw_measured",
+            f64::from(u8::from(self.measured_bw.is_some())),
+        ));
     }
 }
 
@@ -160,7 +189,7 @@ impl Prefetcher for DsPatch {
             return;
         };
         let slot = self.slot(trig.pc);
-        let use_accp = self.useless_ratio() > self.cfg.acc_switch_threshold;
+        let use_accp = self.pressure() > self.cfg.acc_switch_threshold;
         let e = &mut self.spt[slot];
         if !e.valid {
             self.replay.issue(info.pq_free, out);
@@ -203,6 +232,10 @@ impl Prefetcher for DsPatch {
             self.useful /= 2;
             self.useless /= 2;
         }
+    }
+
+    fn on_bandwidth(&mut self, utilization: f64) {
+        self.measured_bw = Some(utilization.clamp(0.0, 1.0));
     }
 
     /// Capture + SPT (CovP 64 + AccP 64 + measure 2 + valid 1 per
@@ -276,6 +309,30 @@ mod tests {
         let mut out = Vec::new();
         d.on_access(&access(0x400, 99 * 4096), &mut out);
         assert!(out.is_empty(), "intersection with an outlier is empty: {out:?}");
+    }
+
+    #[test]
+    fn measured_bandwidth_overrides_proxy() {
+        let mut d = DsPatch::default();
+        train_region(&mut d, 0x400, 10 * 4096, &[0, 1, 2]);
+        train_region(&mut d, 0x400, 11 * 4096, &[0, 2, 3]);
+        // No feedback at all — proxy says pressure 0, CovP path.
+        assert_eq!(d.pressure(), 0.0);
+        let mut out = Vec::new();
+        d.on_access(&access(0x400, 98 * 4096), &mut out);
+        let offs: Vec<u64> = out.iter().map(|r| r.line.0 - 98 * 64).collect();
+        assert!(offs.contains(&1) && offs.contains(&3), "CovP under low bw: {offs:?}");
+        // A high measured-utilization sample flips it to AccP without
+        // any useless feedback.
+        d.on_bandwidth(0.95);
+        assert_eq!(d.pressure(), 0.95);
+        out.clear();
+        d.on_access(&access(0x400, 99 * 4096), &mut out);
+        let offs: Vec<u64> = out.iter().map(|r| r.line.0 - 99 * 64).collect();
+        assert_eq!(offs, vec![2], "AccP under measured pressure: {offs:?}");
+        // Samples are clamped into 0..=1.
+        d.on_bandwidth(7.0);
+        assert_eq!(d.pressure(), 1.0);
     }
 
     #[test]

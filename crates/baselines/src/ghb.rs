@@ -7,7 +7,7 @@
 //! predictor looks for an earlier occurrence of the two most recent
 //! deltas and replays the deltas that followed that occurrence.
 
-use pmp_prefetch::{AccessInfo, EvictInfo, Prefetcher, PrefetchRequest};
+use pmp_prefetch::{AccessInfo, EvictInfo, Introspect, PrefetchRequest, Prefetcher};
 use pmp_types::{CacheLevel, LineAddr, Pc};
 
 /// GHB configuration.
@@ -100,6 +100,8 @@ impl Default for Ghb {
         Ghb::new(GhbConfig::default())
     }
 }
+
+impl Introspect for Ghb {}
 
 impl Prefetcher for Ghb {
     fn name(&self) -> &'static str {

@@ -10,7 +10,7 @@
 //! preserves the mechanism (and its capacity sensitivity) without an
 //! off-chip model.
 
-use pmp_prefetch::{AccessInfo, EvictInfo, Prefetcher, PrefetchRequest};
+use pmp_prefetch::{AccessInfo, EvictInfo, Introspect, PrefetchRequest, Prefetcher};
 use pmp_types::{CacheLevel, LineAddr, Pc};
 use std::collections::{HashMap, VecDeque};
 
@@ -116,6 +116,8 @@ impl Default for Isb {
         Isb::new(IsbConfig::default())
     }
 }
+
+impl Introspect for Isb {}
 
 impl Prefetcher for Isb {
     fn name(&self) -> &'static str {

@@ -13,10 +13,8 @@
 //! both preserve the property the PMP paper leans on: **one prefetch
 //! per prediction**, which caps Pythia's prefetch depth.
 
-use pmp_prefetch::{AccessInfo, EvictInfo, FeedbackKind, Prefetcher, PrefetchRequest};
-use pmp_types::{CacheLevel, LineAddr, PAGE_BYTES};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pmp_prefetch::{AccessInfo, EvictInfo, FeedbackKind, Introspect, PrefetchRequest, Prefetcher};
+use pmp_types::{CacheLevel, LineAddr, Rng64, PAGE_BYTES};
 
 const LINES_PER_PAGE: u64 = PAGE_BYTES / 64;
 
@@ -86,7 +84,7 @@ pub struct Pythia {
     eq: Vec<EqEntry>,
     eq_next: usize,
     last_line: u64,
-    rng: StdRng,
+    rng: Rng64,
 }
 
 impl Pythia {
@@ -109,7 +107,7 @@ impl Pythia {
             ],
             eq_next: 0,
             last_line: 0,
-            rng: StdRng::seed_from_u64(cfg.seed),
+            rng: Rng64::seed_from_u64(cfg.seed),
             cfg,
         }
     }
@@ -159,6 +157,8 @@ impl Default for Pythia {
         Pythia::new(PythiaConfig::default())
     }
 }
+
+impl Introspect for Pythia {}
 
 impl Prefetcher for Pythia {
     fn name(&self) -> &'static str {

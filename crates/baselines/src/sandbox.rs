@@ -3,7 +3,7 @@
 //! *fake* prefetches recorded in a Bloom filter; offsets whose fake
 //! prefetches keep getting demanded graduate to real prefetching.
 
-use pmp_prefetch::{AccessInfo, EvictInfo, Prefetcher, PrefetchRequest};
+use pmp_prefetch::{AccessInfo, EvictInfo, Introspect, PrefetchRequest, Prefetcher};
 use pmp_types::{CacheLevel, LineAddr, PAGE_BYTES};
 
 const LINES_PER_PAGE: u64 = PAGE_BYTES / 64;
@@ -89,6 +89,8 @@ impl Default for Sandbox {
         Sandbox::new(SandboxConfig::default())
     }
 }
+
+impl Introspect for Sandbox {}
 
 impl Prefetcher for Sandbox {
     fn name(&self) -> &'static str {

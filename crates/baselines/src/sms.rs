@@ -6,7 +6,7 @@
 //! into the L1D.
 
 use pmp_core::capture::{CaptureConfig, CapturedPattern, PatternCapture};
-use pmp_prefetch::{AccessInfo, EvictInfo, Prefetcher, PrefetchRequest, ReplayQueue};
+use pmp_prefetch::{AccessInfo, EvictInfo, Introspect, PrefetchRequest, Prefetcher, ReplayQueue};
 use pmp_types::{BitPattern, CacheLevel, Pc};
 
 /// SMS configuration.
@@ -98,6 +98,8 @@ impl Default for Sms {
         Sms::new(SmsConfig::default())
     }
 }
+
+impl Introspect for Sms {}
 
 impl Prefetcher for Sms {
     fn name(&self) -> &'static str {

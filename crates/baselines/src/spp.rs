@@ -9,7 +9,9 @@
 //! threshold. PPF then filters each proposal through a perceptron over
 //! program features, trained online from prefetch-outcome feedback.
 
-use pmp_prefetch::{AccessInfo, EvictInfo, FeedbackKind, Prefetcher, PrefetchRequest};
+use pmp_prefetch::{
+    AccessInfo, EvictInfo, FeedbackKind, Gauge, Introspect, PrefetchRequest, Prefetcher,
+};
 use pmp_types::{CacheLevel, LineAddr, Pc, PAGE_BYTES};
 
 const LINES_PER_PAGE: u64 = PAGE_BYTES / 64;
@@ -211,6 +213,46 @@ impl Default for SppPpf {
     }
 }
 
+impl Introspect for SppPpf {
+    fn gauges(&self, out: &mut Vec<Gauge>) {
+        let st_occ = self.st.iter().filter(|e| e.valid).count();
+        let pt_occ = self.pt.iter().filter(|e| e.c_sig > 0).count();
+        out.push(Gauge::new("st_occupancy", st_occ as f64 / self.st.len() as f64));
+        out.push(Gauge::new("pt_occupancy", pt_occ as f64 / self.pt.len() as f64));
+        // Mean signature confidence across trained PT entries — a proxy
+        // for how deep the lookahead walk can compound before hitting
+        // the threshold.
+        let trained: Vec<&PtEntry> = self.pt.iter().filter(|e| e.c_sig > 0).collect();
+        let mean_best = if trained.is_empty() {
+            0.0
+        } else {
+            trained
+                .iter()
+                .map(|e| {
+                    let best =
+                        e.slots.iter().map(|s| u32::from(s.c_delta)).max().unwrap_or(0);
+                    f64::from(best) / f64::from(e.c_sig)
+                })
+                .sum::<f64>()
+                / trained.len() as f64
+        };
+        out.push(Gauge::new("pt_mean_confidence", mean_best));
+        // Perceptron state: fraction of non-zero weights and the count
+        // of prefetches awaiting outcome feedback.
+        let nonzero: usize = self
+            .weights
+            .iter()
+            .map(|row| row.iter().filter(|&&w| w != 0).count())
+            .sum();
+        let total = self.weights.len() * PPF_FEATURES;
+        out.push(Gauge::new("ppf_nonzero_weights", nonzero as f64 / total as f64));
+        out.push(Gauge::new(
+            "ppf_inflight",
+            self.issued.iter().filter(|r| r.valid).count() as f64,
+        ));
+    }
+}
+
 impl Prefetcher for SppPpf {
     fn name(&self) -> &'static str {
         "spp-ppf"
@@ -373,6 +415,34 @@ mod tests {
             out.is_empty(),
             "perceptron must learn to filter useless prefetches: {out:?}"
         );
+    }
+
+    #[test]
+    fn introspection_tracks_training() {
+        let mut spp = SppPpf::default();
+        let gauge = |spp: &SppPpf, name: &str| -> f64 {
+            let mut g = Vec::new();
+            spp.gauges(&mut g);
+            g.iter().find(|x| x.name == name).unwrap_or_else(|| panic!("missing {name}")).value
+        };
+        assert_eq!(gauge(&spp, "st_occupancy"), 0.0);
+        assert_eq!(gauge(&spp, "pt_occupancy"), 0.0);
+        let mut out = Vec::new();
+        for p in 0..20u64 {
+            for i in 0..30u64 {
+                out.clear();
+                spp.on_access(&access(0x400, p * 4096 + (i % 64) * 64), &mut out);
+            }
+        }
+        assert!(gauge(&spp, "st_occupancy") > 0.0);
+        assert!(gauge(&spp, "pt_occupancy") > 0.0);
+        assert!(gauge(&spp, "pt_mean_confidence") > 0.0);
+        assert!(gauge(&spp, "ppf_inflight") > 0.0, "lookahead issues were recorded");
+        // Feedback flips perceptron weights away from zero.
+        for r in out.clone() {
+            spp.on_feedback(r.line, FeedbackKind::Useless);
+        }
+        assert!(gauge(&spp, "ppf_nonzero_weights") > 0.0);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! keyed by delta histories of length 1, 2 and 3, with longer matches
 //! overriding shorter ones.
 
-use pmp_prefetch::{AccessInfo, EvictInfo, Prefetcher, PrefetchRequest};
+use pmp_prefetch::{AccessInfo, EvictInfo, Introspect, PrefetchRequest, Prefetcher};
 use pmp_types::{CacheLevel, LineAddr, PAGE_BYTES};
 
 const LINES_PER_PAGE: u64 = PAGE_BYTES / 64;
@@ -116,6 +116,8 @@ impl Default for Vldp {
         Vldp::new(VldpConfig::default())
     }
 }
+
+impl Introspect for Vldp {}
 
 impl Prefetcher for Vldp {
     fn name(&self) -> &'static str {

@@ -2,16 +2,16 @@
 //! Filter/Accumulation table pipeline shared by PMP and the bit-vector
 //! baselines.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pmp_bench::microbench::{bench_function, black_box};
 use pmp_core::capture::{CaptureConfig, PatternCapture};
 use pmp_types::{LineAddr, Pc};
 
-fn bench_capture(c: &mut Criterion) {
+fn main() {
     // A region-streaming access pattern: realistic FT/AT churn.
     let accesses: Vec<(Pc, LineAddr)> = (0..4096u64)
         .map(|i| (Pc(0x400 + (i % 13) * 4), LineAddr((i * 7919) % (1 << 20))))
         .collect();
-    c.bench_function("capture_on_load", |b| {
+    bench_function("capture_on_load", |b| {
         let mut cap = PatternCapture::new(CaptureConfig::default());
         let mut i = 0usize;
         b.iter(|| {
@@ -21,7 +21,7 @@ fn bench_capture(c: &mut Criterion) {
         });
     });
 
-    c.bench_function("capture_on_evict", |b| {
+    bench_function("capture_on_evict", |b| {
         let mut cap = PatternCapture::new(CaptureConfig::default());
         for &(pc, line) in &accesses[..512] {
             cap.on_load(pc, line);
@@ -34,6 +34,3 @@ fn bench_capture(c: &mut Criterion) {
         });
     });
 }
-
-criterion_group!(benches, bench_capture);
-criterion_main!(benches);

@@ -2,16 +2,16 @@
 //! merging (per L1D eviction in hardware) and prefetch-pattern
 //! extraction + arbitration (per trigger access).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pmp_bench::microbench::{bench_function, black_box};
 use pmp_core::arbiter::arbitrate;
 use pmp_core::{CounterVector, ExtractionScheme};
 use pmp_types::BitPattern;
 
-fn bench_merge(c: &mut Criterion) {
+fn bench_merge() {
     let patterns: Vec<BitPattern> = (0..64u64)
         .map(|i| BitPattern::from_bits(0x1 | (0xabcd_1234_5678_9abc >> (i % 17)), 64))
         .collect();
-    c.bench_function("counter_vector_merge_64x5b", |b| {
+    bench_function("counter_vector_merge_64x5b", |b| {
         let mut cv = CounterVector::new(64, 5);
         let mut i = 0usize;
         b.iter(|| {
@@ -21,7 +21,7 @@ fn bench_merge(c: &mut Criterion) {
     });
 }
 
-fn bench_extract(c: &mut Criterion) {
+fn bench_extract() {
     let mut cv = CounterVector::new(64, 5);
     for i in 0..31u64 {
         cv.merge(BitPattern::from_bits(1 | (0xffff << (i % 40)), 64));
@@ -31,13 +31,13 @@ fn bench_extract(c: &mut Criterion) {
         ("ane", ExtractionScheme::ane_default()),
         ("are", ExtractionScheme::are_default()),
     ] {
-        c.bench_function(&format!("extract_{name}_64"), |b| {
+        bench_function(&format!("extract_{name}_64"), |b| {
             b.iter(|| black_box(scheme.extract(black_box(&cv))));
         });
     }
 }
 
-fn bench_arbitrate(c: &mut Criterion) {
+fn bench_arbitrate() {
     let mut cv = CounterVector::new(64, 5);
     let mut coarse = CounterVector::new(32, 5);
     for i in 0..31u64 {
@@ -48,10 +48,13 @@ fn bench_arbitrate(c: &mut Criterion) {
     let scheme = ExtractionScheme::default();
     let opt = scheme.extract(&cv);
     let ppt = scheme.extract_coarse(&coarse);
-    c.bench_function("arbitrate_64_range2", |b| {
+    bench_function("arbitrate_64_range2", |b| {
         b.iter(|| black_box(arbitrate(black_box(&opt), black_box(&ppt), 2)));
     });
 }
 
-criterion_group!(benches, bench_merge, bench_extract, bench_arbitrate);
-criterion_main!(benches);
+fn main() {
+    bench_merge();
+    bench_extract();
+    bench_arbitrate();
+}

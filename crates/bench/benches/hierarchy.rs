@@ -2,26 +2,36 @@
 //! and whole-system instruction throughput — these bound how fast the
 //! experiment harness can sweep the 125-trace grid.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use pmp_prefetch::NoPrefetch;
+use pmp_bench::microbench::{bench_function, black_box};
+use pmp_prefetch::{NextLine, NoPrefetch};
 use pmp_sim::hierarchy::{demand_access, CoreMem, MemEvents, SharedMem};
-use pmp_sim::{System, SystemConfig};
-use pmp_types::{LineAddr, MemAccess, Addr, Pc, TraceOp};
+use pmp_sim::{NullTracer, ObsCollector, System, SystemConfig};
+use pmp_types::{Addr, LineAddr, MemAccess, Pc, TraceOp};
 
-fn bench_demand_access(c: &mut Criterion) {
+fn bench_demand_access() {
     let cfg = SystemConfig::single_core();
-    c.bench_function("hierarchy_demand_access", |b| {
+    bench_function("hierarchy_demand_access", |b| {
         let mut cores = vec![CoreMem::new(&cfg)];
         let mut shared = SharedMem::new(&cfg);
         let mut stats = pmp_sim::SimStats::default();
         let mut ev = MemEvents::default();
+        let mut tracer = NullTracer;
         let mut now = 0u64;
         let mut i = 0u64;
         b.iter(|| {
             // Mix of hits (small working set) and misses (streaming).
             let line = if i.is_multiple_of(4) { LineAddr(1_000_000 + i) } else { LineAddr(i % 64) };
-            let (lat, _) =
-                demand_access(line, true, now, 0, &mut cores, &mut shared, &mut stats, &mut ev);
+            let (lat, _) = demand_access(
+                line,
+                true,
+                now,
+                0,
+                &mut cores,
+                &mut shared,
+                &mut stats,
+                &mut ev,
+                &mut tracer,
+            );
             ev.clear();
             now += 2;
             i += 1;
@@ -30,22 +40,54 @@ fn bench_demand_access(c: &mut Criterion) {
     });
 }
 
-fn bench_system_throughput(c: &mut Criterion) {
+fn bench_system_throughput() {
     let ops: Vec<TraceOp> = (0..20_000u64)
         .map(|i| TraceOp::new(MemAccess::load(Pc(0x400), Addr((i * 320) % (1 << 26))), 3, false))
         .collect();
     let instrs: u64 = ops.iter().map(|o| o.instruction_count()).sum();
-    let mut g = c.benchmark_group("system");
-    g.throughput(Throughput::Elements(instrs));
-    g.sample_size(10);
-    g.bench_function("run_20k_mem_ops", |b| {
+    let m = bench_function("system_run_20k_mem_ops", |b| {
         b.iter(|| {
             let mut sys = System::new(SystemConfig::single_core(), Box::new(NoPrefetch));
             black_box(sys.run(&ops, 0).cycles)
         });
     });
-    g.finish();
+    let instr_per_sec = instrs as f64 / (m.ns_per_iter * 1e-9);
+    println!("system_run_20k_mem_ops: {:.1} M simulated instructions/s", instr_per_sec / 1e6);
 }
 
-criterion_group!(benches, bench_demand_access, bench_system_throughput);
-criterion_main!(benches);
+/// The observability contract: a `NullTracer` run must cost the same
+/// as the pre-instrumentation simulator (its emits are empty inlined
+/// bodies), while a live `ObsCollector` pays only per-event counter /
+/// histogram updates.
+fn bench_tracer_overhead() {
+    let ops: Vec<TraceOp> = (0..20_000u64)
+        .map(|i| TraceOp::new(MemAccess::load(Pc(0x400), Addr((i * 320) % (1 << 26))), 3, false))
+        .collect();
+    let null = bench_function("system_nulltracer", |b| {
+        b.iter(|| {
+            let mut sys =
+                System::new(SystemConfig::single_core(), Box::new(NextLine::new(4)));
+            black_box(sys.run(&ops, 0).cycles)
+        });
+    });
+    let collected = bench_function("system_obscollector", |b| {
+        b.iter(|| {
+            let mut sys = System::with_tracer(
+                SystemConfig::single_core(),
+                Box::new(NextLine::new(4)),
+                ObsCollector::new(),
+            );
+            black_box(sys.run(&ops, 0).cycles)
+        });
+    });
+    println!(
+        "tracer overhead: collector/null = {:.3}x",
+        collected.ns_per_iter / null.ns_per_iter
+    );
+}
+
+fn main() {
+    bench_demand_access();
+    bench_system_throughput();
+    bench_tracer_overhead();
+}

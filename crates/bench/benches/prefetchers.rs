@@ -3,12 +3,12 @@
 //! tagless direct-mapped tables are cheap to consult; Bingo's large
 //! associative PHT is not free).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pmp_bench::microbench::{bench_function, black_box};
 use pmp_bench::prefetchers::PrefetcherKind;
 use pmp_prefetch::{AccessInfo, PrefetchRequest};
 use pmp_types::{Addr, MemAccess, Pc};
 
-fn bench_on_access(c: &mut Criterion) {
+fn main() {
     // Mixed access pattern touching many regions (worst-ish case).
     let accesses: Vec<AccessInfo> = (0..8192u64)
         .map(|i| AccessInfo {
@@ -29,7 +29,7 @@ fn bench_on_access(c: &mut Criterion) {
         PrefetcherKind::Pythia,
         PrefetcherKind::Sms,
     ] {
-        c.bench_function(&format!("on_access_{}", kind.label()), |b| {
+        bench_function(&format!("on_access_{}", kind.label()), |b| {
             let mut p = kind.build();
             let mut out: Vec<PrefetchRequest> = Vec::with_capacity(64);
             let mut i = 0usize;
@@ -42,6 +42,3 @@ fn bench_on_access(c: &mut Criterion) {
         });
     }
 }
-
-criterion_group!(benches, bench_on_access);
-criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! End-to-end observability report: run PMP on one workload with full
+//! lifecycle tracing, interval sampling, and structural introspection,
+//! then render everything the `pmp-obs` crate can see.
+//!
+//! Usage: `obs_report [trace-name] [scale]` — defaults to
+//! `spec06.stream_1` at the Standard scale. Reports go to stdout; the
+//! interval time-series CSV and JSON Lines are also written under
+//! `results/obs/`.
+
+use pmp_core::{Pmp, PmpConfig};
+use pmp_sim::{EventKind, ObsCollector, System, SystemConfig};
+use pmp_stats::report::interval_table;
+use pmp_stats::storage::interval_samples_to_json_lines;
+use pmp_stats::{sim_stats_to_json, Table};
+use pmp_traces::{catalog, TraceScale};
+use std::fs;
+
+fn main() {
+    let trace_name =
+        std::env::args().nth(1).unwrap_or_else(|| "spec06.stream_1".to_string());
+    let scale = match std::env::args().nth(2).as_deref() {
+        Some("tiny") => TraceScale::Tiny,
+        Some("small") => TraceScale::Small,
+        Some("large") => TraceScale::Large,
+        _ => TraceScale::Standard,
+    };
+    let spec = catalog()
+        .into_iter()
+        .find(|s| s.name == trace_name)
+        .unwrap_or_else(|| panic!("unknown trace {trace_name}; see pmp-traces catalog"));
+    let trace = spec.build(scale);
+
+    let mut sys = System::with_tracer(
+        SystemConfig::default(),
+        Box::new(Pmp::new(PmpConfig::default())),
+        ObsCollector::with_ring(4096),
+    );
+    sys.enable_sampling(2_000);
+    let result = sys.run(&trace.ops, scale.warmup_instructions());
+
+    println!("== obs_report: pmp on {trace_name} ({scale:?}) ==\n");
+    println!(
+        "ipc={:.3}  cycles={}  llc_mpki={:.2}\n",
+        result.ipc(),
+        result.cycles,
+        result.stats.llc_mpki()
+    );
+
+    // --- 1. Prefetch-lifecycle summary.
+    let collector = sys.tracer();
+    let mut lifecycle = Table::new(&["event", "count"]);
+    for kind in EventKind::ALL {
+        lifecycle.row_owned(vec![
+            kind.name().to_string(),
+            collector.count(kind).to_string(),
+        ]);
+    }
+    println!("-- lifecycle events --\n{}", lifecycle.render());
+    println!(
+        "late-useful prefetches: {}  (ring holds last {} of {} events)\n",
+        collector.late_useful(),
+        collector.ring().map(|r| r.len()).unwrap_or(0),
+        collector.ring().map(|r| r.total()).unwrap_or(0),
+    );
+
+    // --- 2. Latency histograms (log2 buckets).
+    for (label, hist) in [
+        ("prefetch issue→fill", collector.pf_latency()),
+        ("demand-miss", collector.demand_latency()),
+        ("dram", collector.dram_latency()),
+    ] {
+        let mut t = Table::new(&["cycles", "count"]);
+        for (lo, hi, n) in hist.nonzero() {
+            t.row_owned(vec![format!("{lo}..{hi}"), n.to_string()]);
+        }
+        println!(
+            "-- {label} latency: n={} mean={:.1} p99<={} --\n{}",
+            hist.count(),
+            hist.mean(),
+            hist.percentile_upper_bound(0.99),
+            t.render()
+        );
+    }
+
+    // --- 3. Interval time-series.
+    let samples = sys.samples().to_vec();
+    let series = interval_table(&samples);
+    println!("-- interval time-series ({} samples) --\n{}", samples.len(), series.render());
+
+    // --- 4. PMP structural introspection.
+    let mut gauges = Table::new(&["gauge", "value"]);
+    for g in sys.prefetcher_gauges() {
+        gauges.row_owned(vec![g.name.to_string(), format!("{:.4}", g.value)]);
+    }
+    println!("-- pmp introspection --\n{}", gauges.render());
+
+    // --- 5. Machine-readable exports.
+    let _ = fs::create_dir_all("results/obs");
+    let csv_path = "results/obs/intervals.csv";
+    let jsonl_path = "results/obs/intervals.jsonl";
+    let stats_path = "results/obs/stats.json";
+    let hist_path = "results/obs/latency_histograms.jsonl";
+    let _ = fs::write(csv_path, series.to_csv());
+    let _ = fs::write(jsonl_path, interval_samples_to_json_lines(&samples));
+    let _ = fs::write(stats_path, sim_stats_to_json(&result.stats));
+    let mut hist_lines = String::new();
+    for (label, hist) in [
+        ("pf_issue_to_fill", collector.pf_latency()),
+        ("demand_miss", collector.demand_latency()),
+        ("dram", collector.dram_latency()),
+    ] {
+        let buckets: Vec<String> = hist
+            .nonzero()
+            .iter()
+            .map(|(lo, hi, n)| format!("{{\"lo\":{lo},\"hi\":{hi},\"count\":{n}}}"))
+            .collect();
+        hist_lines.push_str(&format!(
+            "{{\"histogram\":\"{label}\",\"count\":{},\"mean\":{:.3},\"buckets\":[{}]}}\n",
+            hist.count(),
+            hist.mean(),
+            buckets.join(",")
+        ));
+    }
+    let _ = fs::write(hist_path, hist_lines);
+    println!("wrote {csv_path}, {jsonl_path}, {stats_path}, {hist_path}");
+}

@@ -23,5 +23,6 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod microbench;
 pub mod prefetchers;
 pub mod runner;

@@ -157,6 +157,16 @@ impl PrefetchBuffer {
         self.entries.iter().any(|e| e.valid && e.region == region)
     }
 
+    /// Number of valid (pending) entries — introspection gauge.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+
+    /// Total entry count.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
     /// Storage in bits (Table III: region tag 36 + pattern 2×(len−1) +
     /// LRU 4 per entry at 64-line regions; the tag widens by one bit
     /// per region-size halving, i.e. tag = 42 − offset bits).

@@ -71,7 +71,9 @@ impl CounterVector {
         &self.counters
     }
 
-    /// Merge one anchored bit pattern.
+    /// Merge one anchored bit pattern. Returns `true` when the merge
+    /// saturated the time counter and halved the vector (an aging
+    /// event, observable through introspection).
     ///
     /// The pattern's bit 0 (the trigger itself) is always set by
     /// construction; merging increments every set offset's counter,
@@ -82,7 +84,7 @@ impl CounterVector {
     /// # Panics
     ///
     /// Panics if the pattern length differs from the vector length.
-    pub fn merge(&mut self, anchored: BitPattern) {
+    pub fn merge(&mut self, anchored: BitPattern) -> bool {
         assert_eq!(
             anchored.len(),
             self.len(),
@@ -100,7 +102,15 @@ impl CounterVector {
             for c in &mut self.counters {
                 *c /= 2;
             }
+            return true;
         }
+        false
+    }
+
+    /// Whether the time counter sits at the saturation cap (the next
+    /// merge of this vector will halve it).
+    pub fn is_saturated(&self) -> bool {
+        self.time() == self.cap
     }
 
     /// Access frequency of anchored offset `i`: counter / time counter
@@ -148,8 +158,10 @@ mod tests {
         }
         assert_eq!(cv.counters(), &[3, 0, 3, 0, 3, 0, 0, 0]);
         assert_eq!(cv.time(), 3);
-        cv.merge(pat(0b1000_0101, 8));
+        assert!(cv.is_saturated(), "time counter at cap");
+        assert!(cv.merge(pat(0b1000_0101, 8)), "saturating merge reports the halving");
         assert_eq!(cv.counters(), &[2, 0, 2, 0, 1, 0, 0, 0]);
+        assert!(!cv.merge(pat(0b0000_0001, 8)), "plain merge does not halve");
     }
 
     #[test]

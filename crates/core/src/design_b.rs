@@ -10,7 +10,7 @@
 
 use crate::buffer::PrefetchBuffer;
 use crate::capture::{CaptureConfig, CapturedPattern, PatternCapture};
-use pmp_prefetch::{AccessInfo, EvictInfo, Prefetcher, PrefetchRequest};
+use pmp_prefetch::{AccessInfo, EvictInfo, Introspect, PrefetchRequest, Prefetcher};
 use pmp_types::{BitPattern, CacheLevel, PrefetchPattern};
 
 /// Design B configuration.
@@ -127,6 +127,8 @@ impl DesignB {
         Some(out)
     }
 }
+
+impl Introspect for DesignB {}
 
 impl Prefetcher for DesignB {
     fn name(&self) -> &'static str {

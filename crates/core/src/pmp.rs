@@ -22,7 +22,7 @@ use crate::capture::{CaptureConfig, CapturedPattern, PatternCapture};
 use crate::counter_vec::CounterVector;
 use crate::extract::ExtractionScheme;
 use crate::tables::{OffsetPatternTable, PcPatternTable};
-use pmp_prefetch::{AccessInfo, EvictInfo, Prefetcher, PrefetchRequest};
+use pmp_prefetch::{AccessInfo, EvictInfo, Gauge, Introspect, PrefetchRequest, Prefetcher};
 use pmp_types::{LineAddr, Pc, PrefetchPattern, RegionGeometry};
 
 /// Which pattern-table organisation to use (Section V-E3 ablations).
@@ -176,23 +176,59 @@ impl Tables {
         (pch << off_bits) | off
     }
 
-    fn train(&mut self, captured: &CapturedPattern, geom: RegionGeometry) {
+    /// Merge a captured pattern; returns how many counter-vector
+    /// halvings the merge caused (0..=2 — the dual design can halve in
+    /// both tables at once).
+    fn train(&mut self, captured: &CapturedPattern, geom: RegionGeometry) -> u32 {
         let anchored = captured.anchored();
         let trigger_line = geom.line_of(captured.region, captured.trigger_offset);
         match self {
             Tables::Dual { opt, ppt } => {
-                opt.train(trigger_line, anchored);
-                ppt.train(captured.trigger_pc, anchored);
+                u32::from(opt.train(trigger_line, anchored))
+                    + u32::from(ppt.train(captured.trigger_pc, anchored))
             }
-            Tables::OptOnly { opt } => opt.train(trigger_line, anchored),
+            Tables::OptOnly { opt } => u32::from(opt.train(trigger_line, anchored)),
             Tables::PptOnly { table, bits } => {
                 let idx = captured.trigger_pc.hash_bits(*bits) as usize;
-                table[idx].merge(anchored);
+                u32::from(table[idx].merge(anchored))
             }
             Tables::Combined { table, off_bits, pc_bits } => {
                 let idx =
                     Self::combined_index(trigger_line, captured.trigger_pc, *off_bits, *pc_bits);
-                table[idx].merge(anchored);
+                u32::from(table[idx].merge(anchored))
+            }
+        }
+    }
+
+    /// Append occupancy/saturation gauges for the active organisation.
+    fn gauges(&self, out: &mut Vec<Gauge>) {
+        fn vec_stats(
+            table: &[CounterVector],
+            occ_name: &'static str,
+            sat_name: &'static str,
+            out: &mut Vec<Gauge>,
+        ) {
+            let occupied = table.iter().filter(|e| !e.is_empty()).count();
+            let saturated = table.iter().filter(|e| e.is_saturated()).count();
+            out.push(Gauge::new(occ_name, occupied as f64 / table.len() as f64));
+            out.push(Gauge::new(sat_name, saturated as f64));
+        }
+        match self {
+            Tables::Dual { opt, ppt } => {
+                out.push(Gauge::new("opt_occupancy", opt.occupied() as f64 / opt.entries() as f64));
+                out.push(Gauge::new("opt_saturated", opt.saturated() as f64));
+                out.push(Gauge::new("ppt_occupancy", ppt.occupied() as f64 / ppt.entries() as f64));
+                out.push(Gauge::new("ppt_saturated", ppt.saturated() as f64));
+            }
+            Tables::OptOnly { opt } => {
+                out.push(Gauge::new("opt_occupancy", opt.occupied() as f64 / opt.entries() as f64));
+                out.push(Gauge::new("opt_saturated", opt.saturated() as f64));
+            }
+            Tables::PptOnly { table, .. } => {
+                vec_stats(table, "ppt_occupancy", "ppt_saturated", out);
+            }
+            Tables::Combined { table, .. } => {
+                vec_stats(table, "opt_occupancy", "opt_saturated", out);
             }
         }
     }
@@ -238,6 +274,22 @@ impl Tables {
     }
 }
 
+/// Lifetime event counters backing [`Introspect`] — pure observability,
+/// never consulted by the prediction path.
+#[derive(Debug, Clone, Copy, Default)]
+struct ObsCounters {
+    /// Patterns merged into the tables (AT victims + L1D evictions).
+    trains: u64,
+    /// Counter-vector halvings caused by time-counter saturation.
+    halvings: u64,
+    /// Trigger-time table lookups (extraction invocations).
+    lookups: u64,
+    /// Lookups whose extracted pattern was non-empty.
+    pattern_hits: u64,
+    /// Total prefetch targets extracted across all hits.
+    extracted_targets: u64,
+}
+
 /// The Pattern Merging Prefetcher.
 #[derive(Debug, Clone)]
 pub struct Pmp {
@@ -247,6 +299,7 @@ pub struct Pmp {
     buffer: PrefetchBuffer,
     next_region: NextRegionPredictor,
     controller: ThresholdController,
+    obs: ObsCounters,
 }
 
 impl Pmp {
@@ -261,6 +314,7 @@ impl Pmp {
             buffer,
             next_region: NextRegionPredictor::default(),
             controller: ThresholdController::default(),
+            obs: ObsCounters::default(),
             cfg,
         }
     }
@@ -286,7 +340,39 @@ impl Pmp {
 
     fn train(&mut self, captured: CapturedPattern) {
         let geom = self.cfg.geometry();
-        self.tables.train(&captured, geom);
+        self.obs.trains += 1;
+        self.obs.halvings += u64::from(self.tables.train(&captured, geom));
+    }
+
+    /// The gauge name for extraction counts under the active scheme
+    /// (the paper's ANE / ARE / AFE naming, Section V-E2).
+    fn extraction_gauge_name(&self) -> &'static str {
+        match self.scheme() {
+            ExtractionScheme::AccessNumber { .. } => "ane_extractions",
+            ExtractionScheme::AccessRatio { .. } => "are_extractions",
+            ExtractionScheme::AccessFrequency { .. } => "afe_extractions",
+        }
+    }
+}
+
+impl Introspect for Pmp {
+    fn gauges(&self, out: &mut Vec<Gauge>) {
+        self.tables.gauges(out);
+        out.push(Gauge::new("patterns_merged", self.obs.trains as f64));
+        out.push(Gauge::new("cv_halvings", self.obs.halvings as f64));
+        out.push(Gauge::new("table_lookups", self.obs.lookups as f64));
+        out.push(Gauge::new("pattern_hits", self.obs.pattern_hits as f64));
+        let hit_rate = if self.obs.lookups == 0 {
+            0.0
+        } else {
+            self.obs.pattern_hits as f64 / self.obs.lookups as f64
+        };
+        out.push(Gauge::new("pattern_hit_rate", hit_rate));
+        out.push(Gauge::new(self.extraction_gauge_name(), self.obs.extracted_targets as f64));
+        out.push(Gauge::new("pb_occupancy", self.buffer.occupancy() as f64));
+        if self.cfg.adaptive {
+            out.push(Gauge::new("adaptive_t_l1d", self.controller.t_l1d()));
+        }
     }
 }
 
@@ -325,7 +411,10 @@ impl Prefetcher for Pmp {
             let scheme = self.scheme();
             let pattern =
                 self.tables.predict(line, pc, &scheme, self.cfg.monitoring_range);
+            self.obs.lookups += 1;
             if !pattern.is_empty() {
+                self.obs.pattern_hits += 1;
+                self.obs.extracted_targets += pattern.count() as u64;
                 self.buffer.insert(trig.region, trig.offset, pattern);
             }
             // Cross-page extension: when the next-region predictor is
@@ -586,6 +675,47 @@ mod tests {
         // 2^(6+5) = 2048 entries × 64 counters × 5 bits.
         let table_bits = 2048u64 * 64 * 5;
         assert!(pmp.storage_bits() > table_bits, "combined table dominates storage");
+    }
+
+    #[test]
+    fn introspection_reports_training_state() {
+        let mut pmp = Pmp::new(PmpConfig::default());
+        let gauge = |pmp: &Pmp, name: &str| -> f64 {
+            let mut g = Vec::new();
+            pmp.gauges(&mut g);
+            g.iter().find(|x| x.name == name).unwrap_or_else(|| panic!("missing {name}")).value
+        };
+        // Untrained: structural gauges present but zero.
+        assert_eq!(gauge(&pmp, "opt_occupancy"), 0.0);
+        assert_eq!(gauge(&pmp, "table_lookups"), 0.0);
+        // Enough repetitions to saturate the 5-bit time counter (cap 31)
+        // and force at least one halving.
+        train_regions(&mut pmp, 0x400, 4, &[5, 6], 40);
+        let mut out = Vec::new();
+        pmp.on_access(&access(0x400, 995 * 4096 + 4 * 64, 8), &mut out);
+        assert!(!out.is_empty(), "trained PMP should predict");
+        assert!(gauge(&pmp, "opt_occupancy") > 0.0);
+        assert!(gauge(&pmp, "ppt_occupancy") > 0.0);
+        assert!(gauge(&pmp, "patterns_merged") >= 40.0);
+        assert!(gauge(&pmp, "cv_halvings") >= 1.0, "40 merges past a cap of 31 must halve");
+        assert!(gauge(&pmp, "table_lookups") >= 41.0);
+        assert!(gauge(&pmp, "pattern_hits") >= 1.0);
+        let rate = gauge(&pmp, "pattern_hit_rate");
+        assert!(rate > 0.0 && rate <= 1.0);
+        assert!(gauge(&pmp, "afe_extractions") >= 2.0, "AFE default scheme names the gauge");
+    }
+
+    #[test]
+    fn introspection_names_scheme_specific_extractions() {
+        for (scheme, name) in [
+            (ExtractionScheme::ane_default(), "ane_extractions"),
+            (ExtractionScheme::are_default(), "are_extractions"),
+        ] {
+            let pmp = Pmp::new(PmpConfig { scheme, ..PmpConfig::default() });
+            let mut g = Vec::new();
+            pmp.gauges(&mut g);
+            assert!(g.iter().any(|x| x.name == name), "{name} missing: {g:?}");
+        }
     }
 
     #[test]

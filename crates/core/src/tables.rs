@@ -51,9 +51,11 @@ impl OffsetPatternTable {
     }
 
     /// Merge an anchored pattern under the feature value of `line`.
-    pub fn train(&mut self, line: LineAddr, anchored: BitPattern) {
+    /// Returns `true` when the merge halved the entry's counters
+    /// (time-counter saturation).
+    pub fn train(&mut self, line: LineAddr, anchored: BitPattern) -> bool {
         let idx = self.index_of(line);
-        self.entries[idx].merge(anchored);
+        self.entries[idx].merge(anchored)
     }
 
     /// Extract the candidate prefetch pattern for a trigger at `line`.
@@ -69,6 +71,16 @@ impl OffsetPatternTable {
     /// Number of entries.
     pub fn entries(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Number of entries that have merged at least one pattern.
+    pub fn occupied(&self) -> usize {
+        self.entries.iter().filter(|e| !e.is_empty()).count()
+    }
+
+    /// Number of entries whose time counter sits at the saturation cap.
+    pub fn saturated(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_saturated()).count()
     }
 
     /// Storage in bits: entries × pattern length × counter width.
@@ -133,10 +145,11 @@ impl PcPatternTable {
 
     /// Merge an anchored (full-length) pattern under `pc`: the pattern
     /// is coarsened by OR-ing each `monitoring_range`-wide group first.
-    pub fn train(&mut self, pc: Pc, anchored: BitPattern) {
+    /// Returns `true` when the merge halved the entry's counters.
+    pub fn train(&mut self, pc: Pc, anchored: BitPattern) -> bool {
         let coarse = anchored.coarsen(self.monitoring_range);
         let idx = self.index_of(pc);
-        self.entries[idx].merge(coarse);
+        self.entries[idx].merge(coarse)
     }
 
     /// Extract the candidate *coarse* prefetch pattern for a trigger PC.
@@ -149,6 +162,21 @@ impl PcPatternTable {
     /// Number of entries.
     pub fn entries(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Direct access to an entry (analysis tooling).
+    pub fn entry(&self, idx: usize) -> &CounterVector {
+        &self.entries[idx]
+    }
+
+    /// Number of entries that have merged at least one pattern.
+    pub fn occupied(&self) -> usize {
+        self.entries.iter().filter(|e| !e.is_empty()).count()
+    }
+
+    /// Number of entries whose time counter sits at the saturation cap.
+    pub fn saturated(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_saturated()).count()
     }
 
     /// Storage in bits.

@@ -1,0 +1,118 @@
+//! The standard event collector: per-kind counts, latency histograms,
+//! and an optional tail ring buffer, all behind one [`Tracer`] impl.
+
+use crate::event::{EventKind, TraceEvent, Tracer};
+use crate::hist::Log2Histogram;
+use crate::ring::RingRecorder;
+
+/// Aggregates a run's event stream into counters and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct ObsCollector {
+    counts: [u64; EventKind::ALL.len()],
+    pf_latency: Log2Histogram,
+    demand_latency: Log2Histogram,
+    dram_latency: Log2Histogram,
+    late_useful: u64,
+    ring: Option<RingRecorder>,
+}
+
+impl ObsCollector {
+    /// A collector with no ring buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A collector that also retains the last `capacity` raw events.
+    pub fn with_ring(capacity: usize) -> Self {
+        ObsCollector { ring: Some(RingRecorder::new(capacity)), ..Self::default() }
+    }
+
+    /// Events seen of `kind`.
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.counts[kind as usize]
+    }
+
+    /// All `(kind, count)` pairs in taxonomy order.
+    pub fn counts(&self) -> impl Iterator<Item = (EventKind, u64)> + '_ {
+        EventKind::ALL.iter().map(|&k| (k, self.counts[k as usize]))
+    }
+
+    /// Total events of any kind.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Useful prefetches whose fill was still in flight at first use.
+    pub fn late_useful(&self) -> u64 {
+        self.late_useful
+    }
+
+    /// Histogram of prefetch issue→fill latencies (admitted requests).
+    pub fn pf_latency(&self) -> &Log2Histogram {
+        &self.pf_latency
+    }
+
+    /// Histogram of demand L1D-miss resolution latencies.
+    pub fn demand_latency(&self) -> &Log2Histogram {
+        &self.demand_latency
+    }
+
+    /// Histogram of DRAM fetch latencies (incl. channel queuing).
+    pub fn dram_latency(&self) -> &Log2Histogram {
+        &self.dram_latency
+    }
+
+    /// The tail ring buffer, if one was requested.
+    pub fn ring(&self) -> Option<&RingRecorder> {
+        self.ring.as_ref()
+    }
+}
+
+impl Tracer for ObsCollector {
+    fn emit(&mut self, event: TraceEvent) {
+        self.counts[event.kind() as usize] += 1;
+        match event {
+            TraceEvent::PrefetchAdmitted { latency, .. } => self.pf_latency.record(latency),
+            TraceEvent::DemandMiss { latency, .. } => self.demand_latency.record(latency),
+            TraceEvent::DramFetch { latency, .. } => self.dram_latency.record(latency),
+            TraceEvent::PrefetchUseful { late: true, .. } => self.late_useful += 1,
+            _ => {}
+        }
+        if let Some(ring) = &mut self.ring {
+            ring.push(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_types::{CacheLevel, LineAddr};
+
+    #[test]
+    fn counts_and_histograms_accumulate() {
+        let mut c = ObsCollector::with_ring(8);
+        c.emit(TraceEvent::PrefetchIssued { line: LineAddr(1), level: CacheLevel::L1D, cycle: 0 });
+        c.emit(TraceEvent::PrefetchAdmitted {
+            line: LineAddr(1),
+            level: CacheLevel::L1D,
+            cycle: 0,
+            latency: 170,
+        });
+        c.emit(TraceEvent::PrefetchUseful {
+            line: LineAddr(1),
+            level: CacheLevel::L1D,
+            cycle: 40,
+            late: true,
+        });
+        c.emit(TraceEvent::DemandMiss { line: LineAddr(9), cycle: 50, latency: 205 });
+        assert_eq!(c.count(EventKind::PrefetchIssued), 1);
+        assert_eq!(c.count(EventKind::PrefetchAdmitted), 1);
+        assert_eq!(c.count(EventKind::PrefetchDropped), 0);
+        assert_eq!(c.late_useful(), 1);
+        assert_eq!(c.pf_latency().count(), 1);
+        assert_eq!(c.demand_latency().count(), 1);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.ring().unwrap().total(), 4);
+    }
+}

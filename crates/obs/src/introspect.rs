@@ -1,0 +1,55 @@
+//! Structural introspection: named gauges a component exposes about
+//! its internal state (table occupancy, hit rates, saturation…).
+//!
+//! [`Introspect`] is a supertrait-friendly mixin with an empty default
+//! body, so components opt in with `impl Introspect for X {}` and only
+//! the instrumented ones override [`Introspect::gauges`].
+
+/// One named internal measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gauge {
+    /// Stable snake_case identifier, e.g. `"opt_occupancy"`.
+    pub name: &'static str,
+    /// Current value.
+    pub value: f64,
+}
+
+impl Gauge {
+    /// Construct a gauge.
+    pub fn new(name: &'static str, value: f64) -> Self {
+        Gauge { name, value }
+    }
+}
+
+/// Expose internal state as named gauges. The default implementation
+/// exposes nothing.
+pub trait Introspect {
+    /// Append this component's gauges to `out`.
+    fn gauges(&self, out: &mut Vec<Gauge>) {
+        let _ = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Opaque;
+    impl Introspect for Opaque {}
+
+    struct Open;
+    impl Introspect for Open {
+        fn gauges(&self, out: &mut Vec<Gauge>) {
+            out.push(Gauge::new("x", 1.5));
+        }
+    }
+
+    #[test]
+    fn default_impl_exposes_nothing() {
+        let mut out = Vec::new();
+        Opaque.gauges(&mut out);
+        assert!(out.is_empty(), "default Introspect must be empty");
+        Open.gauges(&mut out);
+        assert_eq!(out, vec![Gauge::new("x", 1.5)]);
+    }
+}

@@ -1,0 +1,39 @@
+//! # pmp-obs
+//!
+//! The observability substrate for the PMP reproduction: typed
+//! prefetch-lifecycle events with a zero-cost [`Tracer`] abstraction,
+//! a ring-buffered recorder, fixed-bucket log2 latency histograms,
+//! per-interval time-series sampling, and structural introspection
+//! gauges. Depends only on `pmp-types`, so every layer of the stack —
+//! simulator, prefetchers, stats, harness — can speak it.
+//!
+//! ## Example
+//!
+//! ```
+//! use pmp_obs::{ObsCollector, TraceEvent, Tracer, EventKind};
+//! use pmp_types::{CacheLevel, LineAddr};
+//!
+//! let mut obs = ObsCollector::new();
+//! obs.emit(TraceEvent::PrefetchIssued {
+//!     line: LineAddr(42),
+//!     level: CacheLevel::L1D,
+//!     cycle: 100,
+//! });
+//! assert_eq!(obs.count(EventKind::PrefetchIssued), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod event;
+pub mod hist;
+pub mod introspect;
+pub mod ring;
+pub mod sample;
+
+pub use collector::ObsCollector;
+pub use event::{EventKind, NullTracer, TraceEvent, Tracer};
+pub use hist::Log2Histogram;
+pub use introspect::{Gauge, Introspect};
+pub use ring::RingRecorder;
+pub use sample::{IntervalSample, IntervalSampler, SampleInput};

@@ -1,5 +1,6 @@
 //! The [`Prefetcher`] trait and its input/output types.
 
+use pmp_obs::Introspect;
 use pmp_types::{CacheLevel, LineAddr, MemAccess};
 
 /// A prefetch request emitted by a prefetcher: fetch `line` and fill it
@@ -67,7 +68,12 @@ pub enum FeedbackKind {
 /// Implementations append any number of [`PrefetchRequest`]s to `out`;
 /// the simulator applies queue/MSHR admission control and may drop
 /// requests (reported via [`FeedbackKind::Dropped`]).
-pub trait Prefetcher {
+///
+/// The [`Introspect`] supertrait lets instrumented prefetchers expose
+/// internal-state gauges (table occupancy, hit rates…); the default
+/// implementation exposes nothing, so `impl Introspect for X {}` is all
+/// an uninstrumented prefetcher needs.
+pub trait Prefetcher: Introspect {
     /// Short human-readable name, e.g. `"pmp"` or `"bingo"`.
     fn name(&self) -> &'static str;
 
@@ -83,6 +89,12 @@ pub trait Prefetcher {
     /// Learn from the outcome of a previously issued prefetch.
     /// Default: ignore.
     fn on_feedback(&mut self, _line: LineAddr, _kind: FeedbackKind) {}
+
+    /// Observe a DRAM bandwidth-utilization sample (0..=1), delivered
+    /// by the simulator at each interval-sampling boundary (only when
+    /// sampling is enabled). Bandwidth-aware prefetchers (DSPatch,
+    /// Pythia) can condition aggressiveness on it. Default: ignore.
+    fn on_bandwidth(&mut self, _utilization: f64) {}
 
     /// Total hardware storage this prefetcher would require, in bits —
     /// used to regenerate the paper's Table III / Table V budgets.
@@ -106,6 +118,7 @@ mod tests {
     use pmp_types::{Addr, Pc};
 
     struct Dummy;
+    impl Introspect for Dummy {}
     impl Prefetcher for Dummy {
         fn name(&self) -> &'static str {
             "dummy"

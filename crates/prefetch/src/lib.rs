@@ -38,6 +38,7 @@ pub mod replay;
 pub mod simple;
 
 pub use api::{AccessInfo, EvictInfo, FeedbackKind, Prefetcher, PrefetchRequest};
+pub use pmp_obs::{Gauge, Introspect};
 pub use placement::PlacedLow;
 pub use replay::ReplayQueue;
 pub use simple::{NextLine, NoPrefetch, StridePrefetcher};

@@ -9,6 +9,7 @@
 //! every request it issues to at most the placement level.
 
 use crate::api::{AccessInfo, EvictInfo, FeedbackKind, Prefetcher, PrefetchRequest};
+use pmp_obs::{Gauge, Introspect};
 use pmp_types::{CacheLevel, LineAddr};
 
 /// A shadow directory approximating the filtering a request stream
@@ -75,6 +76,12 @@ impl<P: Prefetcher> PlacedLow<P> {
     /// The wrapped prefetcher.
     pub fn inner(&self) -> &P {
         &self.inner
+    }
+}
+
+impl<P: Prefetcher> Introspect for PlacedLow<P> {
+    fn gauges(&self, out: &mut Vec<Gauge>) {
+        self.inner.gauges(out);
     }
 }
 
@@ -179,6 +186,7 @@ mod tests {
     #[test]
     fn l2_placement_keeps_llc_targets() {
         struct LlcOnly;
+        impl Introspect for LlcOnly {}
         impl Prefetcher for LlcOnly {
             fn name(&self) -> &'static str {
                 "llc-only"

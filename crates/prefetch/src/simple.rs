@@ -6,6 +6,7 @@
 //! IP-stride prefetcher is the classic Chen & Baer design.
 
 use crate::api::{AccessInfo, Prefetcher, PrefetchRequest};
+use pmp_obs::Introspect;
 use pmp_types::{CacheLevel, Pc, PAGE_BYTES};
 
 /// A prefetcher that never prefetches (the non-prefetching baseline).
@@ -18,6 +19,8 @@ impl NoPrefetch {
         NoPrefetch
     }
 }
+
+impl Introspect for NoPrefetch {}
 
 impl Prefetcher for NoPrefetch {
     fn name(&self) -> &'static str {
@@ -49,6 +52,8 @@ impl NextLine {
         NextLine { degree }
     }
 }
+
+impl Introspect for NextLine {}
 
 impl Prefetcher for NextLine {
     fn name(&self) -> &'static str {
@@ -111,6 +116,8 @@ impl StridePrefetcher {
         (pc.0 as usize) % STRIDE_TABLE_SIZE
     }
 }
+
+impl Introspect for StridePrefetcher {}
 
 impl Prefetcher for StridePrefetcher {
     fn name(&self) -> &'static str {

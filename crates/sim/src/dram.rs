@@ -7,6 +7,7 @@
 //! Fig. 12a bandwidth-sensitivity result.
 
 use crate::config::DramConfig;
+use pmp_obs::{TraceEvent, Tracer};
 use pmp_types::LineAddr;
 
 /// The DRAM subsystem: one or more serial channels plus a request
@@ -42,9 +43,27 @@ impl Dram {
         queue_wait + self.latency + self.cycles_per_line.ceil() as u64
     }
 
+    /// [`Dram::access`] that reports the fetch (with its latency) as a
+    /// [`TraceEvent::DramFetch`].
+    pub fn access_traced<T: Tracer>(&mut self, now: u64, line: LineAddr, tracer: &mut T) -> u64 {
+        let latency = self.access(now, line);
+        tracer.emit(TraceEvent::DramFetch { line, cycle: now, latency });
+        latency
+    }
+
     /// Total requests served (demand + prefetch), for NMT.
     pub fn requests(&self) -> u64 {
         self.requests
+    }
+
+    /// Core cycles one line transfer occupies a channel.
+    pub fn cycles_per_line(&self) -> f64 {
+        self.cycles_per_line
+    }
+
+    /// Number of DRAM channels.
+    pub fn channels(&self) -> usize {
+        self.next_free.len()
     }
 
     /// Queue a write-back: occupies channel bandwidth but nothing
@@ -53,6 +72,13 @@ impl Dram {
         self.requests += 1;
         let ch = (line.0 as usize) % self.next_free.len();
         self.next_free[ch] += self.cycles_per_line;
+    }
+
+    /// [`Dram::write_back`] that reports the write as a
+    /// [`TraceEvent::DramWriteback`] stamped with `now`.
+    pub fn write_back_traced<T: Tracer>(&mut self, line: LineAddr, now: u64, tracer: &mut T) {
+        self.write_back(line);
+        tracer.emit(TraceEvent::DramWriteback { line, cycle: now });
     }
 
     /// Fraction of cycles the channels were busy up to `now` (0..=1);

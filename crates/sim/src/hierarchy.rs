@@ -23,6 +23,7 @@ use crate::mshr::Mshr;
 use crate::queue::PrefetchQueue;
 use crate::tlb::Tlb;
 use crate::stats::SimStats;
+use pmp_obs::{TraceEvent, Tracer};
 use pmp_prefetch::{FeedbackKind, PrefetchRequest};
 use pmp_types::{CacheLevel, LineAddr};
 
@@ -72,6 +73,16 @@ impl CoreMem {
         let mshr = self.l1_mshr.free(now).saturating_sub(2);
         pq.min(mshr)
     }
+
+    /// Current PQ occupancy of the private levels at `now`: `[L1D, L2C]`.
+    pub fn pq_occupancy(&mut self, now: u64) -> [u32; 2] {
+        [self.l1_pq.occupancy(now) as u32, self.l2_pq.occupancy(now) as u32]
+    }
+
+    /// Current MSHR occupancy of the private levels at `now`: `[L1D, L2C]`.
+    pub fn mshr_occupancy(&mut self, now: u64) -> [u32; 2] {
+        [self.l1_mshr.occupancy(now) as u32, self.l2_mshr.occupancy(now) as u32]
+    }
 }
 
 /// The shared memory system: inclusive LLC plus DRAM.
@@ -97,6 +108,16 @@ impl SharedMem {
             dram: Dram::new(&cfg.dram),
         }
     }
+
+    /// Current LLC PQ occupancy at `now`.
+    pub fn llc_pq_occupancy(&mut self, now: u64) -> u32 {
+        self.llc_pq.occupancy(now) as u32
+    }
+
+    /// Current LLC MSHR occupancy at `now`.
+    pub fn llc_mshr_occupancy(&mut self, now: u64) -> u32 {
+        self.llc_mshr.occupancy(now) as u32
+    }
 }
 
 /// Side effects of one memory operation that the driving system must
@@ -117,18 +138,22 @@ impl MemEvents {
     }
 }
 
-fn account_eviction(
+fn account_eviction<T: Tracer>(
     level: CacheLevel,
     line: LineAddr,
     meta: LineMeta,
+    now: u64,
     stats: &mut SimStats,
     events: &mut MemEvents,
+    tracer: &mut T,
 ) {
     if meta.dirty {
         stats.level_mut(level).writebacks += 1;
+        tracer.emit(TraceEvent::Writeback { line, level, cycle: now });
     }
     if meta.prefetched {
         stats.level_mut(level).pf_useless += 1;
+        tracer.emit(TraceEvent::PrefetchUseless { line, level, cycle: now });
         if level == CacheLevel::L1D {
             events.feedback.push((line, FeedbackKind::Useless));
         }
@@ -141,20 +166,22 @@ fn account_eviction(
 /// Insert `line` into `level` of the hierarchy, accounting evictions
 /// and performing LLC back-invalidation across all cores.
 #[allow(clippy::too_many_arguments)] // the memory-walk context is irreducible
-fn insert_line(
+fn insert_line<T: Tracer>(
     level: CacheLevel,
     line: LineAddr,
     meta: LineMeta,
+    now: u64,
     who: usize,
     cores: &mut [CoreMem],
     shared: &mut SharedMem,
     stats: &mut SimStats,
     events: &mut MemEvents,
+    tracer: &mut T,
 ) {
     match level {
         CacheLevel::L1D => {
             if let Some(ev) = cores[who].l1d.insert(line, meta) {
-                account_eviction(CacheLevel::L1D, ev.line, ev.meta, stats, events);
+                account_eviction(CacheLevel::L1D, ev.line, ev.meta, now, stats, events, tracer);
                 if ev.meta.dirty {
                     // Write back into the L2 copy (inclusive hierarchy).
                     if let Some(outer) = cores[who].l2c.lookup(ev.line) {
@@ -165,7 +192,7 @@ fn insert_line(
         }
         CacheLevel::L2C => {
             if let Some(ev) = cores[who].l2c.insert(line, meta) {
-                account_eviction(CacheLevel::L2C, ev.line, ev.meta, stats, events);
+                account_eviction(CacheLevel::L2C, ev.line, ev.meta, now, stats, events, tracer);
                 if ev.meta.dirty {
                     if let Some(outer) = shared.llc.lookup(ev.line) {
                         outer.dirty = true;
@@ -175,7 +202,7 @@ fn insert_line(
         }
         CacheLevel::Llc => {
             if let Some(ev) = shared.llc.insert(line, meta) {
-                account_eviction(CacheLevel::Llc, ev.line, ev.meta, stats, events);
+                account_eviction(CacheLevel::Llc, ev.line, ev.meta, now, stats, events, tracer);
                 // Inclusive LLC: back-invalidate every core's private
                 // copies; the eviction is dirty if any copy is.
                 let mut dirty = ev.meta.dirty;
@@ -184,12 +211,22 @@ fn insert_line(
                         dirty |= m.dirty;
                         if m.prefetched {
                             stats.level_mut(CacheLevel::L2C).pf_useless += 1;
+                            tracer.emit(TraceEvent::PrefetchUseless {
+                                line: ev.line,
+                                level: CacheLevel::L2C,
+                                cycle: now,
+                            });
                         }
                     }
                     if let Some(m) = core.l1d.invalidate(ev.line) {
                         dirty |= m.dirty;
                         if m.prefetched {
                             stats.level_mut(CacheLevel::L1D).pf_useless += 1;
+                            tracer.emit(TraceEvent::PrefetchUseless {
+                                line: ev.line,
+                                level: CacheLevel::L1D,
+                                cycle: now,
+                            });
                         }
                         if ci == who {
                             events.l1d_evictions.push(ev.line);
@@ -199,7 +236,7 @@ fn insert_line(
                 // Write-back caches: a dirty LLC eviction writes the
                 // line to DRAM, consuming channel bandwidth.
                 if dirty {
-                    shared.dram.write_back(ev.line);
+                    shared.dram.write_back_traced(ev.line, now, tracer);
                     stats.dram_writes += 1;
                 }
             }
@@ -214,7 +251,7 @@ fn insert_line(
 /// still in flight counts as a miss with reduced latency (and, if the
 /// in-flight request was a prefetch, as a late-prefetch hit).
 #[allow(clippy::too_many_arguments)] // the memory-walk context is irreducible
-pub fn demand_access(
+pub fn demand_access<T: Tracer>(
     line: LineAddr,
     is_load: bool,
     now: u64,
@@ -223,6 +260,7 @@ pub fn demand_access(
     shared: &mut SharedMem,
     stats: &mut SimStats,
     events: &mut MemEvents,
+    tracer: &mut T,
 ) -> (u64, bool) {
     // ---- Address translation (demand side only) ----
     let mut latency = cores[who].tlb.translate(line);
@@ -252,15 +290,29 @@ pub fn demand_access(
                 stats.level_mut(CacheLevel::L1D).pf_useful += 1;
                 stats.level_mut(CacheLevel::L1D).pf_late += 1;
                 events.feedback.push((line, FeedbackKind::Useful));
+                tracer.emit(TraceEvent::PrefetchUseful {
+                    line,
+                    level: CacheLevel::L1D,
+                    cycle: now,
+                    late: true,
+                });
             }
         }
-        return (latency + (ready - now).max(l1_lat), false);
+        let total = latency + (ready - now).max(l1_lat);
+        tracer.emit(TraceEvent::DemandMiss { line, cycle: now, latency: total });
+        return (total, false);
     }
     if let Some(meta) = cores[who].l1d.lookup(line) {
         if meta.prefetched {
             meta.prefetched = false;
             stats.level_mut(CacheLevel::L1D).pf_useful += 1;
             events.feedback.push((line, FeedbackKind::Useful));
+            tracer.emit(TraceEvent::PrefetchUseful {
+                line,
+                level: CacheLevel::L1D,
+                cycle: now,
+                late: false,
+            });
         }
         if !is_load {
             meta.dirty = true;
@@ -276,7 +328,7 @@ pub fn demand_access(
             s.store_misses += 1;
         }
     }
-    latency += l1_lat + cores[who].l1_mshr.wait_for_free(now);
+    latency += l1_lat + cores[who].l1_mshr.wait_for_free_traced(now, CacheLevel::L1D, tracer);
 
     // ---- L2C ----
     let l2_lat = cores[who].l2_lat;
@@ -300,6 +352,12 @@ pub fn demand_access(
                 meta.prefetched = false;
                 stats.level_mut(CacheLevel::L2C).pf_useful += 1;
                 stats.level_mut(CacheLevel::L2C).pf_late += 1;
+                tracer.emit(TraceEvent::PrefetchUseful {
+                    line,
+                    level: CacheLevel::L2C,
+                    cycle: now,
+                    late: true,
+                });
             }
         }
         Some(ready.saturating_sub(now).max(latency + l2_lat))
@@ -307,6 +365,12 @@ pub fn demand_access(
         if meta.prefetched {
             meta.prefetched = false;
             stats.level_mut(CacheLevel::L2C).pf_useful += 1;
+            tracer.emit(TraceEvent::PrefetchUseful {
+                line,
+                level: CacheLevel::L2C,
+                cycle: now,
+                late: false,
+            });
         }
         Some(latency + l2_lat)
     } else {
@@ -316,10 +380,22 @@ pub fn demand_access(
         // Fill L1D from L2.
         let ready = now + total;
         cores[who].l1_mshr.allocate(now, line, ready);
-        insert_line(CacheLevel::L1D, line, LineMeta::default(), who, cores, shared, stats, events);
+        insert_line(
+            CacheLevel::L1D,
+            line,
+            LineMeta::default(),
+            now,
+            who,
+            cores,
+            shared,
+            stats,
+            events,
+            tracer,
+        );
         if !is_load {
             mark_dirty(cores, who, line);
         }
+        tracer.emit(TraceEvent::DemandMiss { line, cycle: now, latency: total });
         return (total, false);
     }
     {
@@ -330,7 +406,8 @@ pub fn demand_access(
             s.store_misses += 1;
         }
     }
-    latency += l2_lat + cores[who].l2_mshr.wait_for_free(now + latency);
+    latency +=
+        l2_lat + cores[who].l2_mshr.wait_for_free_traced(now + latency, CacheLevel::L2C, tracer);
 
     // ---- LLC ----
     let llc_lat = shared.llc_lat;
@@ -354,6 +431,12 @@ pub fn demand_access(
                 meta.prefetched = false;
                 stats.level_mut(CacheLevel::Llc).pf_useful += 1;
                 stats.level_mut(CacheLevel::Llc).pf_late += 1;
+                tracer.emit(TraceEvent::PrefetchUseful {
+                    line,
+                    level: CacheLevel::Llc,
+                    cycle: now,
+                    late: true,
+                });
             }
         }
         Some(ready.saturating_sub(now).max(latency + llc_lat))
@@ -361,6 +444,12 @@ pub fn demand_access(
         if meta.prefetched {
             meta.prefetched = false;
             stats.level_mut(CacheLevel::Llc).pf_useful += 1;
+            tracer.emit(TraceEvent::PrefetchUseful {
+                line,
+                level: CacheLevel::Llc,
+                cycle: now,
+                late: false,
+            });
         }
         Some(latency + llc_lat)
     } else {
@@ -370,11 +459,24 @@ pub fn demand_access(
         let ready = now + total;
         cores[who].l1_mshr.allocate(now, line, ready);
         cores[who].l2_mshr.allocate(now, line, ready);
-        insert_line(CacheLevel::L2C, line, LineMeta::default(), who, cores, shared, stats, events);
-        insert_line(CacheLevel::L1D, line, LineMeta::default(), who, cores, shared, stats, events);
+        for level in [CacheLevel::L2C, CacheLevel::L1D] {
+            insert_line(
+                level,
+                line,
+                LineMeta::default(),
+                now,
+                who,
+                cores,
+                shared,
+                stats,
+                events,
+                tracer,
+            );
+        }
         if !is_load {
             mark_dirty(cores, who, line);
         }
+        tracer.emit(TraceEvent::DemandMiss { line, cycle: now, latency: total });
         return (total, false);
     }
     {
@@ -385,22 +487,24 @@ pub fn demand_access(
             s.store_misses += 1;
         }
     }
-    latency += llc_lat + shared.llc_mshr.wait_for_free(now + latency);
+    latency +=
+        llc_lat + shared.llc_mshr.wait_for_free_traced(now + latency, CacheLevel::Llc, tracer);
 
     // ---- DRAM ----
-    let dram_lat = shared.dram.access(now + latency, line);
+    let dram_lat = shared.dram.access_traced(now + latency, line, tracer);
     stats.dram_requests += 1;
     let total = latency + dram_lat;
     let ready = now + total;
     cores[who].l1_mshr.allocate(now, line, ready);
     cores[who].l2_mshr.allocate(now, line, ready);
     shared.llc_mshr.allocate(now, line, ready);
-    insert_line(CacheLevel::Llc, line, LineMeta::default(), who, cores, shared, stats, events);
-    insert_line(CacheLevel::L2C, line, LineMeta::default(), who, cores, shared, stats, events);
-    insert_line(CacheLevel::L1D, line, LineMeta::default(), who, cores, shared, stats, events);
+    for level in [CacheLevel::Llc, CacheLevel::L2C, CacheLevel::L1D] {
+        insert_line(level, line, LineMeta::default(), now, who, cores, shared, stats, events, tracer);
+    }
     if !is_load {
         mark_dirty(cores, who, line);
     }
+    tracer.emit(TraceEvent::DemandMiss { line, cycle: now, latency: total });
     (total, false)
 }
 
@@ -430,7 +534,8 @@ pub enum PrefetchOutcome {
 /// to keep the hierarchy inclusive — the paper relies on this
 /// ("prefetches for high-level caches will implicitly prefetch data to
 /// low-level caches", Section V-C).
-pub fn prefetch_access(
+#[allow(clippy::too_many_arguments)] // the memory-walk context is irreducible
+pub fn prefetch_access<T: Tracer>(
     req: PrefetchRequest,
     now: u64,
     who: usize,
@@ -438,10 +543,12 @@ pub fn prefetch_access(
     shared: &mut SharedMem,
     stats: &mut SimStats,
     events: &mut MemEvents,
+    tracer: &mut T,
 ) -> PrefetchOutcome {
     stats.pf_issued += 1;
     let line = req.line;
     let fill = req.fill_level;
+    tracer.emit(TraceEvent::PrefetchIssued { line, level: fill, cycle: now });
 
     // Innermost resident level (directory presence includes in-flight).
     let resident = if cores[who].l1d.contains(line) {
@@ -456,6 +563,7 @@ pub fn prefetch_access(
     if let Some(r) = resident {
         if r <= fill {
             stats.pf_redundant += 1;
+            tracer.emit(TraceEvent::PrefetchRedundant { line, level: fill, cycle: now });
             return PrefetchOutcome::Redundant;
         }
     }
@@ -469,6 +577,7 @@ pub fn prefetch_access(
     };
     if pq_free == 0 || mshr_free <= 1 {
         stats.pf_dropped += 1;
+        tracer.emit(TraceEvent::PrefetchDropped { line, level: fill, cycle: now });
         return PrefetchOutcome::Dropped;
     }
 
@@ -483,7 +592,7 @@ pub fn prefetch_access(
         Some(CacheLevel::Llc) => latency += shared.llc_lat,
         None => {
             latency += shared.llc_lat;
-            latency += shared.dram.access(now + latency, line);
+            latency += shared.dram.access_traced(now + latency, line, tracer);
             stats.dram_requests += 1;
         }
         Some(CacheLevel::L1D) => unreachable!("redundant prefetch handled above"),
@@ -492,13 +601,13 @@ pub fn prefetch_access(
 
     match fill {
         CacheLevel::L1D => {
-            cores[who].l1_pq.push(now);
+            cores[who].l1_pq.push_traced(now, CacheLevel::L1D, tracer);
         }
         CacheLevel::L2C => {
-            cores[who].l2_pq.push(now);
+            cores[who].l2_pq.push_traced(now, CacheLevel::L2C, tracer);
         }
         CacheLevel::Llc => {
-            shared.llc_pq.push(now);
+            shared.llc_pq.push_traced(now, CacheLevel::Llc, tracer);
         }
     }
 
@@ -525,10 +634,12 @@ pub fn prefetch_access(
             CacheLevel::L2C => cores[who].l2_mshr.allocate(now, line, ready),
             CacheLevel::Llc => shared.llc_mshr.allocate(now, line, ready),
         }
-        insert_line(level, line, meta, who, cores, shared, stats, events);
+        insert_line(level, line, meta, now, who, cores, shared, stats, events, tracer);
         stats.level_mut(level).pf_fills += 1;
+        tracer.emit(TraceEvent::PrefetchFill { line, level, cycle: now });
     }
     stats.pf_admitted += 1;
+    tracer.emit(TraceEvent::PrefetchAdmitted { line, level: fill, cycle: now, latency });
     PrefetchOutcome::Admitted
 }
 
@@ -536,6 +647,7 @@ pub fn prefetch_access(
 mod tests {
     use super::*;
     use crate::config::SystemConfig;
+    use pmp_obs::NullTracer;
 
     /// Test configuration with a free TLB so latency assertions isolate
     /// the cache hierarchy (TLB timing has its own tests in `tlb`).
@@ -555,7 +667,7 @@ mod tests {
     fn cold_miss_goes_to_dram() {
         let (mut cores, mut shared, mut stats, mut ev) = setup();
         let (lat, hit) =
-            demand_access(LineAddr(100), true, 0, 0, &mut cores, &mut shared, &mut stats, &mut ev);
+            demand_access(LineAddr(100), true, 0, 0, &mut cores, &mut shared, &mut stats, &mut ev, &mut NullTracer);
         assert!(!hit);
         // 5 + 10 + 20 + (160 + 10) = 205
         assert_eq!(lat, 205);
@@ -568,7 +680,7 @@ mod tests {
     fn second_access_hits_l1_after_arrival() {
         let (mut cores, mut shared, mut stats, mut ev) = setup();
         let (lat, _) =
-            demand_access(LineAddr(100), true, 0, 0, &mut cores, &mut shared, &mut stats, &mut ev);
+            demand_access(LineAddr(100), true, 0, 0, &mut cores, &mut shared, &mut stats, &mut ev, &mut NullTracer);
         // Access after the fill arrived.
         let (lat2, hit) = demand_access(
             LineAddr(100),
@@ -579,6 +691,7 @@ mod tests {
             &mut shared,
             &mut stats,
             &mut ev,
+            &mut NullTracer,
         );
         assert!(hit);
         assert_eq!(lat2, 5);
@@ -589,9 +702,9 @@ mod tests {
     fn inflight_access_merges() {
         let (mut cores, mut shared, mut stats, mut ev) = setup();
         let (lat, _) =
-            demand_access(LineAddr(100), true, 0, 0, &mut cores, &mut shared, &mut stats, &mut ev);
+            demand_access(LineAddr(100), true, 0, 0, &mut cores, &mut shared, &mut stats, &mut ev, &mut NullTracer);
         let (lat2, hit) =
-            demand_access(LineAddr(100), true, 50, 0, &mut cores, &mut shared, &mut stats, &mut ev);
+            demand_access(LineAddr(100), true, 50, 0, &mut cores, &mut shared, &mut stats, &mut ev, &mut NullTracer);
         assert!(!hit);
         assert_eq!(lat2, lat - 50);
         // Merge counts as an L1D miss but never reaches DRAM again.
@@ -610,13 +723,14 @@ mod tests {
             &mut shared,
             &mut stats,
             &mut ev,
+            &mut NullTracer,
         );
         assert_eq!(out, PrefetchOutcome::Admitted);
         assert_eq!(stats.level(CacheLevel::L1D).pf_fills, 1);
         assert_eq!(stats.level(CacheLevel::Llc).pf_fills, 1);
         // Demand long after arrival: L1D hit, useful.
         let (lat, hit) =
-            demand_access(LineAddr(7), true, 1000, 0, &mut cores, &mut shared, &mut stats, &mut ev);
+            demand_access(LineAddr(7), true, 1000, 0, &mut cores, &mut shared, &mut stats, &mut ev, &mut NullTracer);
         assert!(hit);
         assert_eq!(lat, 5);
         assert_eq!(stats.level(CacheLevel::L1D).pf_useful, 1);
@@ -634,10 +748,11 @@ mod tests {
             &mut shared,
             &mut stats,
             &mut ev,
+            &mut NullTracer,
         );
         // Demand while the prefetch is still in flight.
         let (lat, hit) =
-            demand_access(LineAddr(7), true, 10, 0, &mut cores, &mut shared, &mut stats, &mut ev);
+            demand_access(LineAddr(7), true, 10, 0, &mut cores, &mut shared, &mut stats, &mut ev, &mut NullTracer);
         assert!(!hit);
         assert!(lat > 5 && lat < 205);
         assert_eq!(stats.level(CacheLevel::L1D).pf_late, 1);
@@ -647,7 +762,7 @@ mod tests {
     #[test]
     fn redundant_prefetch_dropped() {
         let (mut cores, mut shared, mut stats, mut ev) = setup();
-        demand_access(LineAddr(7), true, 0, 0, &mut cores, &mut shared, &mut stats, &mut ev);
+        demand_access(LineAddr(7), true, 0, 0, &mut cores, &mut shared, &mut stats, &mut ev, &mut NullTracer);
         let out = prefetch_access(
             PrefetchRequest::new(LineAddr(7), CacheLevel::L1D),
             500,
@@ -656,6 +771,7 @@ mod tests {
             &mut shared,
             &mut stats,
             &mut ev,
+            &mut NullTracer,
         );
         assert_eq!(out, PrefetchOutcome::Redundant);
         assert_eq!(stats.pf_redundant, 1);
@@ -665,7 +781,7 @@ mod tests {
     fn l2_resident_line_can_be_promoted() {
         let (mut cores, mut shared, mut stats, mut ev) = setup();
         // Bring the line in, then evict it from L1D by filling the set.
-        demand_access(LineAddr(0), true, 0, 0, &mut cores, &mut shared, &mut stats, &mut ev);
+        demand_access(LineAddr(0), true, 0, 0, &mut cores, &mut shared, &mut stats, &mut ev, &mut NullTracer);
         for i in 1..=12u64 {
             // Same L1D set (64 sets): stride by 64 lines.
             demand_access(
@@ -677,6 +793,7 @@ mod tests {
                 &mut shared,
                 &mut stats,
                 &mut ev,
+                &mut NullTracer,
             );
         }
         assert!(!cores[0].l1d.contains(LineAddr(0)));
@@ -690,6 +807,7 @@ mod tests {
             &mut shared,
             &mut stats,
             &mut ev,
+            &mut NullTracer,
         );
         assert_eq!(out, PrefetchOutcome::Admitted);
         assert_eq!(stats.dram_requests, 13); // no extra DRAM traffic
@@ -709,6 +827,7 @@ mod tests {
                 &mut shared,
                 &mut stats,
                 &mut ev,
+                &mut NullTracer,
             ));
         }
         assert_eq!(outcomes.iter().filter(|o| **o == PrefetchOutcome::Admitted).count(), 8);
@@ -728,6 +847,7 @@ mod tests {
             &mut shared,
             &mut stats,
             &mut ev,
+            &mut NullTracer,
         );
         for i in 1..=12u64 {
             demand_access(
@@ -739,6 +859,7 @@ mod tests {
                 &mut shared,
                 &mut stats,
                 &mut ev,
+                &mut NullTracer,
             );
         }
         assert!(!cores[0].l1d.contains(LineAddr(0)));
@@ -773,6 +894,7 @@ mod tests {
                 &mut shared,
                 &mut stats,
                 &mut ev,
+                &mut NullTracer,
             );
         }
         // Line 0 was evicted from LLC and must be gone from L1D too.
@@ -796,6 +918,7 @@ mod tests {
             &mut shared,
             &mut stats,
             &mut ev,
+            &mut NullTracer,
         );
         assert_eq!(out, PrefetchOutcome::Admitted);
         assert!(!cores[0].l1d.contains(LineAddr(9)));
@@ -811,6 +934,7 @@ mod tests {
 mod writeback_tests {
     use super::*;
     use crate::config::SystemConfig;
+    use pmp_obs::NullTracer;
     use pmp_types::{CacheLevel, LineAddr};
 
     fn setup() -> (Vec<CoreMem>, SharedMem, SimStats, MemEvents) {
@@ -825,7 +949,7 @@ mod writeback_tests {
     fn store_marks_line_dirty_and_l1_eviction_writes_back() {
         let (mut cores, mut shared, mut stats, mut ev) = setup();
         // Store to line 0 (cold miss, write-allocate, marked dirty).
-        demand_access(LineAddr(0), false, 0, 0, &mut cores, &mut shared, &mut stats, &mut ev);
+        demand_access(LineAddr(0), false, 0, 0, &mut cores, &mut shared, &mut stats, &mut ev, &mut NullTracer);
         assert!(cores[0].l1d.peek(LineAddr(0)).expect("resident").dirty);
         // Thrash the L1D set so line 0 is evicted.
         for i in 1..=12u64 {
@@ -838,6 +962,7 @@ mod writeback_tests {
                 &mut shared,
                 &mut stats,
                 &mut ev,
+                &mut NullTracer,
             );
         }
         assert!(!cores[0].l1d.contains(LineAddr(0)));
@@ -851,7 +976,7 @@ mod writeback_tests {
     #[test]
     fn loads_never_dirty_lines() {
         let (mut cores, mut shared, mut stats, mut ev) = setup();
-        demand_access(LineAddr(7), true, 0, 0, &mut cores, &mut shared, &mut stats, &mut ev);
+        demand_access(LineAddr(7), true, 0, 0, &mut cores, &mut shared, &mut stats, &mut ev, &mut NullTracer);
         assert!(!cores[0].l1d.peek(LineAddr(7)).expect("resident").dirty);
         let _ = stats;
     }
@@ -876,10 +1001,10 @@ mod writeback_tests {
         let mut ev = MemEvents::default();
         // Dirty line 0 (store), then push two more even lines through
         // LLC set 0 to evict it.
-        demand_access(LineAddr(0), false, 0, 0, &mut cores, &mut shared, &mut stats, &mut ev);
+        demand_access(LineAddr(0), false, 0, 0, &mut cores, &mut shared, &mut stats, &mut ev, &mut NullTracer);
         let before = shared.dram.requests();
-        demand_access(LineAddr(2), true, 1000, 0, &mut cores, &mut shared, &mut stats, &mut ev);
-        demand_access(LineAddr(4), true, 2000, 0, &mut cores, &mut shared, &mut stats, &mut ev);
+        demand_access(LineAddr(2), true, 1000, 0, &mut cores, &mut shared, &mut stats, &mut ev, &mut NullTracer);
+        demand_access(LineAddr(4), true, 2000, 0, &mut cores, &mut shared, &mut stats, &mut ev, &mut NullTracer);
         assert!(!shared.llc.contains(LineAddr(0)));
         assert_eq!(stats.dram_writes, 1, "dirty victim must be written back");
         // The write consumed a DRAM request slot beyond the two demand reads.

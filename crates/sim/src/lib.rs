@@ -60,5 +60,9 @@ pub use config::{CacheConfig, CoreConfig, DramConfig, SystemConfig};
 pub use tlb::{Tlb, TlbConfig, TlbStats};
 pub use hierarchy::{CoreMem, SharedMem};
 pub use multicore::{MultiCoreResult, MultiCoreSystem};
+pub use pmp_obs::{
+    EventKind, IntervalSample, IntervalSampler, NullTracer, ObsCollector, SampleInput, TraceEvent,
+    Tracer,
+};
 pub use stats::{LevelStats, SimStats};
 pub use system::{SimResult, System};

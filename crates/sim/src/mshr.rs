@@ -5,7 +5,8 @@
 //! into the existing entry (and complete when it does); when all entries
 //! are busy, a new miss must wait for the earliest completion.
 
-use pmp_types::LineAddr;
+use pmp_obs::{TraceEvent, Tracer};
+use pmp_types::{CacheLevel, LineAddr};
 
 #[derive(Debug, Clone, Copy)]
 struct Entry {
@@ -76,6 +77,21 @@ impl Mshr {
         }
     }
 
+    /// [`Mshr::wait_for_free`] that reports a non-zero wait to the
+    /// tracer as a [`TraceEvent::MshrStall`] at `level`.
+    pub fn wait_for_free_traced<T: Tracer>(
+        &mut self,
+        now: u64,
+        level: CacheLevel,
+        tracer: &mut T,
+    ) -> u64 {
+        let wait = self.wait_for_free(now);
+        if wait > 0 {
+            tracer.emit(TraceEvent::MshrStall { level, cycle: now, wait });
+        }
+        wait
+    }
+
     /// Allocate an entry for `line` completing at `ready`.
     ///
     /// The caller must have consulted [`Mshr::inflight`] /
@@ -128,6 +144,18 @@ mod tests {
         assert_eq!(m.wait_for_free(10), 50);
         // After 60, one slot is free.
         assert_eq!(m.wait_for_free(60), 0);
+    }
+
+    #[test]
+    fn traced_wait_emits_stall_only_when_waiting() {
+        use pmp_obs::{EventKind, ObsCollector};
+        let mut m = Mshr::new(1);
+        let mut obs = ObsCollector::new();
+        assert_eq!(m.wait_for_free_traced(0, CacheLevel::L2C, &mut obs), 0);
+        assert_eq!(obs.count(EventKind::MshrStall), 0);
+        m.allocate(0, LineAddr(1), 100);
+        assert_eq!(m.wait_for_free_traced(40, CacheLevel::L2C, &mut obs), 60);
+        assert_eq!(obs.count(EventKind::MshrStall), 1);
     }
 
     #[test]

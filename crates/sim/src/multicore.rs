@@ -14,6 +14,7 @@ use crate::config::SystemConfig;
 use crate::cpu::Cpu;
 use crate::hierarchy::{demand_access, prefetch_access, CoreMem, MemEvents, SharedMem};
 use crate::stats::{diff_stats, SimStats};
+use pmp_obs::NullTracer;
 use pmp_prefetch::{AccessInfo, EvictInfo, Prefetcher, PrefetchRequest};
 use pmp_types::{LineAddr, TraceOp};
 
@@ -125,6 +126,7 @@ impl MultiCoreSystem {
             &mut self.shared,
             &mut self.states[who].stats,
             &mut self.events,
+            &mut NullTracer,
         );
         let st = &mut self.states[who];
         if is_load {
@@ -163,6 +165,7 @@ impl MultiCoreSystem {
                     &mut self.shared,
                     &mut self.states[who].stats,
                     &mut self.events,
+                    &mut NullTracer,
                 );
                 for line in std::mem::take(&mut self.events.l1d_evictions) {
                     self.prefetchers[who]

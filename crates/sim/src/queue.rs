@@ -8,6 +8,9 @@
 //! pattern in the Prefetch Buffer and resuming on the next access to
 //! the region (Section IV-B of the paper).
 
+use pmp_obs::{TraceEvent, Tracer};
+use pmp_types::CacheLevel;
+
 /// Cycles a prefetch occupies its queue entry while being processed.
 pub const PQ_PROCESS_CYCLES: u64 = 4;
 
@@ -53,6 +56,20 @@ impl PrefetchQueue {
         self.release.push(now + PQ_PROCESS_CYCLES);
         true
     }
+
+    /// [`PrefetchQueue::push`] that reports a successful enqueue (with
+    /// the resulting occupancy) as a [`TraceEvent::PqEnqueue`].
+    pub fn push_traced<T: Tracer>(&mut self, now: u64, level: CacheLevel, tracer: &mut T) -> bool {
+        let ok = self.push(now);
+        if ok {
+            tracer.emit(TraceEvent::PqEnqueue {
+                level,
+                cycle: now,
+                occupancy: self.release.len() as u32,
+            });
+        }
+        ok
+    }
 }
 
 #[cfg(test)]
@@ -75,6 +92,22 @@ mod tests {
         q.push(0);
         assert_eq!(q.free(PQ_PROCESS_CYCLES), 2);
         assert!(q.push(PQ_PROCESS_CYCLES));
+    }
+
+    #[test]
+    fn traced_push_reports_occupancy() {
+        use pmp_obs::{EventKind, ObsCollector, TraceEvent};
+        let mut q = PrefetchQueue::new(2);
+        let mut obs = ObsCollector::with_ring(4);
+        assert!(q.push_traced(0, CacheLevel::L1D, &mut obs));
+        assert!(q.push_traced(0, CacheLevel::L1D, &mut obs));
+        assert!(!q.push_traced(0, CacheLevel::L1D, &mut obs), "full queue rejects");
+        assert_eq!(obs.count(EventKind::PqEnqueue), 2, "rejections are not enqueues");
+        let last = obs.ring().unwrap().iter().last().unwrap();
+        assert_eq!(
+            *last,
+            TraceEvent::PqEnqueue { level: CacheLevel::L1D, cycle: 0, occupancy: 2 }
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ pub struct LevelStats {
     /// Prefetched lines evicted (or invalidated) untouched.
     pub pf_useless: u64,
     /// Prefetched lines that arrived after a demand miss to the same
-    /// line was already outstanding (late prefetches).
+    /// line was already outstanding (late prefetches). A late prefetch
+    /// still hid part of the miss latency, so it is counted in
+    /// `pf_useful` *as well* — `pf_late` is a subset of `pf_useful`,
+    /// not a disjoint bucket.
     pub pf_late: u64,
     /// Dirty evictions at this level (write-backs to the next level).
     pub writebacks: u64,
@@ -102,28 +105,33 @@ impl SimStats {
 
 /// Field-wise `a - b` for counters: extracts a measured window from
 /// cumulative stats given a warm-up snapshot.
+///
+/// Subtraction saturates at zero so a snapshot taken *after* more
+/// counting (or a mismatched pair) yields zeros instead of a panic in
+/// debug builds / wrapped garbage in release builds.
 pub fn diff_stats(a: &SimStats, b: &SimStats) -> SimStats {
     let mut out = SimStats {
-        instructions: a.instructions - b.instructions,
-        cycles: a.cycles - b.cycles,
-        pf_issued: a.pf_issued - b.pf_issued,
-        pf_admitted: a.pf_admitted - b.pf_admitted,
-        pf_dropped: a.pf_dropped - b.pf_dropped,
-        pf_redundant: a.pf_redundant - b.pf_redundant,
-        dram_requests: a.dram_requests - b.dram_requests,
-        dram_writes: a.dram_writes - b.dram_writes,
+        instructions: a.instructions.saturating_sub(b.instructions),
+        cycles: a.cycles.saturating_sub(b.cycles),
+        pf_issued: a.pf_issued.saturating_sub(b.pf_issued),
+        pf_admitted: a.pf_admitted.saturating_sub(b.pf_admitted),
+        pf_dropped: a.pf_dropped.saturating_sub(b.pf_dropped),
+        pf_redundant: a.pf_redundant.saturating_sub(b.pf_redundant),
+        dram_requests: a.dram_requests.saturating_sub(b.dram_requests),
+        dram_writes: a.dram_writes.saturating_sub(b.dram_writes),
         ..SimStats::default()
     };
     for i in 0..3 {
-        out.levels[i].load_accesses = a.levels[i].load_accesses - b.levels[i].load_accesses;
-        out.levels[i].load_misses = a.levels[i].load_misses - b.levels[i].load_misses;
-        out.levels[i].store_accesses = a.levels[i].store_accesses - b.levels[i].store_accesses;
-        out.levels[i].store_misses = a.levels[i].store_misses - b.levels[i].store_misses;
-        out.levels[i].pf_fills = a.levels[i].pf_fills - b.levels[i].pf_fills;
-        out.levels[i].pf_useful = a.levels[i].pf_useful - b.levels[i].pf_useful;
-        out.levels[i].pf_useless = a.levels[i].pf_useless - b.levels[i].pf_useless;
-        out.levels[i].pf_late = a.levels[i].pf_late - b.levels[i].pf_late;
-        out.levels[i].writebacks = a.levels[i].writebacks - b.levels[i].writebacks;
+        let (oa, ob, o) = (&a.levels[i], &b.levels[i], &mut out.levels[i]);
+        o.load_accesses = oa.load_accesses.saturating_sub(ob.load_accesses);
+        o.load_misses = oa.load_misses.saturating_sub(ob.load_misses);
+        o.store_accesses = oa.store_accesses.saturating_sub(ob.store_accesses);
+        o.store_misses = oa.store_misses.saturating_sub(ob.store_misses);
+        o.pf_fills = oa.pf_fills.saturating_sub(ob.pf_fills);
+        o.pf_useful = oa.pf_useful.saturating_sub(ob.pf_useful);
+        o.pf_useless = oa.pf_useless.saturating_sub(ob.pf_useless);
+        o.pf_late = oa.pf_late.saturating_sub(ob.pf_late);
+        o.writebacks = oa.writebacks.saturating_sub(ob.writebacks);
     }
     out
 }
@@ -142,6 +150,23 @@ mod tests {
         assert_eq!(d.instructions, 60);
         assert_eq!(d.cycles, 30);
         assert_eq!(d.levels[0].load_accesses, 20);
+    }
+
+    #[test]
+    fn diff_saturates_instead_of_underflowing() {
+        // b > a in several fields: the difference clamps at zero
+        // rather than panicking (debug) or wrapping (release).
+        let mut a = SimStats { instructions: 10, cycles: 5, ..SimStats::default() };
+        a.levels[1].pf_useful = 2;
+        let mut b = SimStats { instructions: 40, cycles: 20, dram_requests: 7, ..SimStats::default() };
+        b.levels[1].pf_useful = 9;
+        b.levels[2].writebacks = 3;
+        let d = diff_stats(&a, &b);
+        assert_eq!(d.instructions, 0);
+        assert_eq!(d.cycles, 0);
+        assert_eq!(d.dram_requests, 0);
+        assert_eq!(d.levels[1].pf_useful, 0);
+        assert_eq!(d.levels[2].writebacks, 0);
     }
 
     #[test]

@@ -4,8 +4,9 @@ use crate::config::SystemConfig;
 use crate::cpu::Cpu;
 use crate::hierarchy::{demand_access, prefetch_access, CoreMem, MemEvents, SharedMem};
 use crate::stats::{diff_stats, SimStats};
+use pmp_obs::{IntervalSample, IntervalSampler, NullTracer, SampleInput, Tracer};
 use pmp_prefetch::{AccessInfo, EvictInfo, FeedbackKind, Prefetcher, PrefetchRequest};
-use pmp_types::{MemAccess, TraceOp};
+use pmp_types::{CacheLevel, MemAccess, TraceOp};
 
 /// Result of a single-core simulation.
 #[derive(Debug, Clone)]
@@ -33,7 +34,11 @@ impl SimResult {
 
 /// A single simulated core with its private caches, a shared memory
 /// system, and an L1D prefetcher.
-pub struct System {
+///
+/// `T` is the tracer every memory operation reports lifecycle events
+/// to; the default [`NullTracer`] is a ZST whose emits compile away, so
+/// uninstrumented simulations pay nothing for the instrumentation.
+pub struct System<T: Tracer = NullTracer> {
     cfg: SystemConfig,
     cpu: Cpu,
     core: Vec<CoreMem>,
@@ -42,11 +47,22 @@ pub struct System {
     stats: SimStats,
     events: MemEvents,
     pf_buf: Vec<PrefetchRequest>,
+    tracer: T,
+    sampler: Option<IntervalSampler>,
 }
 
-impl System {
-    /// Build a system with the given configuration and prefetcher.
+impl System<NullTracer> {
+    /// Build an uninstrumented system with the given configuration and
+    /// prefetcher.
     pub fn new(cfg: SystemConfig, prefetcher: Box<dyn Prefetcher>) -> Self {
+        System::with_tracer(cfg, prefetcher, NullTracer)
+    }
+}
+
+impl<T: Tracer> System<T> {
+    /// Build a system whose memory operations report lifecycle events
+    /// to `tracer`.
+    pub fn with_tracer(cfg: SystemConfig, prefetcher: Box<dyn Prefetcher>, tracer: T) -> Self {
         System {
             cpu: Cpu::new(&cfg.core),
             core: vec![CoreMem::new(&cfg)],
@@ -55,8 +71,49 @@ impl System {
             stats: SimStats::default(),
             events: MemEvents::default(),
             pf_buf: Vec::with_capacity(64),
+            tracer,
+            sampler: None,
             cfg,
         }
+    }
+
+    /// Record an [`IntervalSample`] every `period` cycles during `run`.
+    /// Each sample's DRAM utilization is also forwarded to the
+    /// prefetcher via [`Prefetcher::on_bandwidth`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn enable_sampling(&mut self, period: u64) {
+        self.sampler = Some(IntervalSampler::new(
+            period,
+            self.shared.dram.cycles_per_line(),
+            self.shared.dram.channels() as u32,
+        ));
+    }
+
+    /// Interval samples recorded so far (empty unless
+    /// [`System::enable_sampling`] was called).
+    pub fn samples(&self) -> &[IntervalSample] {
+        self.sampler.as_ref().map(|s| s.samples()).unwrap_or(&[])
+    }
+
+    /// The tracer receiving this system's lifecycle events.
+    pub fn tracer(&self) -> &T {
+        &self.tracer
+    }
+
+    /// Mutable access to the tracer (e.g. to drain a recorder).
+    pub fn tracer_mut(&mut self) -> &mut T {
+        &mut self.tracer
+    }
+
+    /// The prefetcher's introspection gauges, via
+    /// [`pmp_prefetch::Introspect`].
+    pub fn prefetcher_gauges(&self) -> Vec<pmp_prefetch::Gauge> {
+        let mut out = Vec::new();
+        self.prefetcher.gauges(&mut out);
+        out
     }
 
     /// The system configuration.
@@ -81,6 +138,7 @@ impl System {
             &mut self.shared,
             &mut self.stats,
             &mut self.events,
+            &mut self.tracer,
         );
         if is_load {
             self.cpu.dispatch_load(issue, latency);
@@ -111,6 +169,7 @@ impl System {
                     &mut self.shared,
                     &mut self.stats,
                     &mut self.events,
+                    &mut self.tracer,
                 );
                 self.deliver_events(issue);
             }
@@ -124,6 +183,35 @@ impl System {
         }
         for (line, kind) in self.events.feedback.drain(..) {
             self.prefetcher.on_feedback(line, kind);
+        }
+    }
+
+    /// Close the current sampling window: snapshot the cumulative
+    /// counters and occupancies, record the interval, and forward the
+    /// window's DRAM utilization to the prefetcher.
+    fn take_sample(&mut self, instructions: u64) {
+        let now = self.cpu.now();
+        let miss = |l: CacheLevel, s: &SimStats| {
+            let lv = s.level(l);
+            lv.load_misses + lv.store_misses
+        };
+        let pq = self.core[0].pq_occupancy(now);
+        let mshr = self.core[0].mshr_occupancy(now);
+        let input = SampleInput {
+            cycle: now,
+            instructions,
+            misses: [
+                miss(CacheLevel::L1D, &self.stats),
+                miss(CacheLevel::L2C, &self.stats),
+                miss(CacheLevel::Llc, &self.stats),
+            ],
+            dram_requests: self.shared.dram.requests(),
+            pq_occupancy: [pq[0], pq[1], self.shared.llc_pq_occupancy(now)],
+            mshr_occupancy: [mshr[0], mshr[1], self.shared.llc_mshr_occupancy(now)],
+        };
+        if let Some(sampler) = &mut self.sampler {
+            let sample = sampler.record(input);
+            self.prefetcher.on_bandwidth(sample.dram_utilization);
         }
     }
 
@@ -141,6 +229,9 @@ impl System {
             }
             self.step(op);
             dispatched += op.instruction_count();
+            if self.sampler.as_ref().is_some_and(|s| s.due(self.cpu.now())) {
+                self.take_sample(dispatched);
+            }
         }
         let end_cycle = self.cpu.drain();
         let (warm_instr, warm_cycle, warm_stats) =
@@ -234,6 +325,59 @@ mod tests {
         let r = sys.run(&ops, 3000);
         assert!(r.instructions < 3 * 2000);
         assert!(r.stats.level(CacheLevel::L1D).load_accesses < 2000);
+    }
+
+    #[test]
+    fn sampling_produces_time_series() {
+        let mut sys = System::new(SystemConfig::default(), Box::new(NoPrefetch));
+        sys.enable_sampling(1000);
+        let r = sys.run(&stream_ops(4000), 0);
+        let samples = sys.samples();
+        assert!(samples.len() >= 10, "got {} samples over {} cycles", samples.len(), r.cycles);
+        // A cold streaming run misses constantly: MPKI and DRAM traffic
+        // are non-zero in the busy windows.
+        assert!(samples.iter().any(|s| s.mpki[0] > 0.0), "L1D MPKI all zero");
+        assert!(samples.iter().any(|s| s.ipc > 0.0), "IPC all zero");
+        assert!(
+            samples.iter().any(|s| s.dram_utilization > 0.0),
+            "utilization all zero"
+        );
+        assert!(samples.iter().all(|s| (0.0..=1.0).contains(&s.dram_utilization)));
+        // Windows are contiguous and strictly increasing.
+        for w in samples.windows(2) {
+            assert!(w[1].end_cycle > w[0].end_cycle);
+            assert_eq!(w[1].start_cycle, w[0].end_cycle);
+        }
+        // Without enable_sampling there are no samples.
+        let mut plain = System::new(SystemConfig::default(), Box::new(NoPrefetch));
+        plain.run(&stream_ops(1000), 0);
+        assert!(plain.samples().is_empty());
+    }
+
+    #[test]
+    fn collector_traces_prefetch_lifecycle() {
+        use pmp_obs::{EventKind, ObsCollector};
+        let mut sys = System::with_tracer(
+            SystemConfig::default(),
+            Box::new(NextLine::new(4)),
+            ObsCollector::with_ring(4096),
+        );
+        sys.run(&stream_ops(3000), 0);
+        let c = sys.tracer();
+        assert!(c.count(EventKind::PrefetchIssued) > 0);
+        assert!(c.count(EventKind::PrefetchAdmitted) > 0);
+        assert!(c.count(EventKind::PrefetchFill) > 0);
+        assert!(c.count(EventKind::PrefetchUseful) > 0);
+        assert!(c.count(EventKind::DemandMiss) > 0);
+        assert!(c.count(EventKind::DramFetch) > 0);
+        // Conservation: every issued prefetch is admitted, dropped, or
+        // redundant.
+        assert_eq!(
+            c.count(EventKind::PrefetchIssued),
+            c.count(EventKind::PrefetchAdmitted)
+                + c.count(EventKind::PrefetchDropped)
+                + c.count(EventKind::PrefetchRedundant)
+        );
     }
 
     #[test]

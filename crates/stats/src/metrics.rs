@@ -116,6 +116,36 @@ mod tests {
     }
 
     #[test]
+    fn nmt_handles_zero_traffic_prefetcher() {
+        // A prefetcher run with zero DRAM requests (e.g. a fully
+        // cache-resident window) gives NMT 0, not a division error.
+        let base = stats_with(CacheLevel::L1D, 0, 500);
+        let with = SimStats::default();
+        assert_eq!(nmt(&base, &with), Some(0.0));
+    }
+
+    #[test]
+    fn accuracy_passes_through_level_stats() {
+        let mut s = SimStats::default();
+        assert_eq!(accuracy(&s, CacheLevel::L2C), None, "no outcomes yet");
+        s.level_mut(CacheLevel::L2C).pf_useful = 1;
+        s.level_mut(CacheLevel::L2C).pf_useless = 3;
+        assert_eq!(accuracy(&s, CacheLevel::L2C), Some(0.25));
+        assert_eq!(accuracy(&s, CacheLevel::L1D), None, "levels are independent");
+    }
+
+    #[test]
+    fn breakdown_totals_sum_across_levels() {
+        let mut s = SimStats::default();
+        s.level_mut(CacheLevel::L1D).pf_fills = 10;
+        s.level_mut(CacheLevel::L2C).pf_fills = 7;
+        s.level_mut(CacheLevel::Llc).pf_fills = 3;
+        let b = PrefetchBreakdown::of(&s);
+        assert_eq!(b.total_fills(), 20);
+        assert_eq!(PrefetchBreakdown::of(&SimStats::default()).total_fills(), 0);
+    }
+
+    #[test]
     fn breakdown_extracts_all_levels() {
         let mut s = SimStats::default();
         s.level_mut(CacheLevel::L1D).pf_fills = 10;

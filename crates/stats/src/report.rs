@@ -1,6 +1,7 @@
 //! Plain-text table / series / CSV rendering used by every experiment
 //! binary, so all regenerated tables and figures share one look.
 
+use pmp_sim::IntervalSample;
 use std::fmt::Write as _;
 
 /// A column-aligned text table.
@@ -146,9 +147,64 @@ pub fn render_series(x_label: &str, series: &[Series]) -> String {
     t.render()
 }
 
+/// An interval time-series as a [`Table`] (one row per sampling
+/// window) — render it for the terminal or dump `to_csv` for plotting.
+pub fn interval_table(samples: &[IntervalSample]) -> Table {
+    let mut t = Table::new(&[
+        "end_cycle",
+        "ipc",
+        "mpki_l1d",
+        "mpki_l2c",
+        "mpki_llc",
+        "dram_util",
+        "pq_l1d",
+        "pq_l2c",
+        "pq_llc",
+        "mshr_l1d",
+        "mshr_l2c",
+        "mshr_llc",
+    ]);
+    for s in samples {
+        t.row_owned(vec![
+            s.end_cycle.to_string(),
+            format!("{:.3}", s.ipc),
+            format!("{:.2}", s.mpki[0]),
+            format!("{:.2}", s.mpki[1]),
+            format!("{:.2}", s.mpki[2]),
+            format!("{:.3}", s.dram_utilization),
+            s.pq_occupancy[0].to_string(),
+            s.pq_occupancy[1].to_string(),
+            s.pq_occupancy[2].to_string(),
+            s.mshr_occupancy[0].to_string(),
+            s.mshr_occupancy[1].to_string(),
+            s.mshr_occupancy[2].to_string(),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn interval_table_shapes_csv() {
+        let s = IntervalSample {
+            start_cycle: 0,
+            end_cycle: 1000,
+            instructions: 800,
+            ipc: 0.8,
+            mpki: [10.0, 5.0, 2.5],
+            dram_utilization: 0.4,
+            pq_occupancy: [1, 0, 0],
+            mshr_occupancy: [2, 1, 0],
+        };
+        let t = interval_table(&[s]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("end_cycle,ipc,mpki_l1d"));
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.contains("1000,0.800,10.00,5.00,2.50,0.400,1,0,0,2,1,0"));
+    }
 
     #[test]
     fn table_alignment() {

@@ -1,11 +1,18 @@
-//! Storage-budget accounting (paper Tables III and V).
+//! Storage-budget accounting (paper Tables III and V) and hand-rolled
+//! JSON serialisation for counters and time-series.
 //!
 //! Every prefetcher reports its own bit-accurate budget via
 //! [`pmp_prefetch::Prefetcher::storage_bits`]; this module renders the
 //! comparison table and provides the itemised PMP breakdown of
 //! Table III.
+//!
+//! The JSON emitters are serde-free on purpose: the workspace carries
+//! zero external dependencies, and the structures involved are flat
+//! enough that string assembly stays readable.
 
 use pmp_prefetch::Prefetcher;
+use pmp_sim::{IntervalSample, LevelStats, SimStats};
+use std::fmt::Write as _;
 
 /// One row of a storage table.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +73,97 @@ pub fn ratio(a_bits: u64, b_bits: u64) -> f64 {
     a_bits as f64 / b_bits as f64
 }
 
+/// A float as a JSON value: finite numbers verbatim, NaN/±inf as
+/// `null` (JSON has no representation for them).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// One [`LevelStats`] as a JSON object.
+pub fn level_stats_to_json(l: &LevelStats) -> String {
+    format!(
+        concat!(
+            "{{\"load_accesses\":{},\"load_misses\":{},",
+            "\"store_accesses\":{},\"store_misses\":{},",
+            "\"pf_fills\":{},\"pf_useful\":{},\"pf_useless\":{},",
+            "\"pf_late\":{},\"writebacks\":{}}}"
+        ),
+        l.load_accesses,
+        l.load_misses,
+        l.store_accesses,
+        l.store_misses,
+        l.pf_fills,
+        l.pf_useful,
+        l.pf_useless,
+        l.pf_late,
+        l.writebacks,
+    )
+}
+
+/// A full [`SimStats`] as a JSON object with per-level sub-objects
+/// keyed `l1d` / `l2c` / `llc`.
+pub fn sim_stats_to_json(s: &SimStats) -> String {
+    let mut out = String::with_capacity(512);
+    let _ = write!(
+        out,
+        "{{\"instructions\":{},\"cycles\":{},\"ipc\":{},",
+        s.instructions,
+        s.cycles,
+        json_f64(s.ipc()),
+    );
+    for (name, level) in ["l1d", "l2c", "llc"].iter().zip(&s.levels) {
+        let _ = write!(out, "\"{name}\":{},", level_stats_to_json(level));
+    }
+    let _ = write!(
+        out,
+        "\"pf_issued\":{},\"pf_admitted\":{},\"pf_dropped\":{},\
+         \"pf_redundant\":{},\"dram_requests\":{},\"dram_writes\":{}}}",
+        s.pf_issued, s.pf_admitted, s.pf_dropped, s.pf_redundant, s.dram_requests, s.dram_writes,
+    );
+    out
+}
+
+/// One [`IntervalSample`] as a JSON object (a JSON-Lines record of the
+/// interval time-series).
+pub fn interval_sample_to_json(s: &IntervalSample) -> String {
+    format!(
+        concat!(
+            "{{\"start_cycle\":{},\"end_cycle\":{},\"instructions\":{},",
+            "\"ipc\":{},\"mpki_l1d\":{},\"mpki_l2c\":{},\"mpki_llc\":{},",
+            "\"dram_utilization\":{},",
+            "\"pq_occupancy\":[{},{},{}],\"mshr_occupancy\":[{},{},{}]}}"
+        ),
+        s.start_cycle,
+        s.end_cycle,
+        s.instructions,
+        json_f64(s.ipc),
+        json_f64(s.mpki[0]),
+        json_f64(s.mpki[1]),
+        json_f64(s.mpki[2]),
+        json_f64(s.dram_utilization),
+        s.pq_occupancy[0],
+        s.pq_occupancy[1],
+        s.pq_occupancy[2],
+        s.mshr_occupancy[0],
+        s.mshr_occupancy[1],
+        s.mshr_occupancy[2],
+    )
+}
+
+/// A whole interval time-series as JSON Lines (one object per line).
+pub fn interval_samples_to_json_lines(samples: &[IntervalSample]) -> String {
+    let mut out = String::new();
+    for s in samples {
+        out.push_str(&interval_sample_to_json(s));
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +202,84 @@ mod tests {
             pmp_prefetch::Prefetcher::storage_bits(&pmp),
         );
         assert!((4.0..=10.0).contains(&r), "Pythia/PMP ratio ≈6×, got {r:.1}");
+    }
+
+    /// Minimal flat-JSON reader for the round-trip test: value of a
+    /// top-level (or nested-object) numeric key.
+    fn json_num(json: &str, key: &str) -> f64 {
+        let pat = format!("\"{key}\":");
+        let start = json.find(&pat).unwrap_or_else(|| panic!("{key} missing")) + pat.len();
+        let rest = &json[start..];
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+            .unwrap_or(rest.len());
+        rest[..end].parse().unwrap_or_else(|_| panic!("{key} not numeric: {rest}"))
+    }
+
+    #[test]
+    fn sim_stats_json_round_trips_values() {
+        use pmp_types::CacheLevel;
+        let mut s = SimStats {
+            instructions: 12345,
+            cycles: 6789,
+            pf_issued: 42,
+            dram_requests: 7,
+            ..SimStats::default()
+        };
+        s.level_mut(CacheLevel::L2C).pf_useful = 9;
+        s.level_mut(CacheLevel::Llc).writebacks = 3;
+        let json = sim_stats_to_json(&s);
+        assert_eq!(json_num(&json, "instructions"), 12345.0);
+        assert_eq!(json_num(&json, "cycles"), 6789.0);
+        assert_eq!(json_num(&json, "pf_issued"), 42.0);
+        assert_eq!(json_num(&json, "dram_requests"), 7.0);
+        // The l2c object carries its pf_useful; llc its writebacks.
+        let l2c = &json[json.find("\"l2c\"").unwrap()..json.find("\"llc\"").unwrap()];
+        assert_eq!(json_num(l2c, "pf_useful"), 9.0);
+        let llc = &json[json.find("\"llc\"").unwrap()..];
+        assert_eq!(json_num(llc, "writebacks"), 3.0);
+        // Structurally valid enough: balanced braces, no trailing comma.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",}"));
+    }
+
+    #[test]
+    fn interval_sample_json_lines() {
+        let s = IntervalSample {
+            start_cycle: 1000,
+            end_cycle: 2000,
+            instructions: 500,
+            ipc: 0.5,
+            mpki: [12.0, 6.0, 3.0],
+            dram_utilization: 0.25,
+            pq_occupancy: [1, 2, 3],
+            mshr_occupancy: [4, 5, 6],
+        };
+        let lines = interval_samples_to_json_lines(&[s, s]);
+        assert_eq!(lines.lines().count(), 2);
+        let first = lines.lines().next().unwrap();
+        assert_eq!(json_num(first, "end_cycle"), 2000.0);
+        assert_eq!(json_num(first, "mpki_l1d"), 12.0);
+        assert_eq!(json_num(first, "dram_utilization"), 0.25);
+        assert!(first.contains("\"pq_occupancy\":[1,2,3]"));
+        assert_eq!(first.matches('{').count(), first.matches('}').count());
+    }
+
+    #[test]
+    fn non_finite_floats_serialise_as_null() {
+        let s = IntervalSample {
+            start_cycle: 0,
+            end_cycle: 1,
+            instructions: 0,
+            ipc: f64::NAN,
+            mpki: [f64::INFINITY, 0.0, 0.0],
+            dram_utilization: 0.0,
+            pq_occupancy: [0; 3],
+            mshr_occupancy: [0; 3],
+        };
+        let json = interval_sample_to_json(&s);
+        assert!(json.contains("\"ipc\":null"));
+        assert!(json.contains("\"mpki_l1d\":null"));
     }
 
     #[test]

@@ -6,16 +6,14 @@
 //! generators are deterministic functions of `(config, seed, mem_ops)`.
 
 use crate::trace::TraceScale;
-use pmp_types::{AccessKind, Addr, MemAccess, Pc, TraceOp};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pmp_types::{AccessKind, Addr, MemAccess, Pc, Rng64, TraceOp};
 
 const KB: u64 = 1024;
 const MB: u64 = 1024 * KB;
 
 /// Builder state shared by all generators.
 struct Emitter {
-    rng: StdRng,
+    rng: Rng64,
     ops: Vec<TraceOp>,
     gap_mean: u16,
     store_fraction: f64,
@@ -24,7 +22,7 @@ struct Emitter {
 impl Emitter {
     fn new(seed: u64, mem_ops: usize, gap_mean: u16, store_fraction: f64) -> Self {
         Emitter {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng64::seed_from_u64(seed),
             ops: Vec::with_capacity(mem_ops),
             gap_mean,
             store_fraction,
@@ -208,7 +206,7 @@ impl BackwardWalkGen {
 
     /// Restart near the end of a random 64-line region, producing the
     /// big trigger offsets the paper observes for MCF.
-    fn restart(rng: &mut StdRng, lines: u64, lpr: u64) -> u64 {
+    fn restart(rng: &mut Rng64, lines: u64, lpr: u64) -> u64 {
         let region = rng.gen_range(1..lines / lpr);
         region * lpr + rng.gen_range(lpr - 8..lpr)
     }

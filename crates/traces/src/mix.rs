@@ -6,9 +6,7 @@
 //! simulation, so this module takes the measured MPKIs as input and
 //! reproduces the mix construction deterministically.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use pmp_types::Rng64;
 
 /// Baseline-LLC-MPKI class of a trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -74,9 +72,9 @@ pub fn table_vii_mixes(
     }
     assert!(!low.is_empty(), "no classified traces supplied");
 
-    let mut rng = StdRng::seed_from_u64(seed);
-    let pick = |pool: &[&String], rng: &mut StdRng| -> String {
-        (*pool.choose(rng).expect("non-empty pool")).clone()
+    let mut rng = Rng64::seed_from_u64(seed);
+    let pick = |pool: &[&String], rng: &mut Rng64| -> String {
+        (*rng.choose(pool).expect("non-empty pool")).clone()
     };
 
     let combos: [(&'static str, [MpkiClass; 4]); 6] = [

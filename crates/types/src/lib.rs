@@ -28,8 +28,10 @@ pub mod access;
 pub mod addr;
 pub mod level;
 pub mod pattern;
+pub mod rng;
 
 pub use access::{AccessKind, MemAccess, TraceOp};
 pub use addr::{Addr, LineAddr, Pc, RegionAddr, RegionGeometry, LINE_BYTES, LINE_SHIFT, PAGE_BYTES};
 pub use level::CacheLevel;
 pub use pattern::{BitPattern, PrefetchPattern, PrefetchTarget};
+pub use rng::Rng64;

@@ -1,0 +1,244 @@
+//! Small, dependency-free deterministic PRNG.
+//!
+//! The trace generators and the Pythia baseline need reproducible
+//! pseudo-randomness; the workspace builds offline, so this module
+//! provides the tiny slice of `rand`'s API the repo actually uses:
+//! seeding from a `u64`, uniform integer ranges, biased coin flips, and
+//! slice choice. The generator is xoshiro256** seeded via SplitMix64 —
+//! the standard pairing (Blackman & Vigna) — which passes the
+//! statistical tests that matter for synthetic workload generation and
+//! is a handful of arithmetic ops per draw.
+//!
+//! Determinism across platforms is part of the contract: the same seed
+//! must regenerate the identical trace everywhere, forever. Do not
+//! change the stream.
+//!
+//! ## Example
+//!
+//! ```
+//! use pmp_types::Rng64;
+//!
+//! let mut rng = Rng64::seed_from_u64(42);
+//! let a = rng.gen_range(0..100u64);
+//! assert!(a < 100);
+//! let b = rng.gen_range(1..=6u64); // die roll
+//! assert!((1..=6).contains(&b));
+//! let same = Rng64::seed_from_u64(42).gen_range(0..100u64);
+//! assert_eq!(a, same);
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic xoshiro256** PRNG seeded from a single `u64`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Seed the generator. Equal seeds produce equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the 256-bit state; this
+        // guarantees a non-zero state for every seed (including 0).
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Rng64 { s: [next(), next(), next(), next()] }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value below `bound` (> 0), via Lemire's multiply-shift
+    /// with rejection — unbiased for every bound.
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= lo.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform draw from a half-open or inclusive integer range.
+    /// Panics on an empty range, matching `rand`.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // 53 random bits → uniform f64 in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// Uniformly chosen element, or `None` for an empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.below(slice.len() as u64) as usize])
+        }
+    }
+}
+
+/// Integer range types accepted by [`Rng64::gen_range`].
+pub trait SampleRange {
+    /// Element type of the range.
+    type Output;
+    /// Draw one uniform sample.
+    fn sample(self, rng: &mut Rng64) -> Self::Output;
+}
+
+macro_rules! impl_sample_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Rng64) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Rng64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_unsigned!(u16, u32, u64, usize);
+
+impl SampleRange for Range<i64> {
+    type Output = i64;
+    fn sample(self, rng: &mut Rng64) -> i64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(rng.below(span) as i64)
+    }
+}
+
+impl SampleRange for RangeInclusive<i64> {
+    type Output = i64;
+    fn sample(self, rng: &mut Rng64) -> i64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range on empty range");
+        let span = hi.wrapping_sub(lo) as u64;
+        if span == u64::MAX {
+            return rng.next_u64() as i64;
+        }
+        lo.wrapping_add(rng.below(span + 1) as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng64::seed_from_u64(7);
+        let mut b = Rng64::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng64::seed_from_u64(8);
+        assert_ne!(Rng64::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = Rng64::seed_from_u64(0);
+        let draws: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert!(draws.iter().any(|&x| x != 0));
+        assert_ne!(draws[0], draws[1]);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng64::seed_from_u64(3);
+        for _ in 0..2000 {
+            let x = r.gen_range(10..20u64);
+            assert!((10..20).contains(&x));
+            let y = r.gen_range(5..=5u64);
+            assert_eq!(y, 5);
+            let z = r.gen_range(-8..8i64);
+            assert!((-8..8).contains(&z));
+            let w = r.gen_range(0..=3u16);
+            assert!(w <= 3);
+            let v = r.gen_range(0..7usize);
+            assert!(v < 7);
+        }
+    }
+
+    #[test]
+    fn ranges_cover_all_values() {
+        let mut r = Rng64::seed_from_u64(11);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            seen[r.gen_range(1..=6u64) as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Rng64::seed_from_u64(1).gen_range(5..5u64);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = Rng64::seed_from_u64(13);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "{hits}");
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    fn choose_uniform_and_empty() {
+        let mut r = Rng64::seed_from_u64(17);
+        let pool = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[*r.choose(&pool).unwrap() as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [u8; 0] = [];
+        assert!(r.choose(&empty).is_none());
+    }
+}

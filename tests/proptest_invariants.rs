@@ -1,110 +1,127 @@
-//! Property-based tests on the core data structures' invariants.
+//! Property-style tests on the core data structures' invariants.
+//!
+//! Each property is exercised over many deterministic pseudo-random
+//! cases drawn from the workspace's own `Rng64` (the registry is
+//! offline, so no external property-testing framework) — same spirit as
+//! proptest, fully reproducible, no shrinking.
 
+use pmp_core::arbiter::arbitrate;
 use pmp_core::counter_vec::CounterVector;
 use pmp_core::extract::ExtractionScheme;
-use pmp_core::arbiter::arbitrate;
 use pmp_sim::cache::{Cache, LineMeta};
 use pmp_sim::config::CacheConfig;
-use pmp_types::{BitPattern, CacheLevel, LineAddr, PrefetchPattern, RegionGeometry};
-use proptest::prelude::*;
+use pmp_types::{BitPattern, CacheLevel, LineAddr, PrefetchPattern, RegionGeometry, Rng64};
 
-proptest! {
-    /// Anchoring is a bijection: rotate there and back is identity for
-    /// every pattern length and anchor.
-    #[test]
-    fn bitpattern_anchor_roundtrip(bits in any::<u64>(), len_pow in 1u32..=6, anchor in 0u8..64) {
-        let len = 1u32 << len_pow;
-        let anchor = anchor % len as u8;
+const CASES: usize = 256;
+
+/// Anchoring is a bijection: rotate there and back is identity for
+/// every pattern length and anchor.
+#[test]
+fn bitpattern_anchor_roundtrip() {
+    let mut rng = Rng64::seed_from_u64(0xA0A0);
+    for _ in 0..CASES {
+        let bits = rng.next_u64();
+        let len = 1u32 << rng.gen_range(1..=6u32);
+        let anchor = (rng.gen_range(0..64u64) % u64::from(len)) as u8;
         let p = BitPattern::from_bits(bits, len);
-        prop_assert_eq!(p.rotate_to_anchor(anchor).rotate_from_anchor(anchor), p);
+        assert_eq!(p.rotate_to_anchor(anchor).rotate_from_anchor(anchor), p);
         // Rotation preserves population count.
-        prop_assert_eq!(p.rotate_to_anchor(anchor).count(), p.count());
+        assert_eq!(p.rotate_to_anchor(anchor).count(), p.count());
     }
+}
 
-    /// Coarsening: the coarse pattern is set exactly where the group has
-    /// any bit set, and never increases the population count.
-    #[test]
-    fn bitpattern_coarsen_or_semantics(bits in any::<u64>(), range_pow in 0u32..=3) {
-        let range = 1u32 << range_pow;
+/// Coarsening: the coarse pattern is set exactly where the group has
+/// any bit set, and never increases the population count.
+#[test]
+fn bitpattern_coarsen_or_semantics() {
+    let mut rng = Rng64::seed_from_u64(0xC0C0);
+    for _ in 0..CASES {
+        let bits = rng.next_u64();
+        let range = 1u32 << rng.gen_range(0..=3u32);
         let p = BitPattern::from_bits(bits, 64);
         if 64 / range >= 2 {
             let c = p.coarsen(range);
-            prop_assert!(c.count() <= p.count().max(1));
+            assert!(c.count() <= p.count().max(1));
             for g in 0..(64 / range) as u8 {
-                let group_any = (0..range as u8)
-                    .any(|i| p.get(g * range as u8 + i));
-                prop_assert_eq!(c.get(g), group_any, "group {}", g);
+                let group_any = (0..range as u8).any(|i| p.get(g * range as u8 + i));
+                assert_eq!(c.get(g), group_any, "group {g}");
             }
         }
     }
+}
 
-    /// Counter-vector invariants under arbitrary merge sequences:
-    /// counters never exceed the time counter, the time counter never
-    /// exceeds the cap, and frequencies stay in [0, 1].
-    #[test]
-    fn counter_vector_invariants(
-        merges in prop::collection::vec(any::<u64>(), 1..200),
-        bits in 2u32..=8,
-    ) {
+/// Counter-vector invariants under arbitrary merge sequences: counters
+/// never exceed the time counter, the time counter never exceeds the
+/// cap, and frequencies stay in [0, 1].
+#[test]
+fn counter_vector_invariants() {
+    let mut rng = Rng64::seed_from_u64(0xC501);
+    for _ in 0..64 {
+        let bits = rng.gen_range(2..=8u32);
+        let merges = rng.gen_range(1..200usize);
         let mut cv = CounterVector::new(64, bits);
-        for m in merges {
-            cv.merge(BitPattern::from_bits(m | 1, 64)); // trigger always set
+        for _ in 0..merges {
+            cv.merge(BitPattern::from_bits(rng.next_u64() | 1, 64)); // trigger always set
             let t = cv.time();
-            prop_assert!(t <= cv.cap());
+            assert!(t <= cv.cap());
             for i in 0..64u8 {
-                prop_assert!(cv.counters()[i as usize] <= t);
+                assert!(cv.counters()[i as usize] <= t);
                 let f = cv.frequency(i);
-                prop_assert!((0.0..=1.0).contains(&f));
+                assert!((0.0..=1.0).contains(&f));
             }
         }
     }
+}
 
-    /// An always-present offset keeps frequency 1.0 through any number
-    /// of halvings (the AFE-avoids-retraining property).
-    #[test]
-    fn counter_vector_constant_offset_keeps_frequency(n in 1usize..300, bits in 2u32..=6) {
+/// An always-present offset keeps frequency 1.0 through any number of
+/// halvings (the AFE-avoids-retraining property).
+#[test]
+fn counter_vector_constant_offset_keeps_frequency() {
+    let mut rng = Rng64::seed_from_u64(0xC502);
+    for _ in 0..64 {
+        let n = rng.gen_range(1..300usize);
+        let bits = rng.gen_range(2..=6u32);
         let mut cv = CounterVector::new(8, bits);
         for _ in 0..n {
             cv.merge(BitPattern::from_bits(0b101, 8));
         }
-        prop_assert!((cv.frequency(2) - 1.0).abs() < 1e-9);
-        prop_assert_eq!(cv.frequency(4), 0.0);
+        assert!((cv.frequency(2) - 1.0).abs() < 1e-9);
+        assert_eq!(cv.frequency(4), 0.0);
     }
+}
 
-    /// Extraction soundness for all schemes: offset 0 never extracted;
-    /// L1D targets imply the L2C criterion also held (levels are
-    /// ordered by threshold).
-    #[test]
-    fn extraction_is_sound(
-        merges in prop::collection::vec(any::<u64>(), 1..60),
-        which in 0usize..3,
-    ) {
+/// Extraction soundness for all schemes: offset 0 never extracted;
+/// raising thresholds never adds targets.
+#[test]
+fn extraction_is_sound() {
+    let mut rng = Rng64::seed_from_u64(0xE0E0);
+    for case in 0..CASES {
         let mut cv = CounterVector::new(64, 5);
-        for m in &merges {
-            cv.merge(BitPattern::from_bits(m | 1, 64));
+        for _ in 0..rng.gen_range(1..60usize) {
+            cv.merge(BitPattern::from_bits(rng.next_u64() | 1, 64));
         }
-        let scheme = match which {
+        let scheme = match case % 3 {
             0 => ExtractionScheme::default(),
             1 => ExtractionScheme::ane_default(),
             _ => ExtractionScheme::are_default(),
         };
         let p = scheme.extract(&cv);
-        prop_assert!(!p.target(0).is_some(), "trigger never prefetched");
+        assert!(!p.target(0).is_some(), "trigger never prefetched");
         // Monotonicity: raising thresholds cannot add targets.
         let strict = ExtractionScheme::AccessFrequency { t_l1d: 0.9, t_l2c: 0.8 };
         let loose = ExtractionScheme::AccessFrequency { t_l1d: 0.3, t_l2c: 0.1 };
-        prop_assert!(strict.extract(&cv).count() <= loose.extract(&cv).count());
+        assert!(strict.extract(&cv).count() <= loose.extract(&cv).count());
     }
+}
 
-    /// Arbitration never invents targets (output ⊆ OPT's targets) and
-    /// never *upgrades* a level.
-    #[test]
-    fn arbitration_is_conservative(
-        opt_bits in any::<u64>(),
-        ppt_bits in any::<u32>(),
-        opt_l2 in any::<u64>(),
-        ppt_l2 in any::<u32>(),
-    ) {
+/// Arbitration never invents targets (output ⊆ OPT's targets) and never
+/// *upgrades* a level.
+#[test]
+fn arbitration_is_conservative() {
+    let mut rng = Rng64::seed_from_u64(0xAB01);
+    for _ in 0..CASES {
+        let (opt_bits, opt_l2) = (rng.next_u64(), rng.next_u64());
+        let (ppt_bits, ppt_l2) = (rng.next_u64() as u32, rng.next_u64() as u32);
         let mut opt = PrefetchPattern::new(64);
         for i in 1..64u8 {
             if opt_bits & (1 << i) != 0 {
@@ -122,35 +139,42 @@ proptest! {
         let f = arbitrate(&opt, &ppt, 2);
         for i in 0..64u8 {
             match (opt.target(i).level(), f.target(i).level()) {
-                (None, Some(_)) => prop_assert!(false, "invented target at {}", i),
-                (Some(o), Some(fl)) => prop_assert!(fl >= o, "upgraded level at {}", i),
+                (None, Some(_)) => panic!("invented target at {i}"),
+                (Some(o), Some(fl)) => assert!(fl >= o, "upgraded level at {i}"),
                 _ => {}
             }
         }
     }
+}
 
-    /// Cache invariants under arbitrary access sequences: occupancy is
-    /// bounded by capacity, and a just-inserted line is resident.
-    #[test]
-    fn cache_lru_invariants(lines in prop::collection::vec(0u64..512, 1..300)) {
+/// Cache invariants under arbitrary access sequences: occupancy is
+/// bounded by capacity, and a just-inserted line is resident.
+#[test]
+fn cache_lru_invariants() {
+    let mut rng = Rng64::seed_from_u64(0xCA01);
+    for _ in 0..64 {
         let cfg = CacheConfig { sets: 8, ways: 4, latency: 1, mshrs: 4, pq_entries: 4 };
         let mut cache = Cache::new(&cfg);
-        for &l in &lines {
+        for _ in 0..rng.gen_range(1..300usize) {
+            let l = rng.gen_range(0..512u64);
             cache.insert(LineAddr(l), LineMeta::default());
-            prop_assert!(cache.contains(LineAddr(l)));
-            prop_assert!(cache.occupancy() <= 32);
+            assert!(cache.contains(LineAddr(l)));
+            assert!(cache.occupancy() <= 32);
         }
     }
+}
 
-    /// Region geometry: region_of/offset_of/line_of are consistent for
-    /// every geometry and line.
-    #[test]
-    fn geometry_roundtrip(line in any::<u32>(), len_pow in 1u32..=6) {
-        let geom = RegionGeometry::new(1 << len_pow);
-        let line = LineAddr(u64::from(line));
+/// Region geometry: region_of/offset_of/line_of are consistent for
+/// every geometry and line.
+#[test]
+fn geometry_roundtrip() {
+    let mut rng = Rng64::seed_from_u64(0x6E0);
+    for _ in 0..CASES {
+        let geom = RegionGeometry::new(1 << rng.gen_range(1..=6u32));
+        let line = LineAddr(rng.next_u64() & 0xffff_ffff);
         let region = geom.region_of_line(line);
         let offset = geom.offset_of_line(line);
-        prop_assert_eq!(geom.line_of(region, offset), line);
-        prop_assert!(u32::from(offset) < geom.lines_per_region());
+        assert_eq!(geom.line_of(region, offset), line);
+        assert!(u32::from(offset) < geom.lines_per_region());
     }
 }

@@ -1,32 +1,35 @@
 //! Whole-system property tests and failure injection: the simulator
 //! must uphold its accounting invariants for arbitrary small traces and
 //! stay correct under degenerate resource configurations.
+//!
+//! Random traces come from the workspace's own `Rng64` (deterministic,
+//! offline-friendly) rather than an external property-testing crate.
 
 use pmp_bench::prefetchers::PrefetcherKind;
 use pmp_sim::{CacheConfig, System, SystemConfig};
-use pmp_types::{AccessKind, Addr, CacheLevel, MemAccess, Pc, TraceOp};
-use proptest::prelude::*;
+use pmp_types::{AccessKind, Addr, CacheLevel, MemAccess, Pc, Rng64, TraceOp};
+
+const CASES: usize = 24;
 
 /// Arbitrary short trace: bounded address space, mixed loads/stores,
 /// occasional dependencies and gaps.
-fn arb_trace() -> impl Strategy<Value = Vec<TraceOp>> {
-    prop::collection::vec(
-        (0u64..1 << 22, 0u64..64, any::<bool>(), 0u16..6, any::<bool>()),
-        1..400,
-    )
-    .prop_map(|items| {
-        items
-            .into_iter()
-            .map(|(addr, pc, store, gap, dep)| {
-                let access = MemAccess {
-                    pc: Pc(0x400 + pc * 4),
-                    addr: Addr(addr & !7),
-                    kind: if store { AccessKind::Store } else { AccessKind::Load },
-                };
-                TraceOp::new(access, gap, dep)
-            })
-            .collect()
-    })
+fn arb_trace(rng: &mut Rng64) -> Vec<TraceOp> {
+    let n = rng.gen_range(1..400usize);
+    (0..n)
+        .map(|_| {
+            let addr = rng.gen_range(0..1u64 << 22);
+            let pc = rng.gen_range(0..64u64);
+            let store = rng.gen_bool(0.5);
+            let gap = rng.gen_range(0..6u16);
+            let dep = rng.gen_bool(0.5);
+            let access = MemAccess {
+                pc: Pc(0x400 + pc * 4),
+                addr: Addr(addr & !7),
+                kind: if store { AccessKind::Store } else { AccessKind::Load },
+            };
+            TraceOp::new(access, gap, dep)
+        })
+        .collect()
 }
 
 /// Accounting invariants that must hold for every run of every
@@ -68,38 +71,50 @@ fn check_invariants(ops: &[TraceOp], kind: &PrefetcherKind) {
     assert!(r.stats.dram_requests >= 1 || r.stats.level(CacheLevel::Llc).misses() == 0);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn invariants_hold_without_prefetching(ops in arb_trace()) {
-        check_invariants(&ops, &PrefetcherKind::None);
+#[test]
+fn invariants_hold_without_prefetching() {
+    let mut rng = Rng64::seed_from_u64(0x5101);
+    for _ in 0..CASES {
+        check_invariants(&arb_trace(&mut rng), &PrefetcherKind::None);
     }
+}
 
-    #[test]
-    fn invariants_hold_with_pmp(ops in arb_trace()) {
-        check_invariants(&ops, &PrefetcherKind::Pmp);
+#[test]
+fn invariants_hold_with_pmp() {
+    let mut rng = Rng64::seed_from_u64(0x5102);
+    for _ in 0..CASES {
+        check_invariants(&arb_trace(&mut rng), &PrefetcherKind::Pmp);
     }
+}
 
-    #[test]
-    fn invariants_hold_with_bingo(ops in arb_trace()) {
-        check_invariants(&ops, &PrefetcherKind::Bingo);
+#[test]
+fn invariants_hold_with_bingo() {
+    let mut rng = Rng64::seed_from_u64(0x5103);
+    for _ in 0..CASES {
+        check_invariants(&arb_trace(&mut rng), &PrefetcherKind::Bingo);
     }
+}
 
-    #[test]
-    fn invariants_hold_with_spp(ops in arb_trace()) {
-        check_invariants(&ops, &PrefetcherKind::SppPpf);
+#[test]
+fn invariants_hold_with_spp() {
+    let mut rng = Rng64::seed_from_u64(0x5104);
+    for _ in 0..CASES {
+        check_invariants(&arb_trace(&mut rng), &PrefetcherKind::SppPpf);
     }
+}
 
-    #[test]
-    fn runs_are_deterministic(ops in arb_trace()) {
+#[test]
+fn runs_are_deterministic() {
+    let mut rng = Rng64::seed_from_u64(0x5105);
+    for _ in 0..CASES {
+        let ops = arb_trace(&mut rng);
         let run = |k: &PrefetcherKind| {
             let mut sys = System::new(SystemConfig::single_core(), k.build());
             let r = sys.run(&ops, 0);
             (r.cycles, r.stats.pf_issued, r.stats.dram_requests)
         };
-        prop_assert_eq!(run(&PrefetcherKind::Pmp), run(&PrefetcherKind::Pmp));
-        prop_assert_eq!(run(&PrefetcherKind::Pythia), run(&PrefetcherKind::Pythia));
+        assert_eq!(run(&PrefetcherKind::Pmp), run(&PrefetcherKind::Pmp));
+        assert_eq!(run(&PrefetcherKind::Pythia), run(&PrefetcherKind::Pythia));
     }
 }
 
