@@ -12,7 +12,8 @@
 //! after the previous load completes, which serialises pointer chases.
 
 use crate::config::CoreConfig;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// The core's dispatch/retire engine. The memory system is external:
 /// the driver calls [`Cpu::begin_mem_op`] to learn the issue cycle,
@@ -26,10 +27,13 @@ pub struct Cpu {
     sq_size: usize,
     /// Completion cycle of each in-flight instruction, in program order.
     rob: VecDeque<u64>,
-    /// Completion cycles of in-flight loads (bounds the LQ).
-    loads: Vec<u64>,
+    /// Completion cycles of in-flight loads (bounds the LQ), as a
+    /// min-heap: freeing an entry is a pop of the earliest completion
+    /// instead of a full-queue scan, which the per-cycle reclaim would
+    /// otherwise pay on every load-heavy cycle.
+    loads: BinaryHeap<Reverse<u64>>,
     /// Completion cycles of in-flight stores (bounds the SQ).
-    stores: Vec<u64>,
+    stores: BinaryHeap<Reverse<u64>>,
     now: u64,
     dispatched_this_cycle: usize,
     retired: u64,
@@ -47,8 +51,8 @@ impl Cpu {
             lq_size: cfg.lq_entries,
             sq_size: cfg.sq_entries,
             rob: VecDeque::with_capacity(cfg.rob_entries),
-            loads: Vec::new(),
-            stores: Vec::new(),
+            loads: BinaryHeap::with_capacity(cfg.lq_entries),
+            stores: BinaryHeap::with_capacity(cfg.sq_entries),
             now: 0,
             dispatched_this_cycle: 0,
             retired: 0,
@@ -92,10 +96,15 @@ impl Cpu {
                 _ => break,
             }
         }
-        // Lazily free LQ/SQ entries.
+        // Free LQ/SQ entries whose access has completed: pop the heap
+        // head while it has been reached (one peek when nothing has).
         let now = self.now;
-        self.loads.retain(|&c| c > now);
-        self.stores.retain(|&c| c > now);
+        while self.loads.peek().is_some_and(|&Reverse(c)| c <= now) {
+            self.loads.pop();
+        }
+        while self.stores.peek().is_some_and(|&Reverse(c)| c <= now) {
+            self.stores.pop();
+        }
     }
 
     /// Block until an instruction slot (ROB + width) is available.
@@ -140,7 +149,7 @@ impl Cpu {
     pub fn dispatch_load(&mut self, issue: u64, latency: u64) {
         let complete = issue + latency.max(1);
         self.rob.push_back(complete);
-        self.loads.push(complete);
+        self.loads.push(Reverse(complete));
         self.last_load_complete = complete;
         self.dispatched_this_cycle += 1;
         self.dispatched += 1;
@@ -150,7 +159,8 @@ impl Cpu {
     /// retirement), but occupies an SQ entry until the write completes.
     pub fn dispatch_store(&mut self, issue: u64, latency: u64) {
         self.rob.push_back(self.now + 1);
-        self.stores.push(issue + latency.max(1));
+        let complete = issue + latency.max(1);
+        self.stores.push(Reverse(complete));
         self.dispatched_this_cycle += 1;
         self.dispatched += 1;
     }

@@ -122,12 +122,24 @@ impl SharedMem {
 
 /// Side effects of one memory operation that the driving system must
 /// forward to the prefetcher.
-#[derive(Debug, Default)]
+///
+/// Built once per system and reused for every operation: the drivers
+/// `clear`/`drain` the buffers instead of replacing them, so after the
+/// first few operations the hot path performs no allocation (a single
+/// op produces at most a handful of events — one eviction per filled
+/// level plus the LLC back-invalidation fan-out).
+#[derive(Debug)]
 pub struct MemEvents {
     /// Lines evicted (or back-invalidated) out of this core's L1D.
     pub l1d_evictions: Vec<LineAddr>,
     /// Outcome feedback for prefetched lines.
     pub feedback: Vec<(LineAddr, FeedbackKind)>,
+}
+
+impl Default for MemEvents {
+    fn default() -> Self {
+        MemEvents { l1d_evictions: Vec::with_capacity(8), feedback: Vec::with_capacity(8) }
+    }
 }
 
 impl MemEvents {
@@ -550,12 +562,20 @@ pub fn prefetch_access<T: Tracer>(
     let fill = req.fill_level;
     tracer.emit(TraceEvent::PrefetchIssued { line, level: fill, cycle: now });
 
-    // Innermost resident level (directory presence includes in-flight).
-    let resident = if cores[who].l1d.contains(line) {
+    // Per-level directory presence, probed once (includes in-flight
+    // lines) — both the redundancy check and the fill-level selection
+    // below read this snapshot, so each directory is scanned exactly
+    // once per request.
+    let in_l1d = cores[who].l1d.contains(line);
+    let in_l2c = cores[who].l2c.contains(line);
+    let in_llc = shared.llc.contains(line);
+
+    // Innermost resident level.
+    let resident = if in_l1d {
         Some(CacheLevel::L1D)
-    } else if cores[who].l2c.contains(line) {
+    } else if in_l2c {
         Some(CacheLevel::L2C)
-    } else if shared.llc.contains(line) {
+    } else if in_llc {
         Some(CacheLevel::Llc)
     } else {
         None
@@ -568,14 +588,47 @@ pub fn prefetch_access<T: Tracer>(
         }
     }
 
-    // Admission control at the fill level: PQ space, and MSHR space
-    // leaving at least one entry for demand requests (Section IV-B).
-    let (pq_free, mshr_free) = match fill {
-        CacheLevel::L1D => (cores[who].l1_pq.free(now), cores[who].l1_mshr.free(now)),
-        CacheLevel::L2C => (cores[who].l2_pq.free(now), cores[who].l2_mshr.free(now)),
-        CacheLevel::Llc => (shared.llc_pq.free(now), shared.llc_mshr.free(now)),
+    // Levels that will take a fill: the target and every outer level
+    // that misses (inclusive hierarchy — the paper relies on this:
+    // "prefetches for high-level caches will implicitly prefetch data
+    // to low-level caches", Section V-C). Computed up front, before any
+    // side effect, into fixed-size storage: admission must be able to
+    // reject the request without having touched the PQ or DRAM.
+    let mut fill_levels = [CacheLevel::L1D; 3];
+    let mut n_fills = 0;
+    for (level, present) in [
+        (CacheLevel::Llc, in_llc),
+        (CacheLevel::L2C, in_l2c),
+        (CacheLevel::L1D, in_l1d),
+    ] {
+        if level >= fill && !present {
+            fill_levels[n_fills] = level;
+            n_fills += 1;
+        }
+    }
+    let fill_levels = &fill_levels[..n_fills];
+
+    // Admission control: PQ space at the fill level, and MSHR space at
+    // *every* level taking a fill, each leaving at least one entry for
+    // demand requests (Section IV-B). Checking headroom only at the
+    // fill level would let the outer-level allocations below silently
+    // force-evict entries from a full file — occupancy beyond capacity
+    // without a modeled drop or stall.
+    let pq_free = match fill {
+        CacheLevel::L1D => cores[who].l1_pq.free(now),
+        CacheLevel::L2C => cores[who].l2_pq.free(now),
+        CacheLevel::Llc => shared.llc_pq.free(now),
     };
-    if pq_free == 0 || mshr_free <= 1 {
+    let mshr_ok = pq_free > 0
+        && fill_levels.iter().all(|&level| {
+            let mshr_free = match level {
+                CacheLevel::L1D => cores[who].l1_mshr.free(now),
+                CacheLevel::L2C => cores[who].l2_mshr.free(now),
+                CacheLevel::Llc => shared.llc_mshr.free(now),
+            };
+            mshr_free > 1
+        });
+    if !mshr_ok {
         stats.pf_dropped += 1;
         tracer.emit(TraceEvent::PrefetchDropped { line, level: fill, cycle: now });
         return PrefetchOutcome::Dropped;
@@ -611,24 +664,13 @@ pub fn prefetch_access<T: Tracer>(
         }
     }
 
-    // Fill `fill` and all outer levels that miss, marking prefetch
-    // metadata and allocating MSHR entries at each newly filled level.
+    // Fill every admitted level, marking prefetch metadata and
+    // allocating MSHR entries at each newly filled level. Outer inserts
+    // cannot make `line` resident at an inner level (back-invalidation
+    // only touches the victim's copies), so the presence snapshot taken
+    // above is still valid here.
     let meta = LineMeta { prefetched: true, pf_origin: fill, dirty: false };
-    let mut fill_levels: Vec<CacheLevel> = Vec::with_capacity(3);
-    for level in [CacheLevel::Llc, CacheLevel::L2C, CacheLevel::L1D] {
-        if level < fill {
-            continue; // inner than the target: untouched
-        }
-        let present = match level {
-            CacheLevel::L1D => cores[who].l1d.contains(line),
-            CacheLevel::L2C => cores[who].l2c.contains(line),
-            CacheLevel::Llc => shared.llc.contains(line),
-        };
-        if !present {
-            fill_levels.push(level);
-        }
-    }
-    for level in fill_levels {
+    for &level in fill_levels {
         match level {
             CacheLevel::L1D => cores[who].l1_mshr.allocate(now, line, ready),
             CacheLevel::L2C => cores[who].l2_mshr.allocate(now, line, ready),
@@ -883,8 +925,8 @@ mod tests {
         let mut shared = SharedMem::new(&cfg);
         let mut stats = SimStats::default();
         let mut ev = MemEvents::default();
-        // Fill LLC set 0 (even lines) beyond capacity.
-        for i in 0..3u64 {
+        // Fill LLC set 0 (even lines) to capacity.
+        for i in 0..2u64 {
             demand_access(
                 LineAddr(i * 2),
                 true,
@@ -897,14 +939,75 @@ mod tests {
                 &mut NullTracer,
             );
         }
+        // The third access evicts line 0 from the LLC; observe exactly
+        // that access's events.
+        ev.clear();
+        demand_access(
+            LineAddr(4),
+            true,
+            2000,
+            0,
+            &mut cores,
+            &mut shared,
+            &mut stats,
+            &mut ev,
+            &mut NullTracer,
+        );
         // Line 0 was evicted from LLC and must be gone from L1D too.
         assert!(!shared.llc.contains(LineAddr(0)));
         assert!(!cores[0].l1d.contains(LineAddr(0)));
         assert!(!cores[0].l2c.contains(LineAddr(0)));
-        assert!(ev.l1d_evictions.contains(&LineAddr(0)) || {
-            // eviction event recorded during the third access
-            true
-        });
+        // The back-invalidation must surface as an L1D eviction event so
+        // the prefetcher's on_evict hook sees the line leave.
+        assert!(
+            ev.l1d_evictions.contains(&LineAddr(0)),
+            "back-invalidated line missing from l1d_evictions: {:?}",
+            ev.l1d_evictions
+        );
+    }
+
+    /// Outer-level MSHR admission: a prefetch whose outer fill levels
+    /// have no MSHR headroom must drop at admission instead of letting
+    /// `Mshr::allocate` force-evict from a full file (occupancy beyond
+    /// capacity with no modeled drop).
+    #[test]
+    fn prefetch_drops_when_outer_mshr_full() {
+        let cfg = SystemConfig {
+            l2c: crate::config::CacheConfig {
+                mshrs: 2,
+                ..SystemConfig::single_core().l2c
+            },
+            ..test_cfg()
+        };
+        let mut cores = vec![CoreMem::new(&cfg)];
+        let mut shared = SharedMem::new(&cfg);
+        let mut stats = SimStats::default();
+        let mut ev = MemEvents::default();
+        // Both prefetches target L1D and need fills at L1D, L2C, LLC.
+        // The L1D/LLC files have plenty of headroom; the 2-entry L2
+        // file can admit only the first (the second would leave no
+        // demand reserve).
+        let mut outcomes = Vec::new();
+        for i in 0..2u64 {
+            outcomes.push(prefetch_access(
+                PrefetchRequest::new(LineAddr(500 + i), CacheLevel::L1D),
+                0,
+                0,
+                &mut cores,
+                &mut shared,
+                &mut stats,
+                &mut ev,
+                &mut NullTracer,
+            ));
+        }
+        assert_eq!(outcomes[0], PrefetchOutcome::Admitted);
+        assert_eq!(outcomes[1], PrefetchOutcome::Dropped);
+        assert_eq!(stats.pf_dropped, 1);
+        // Occupancy never exceeded capacity at any level.
+        assert!(cores[0].mshr_occupancy(0)[1] <= 2);
+        // The drop happened at admission: no PQ entry or DRAM traffic
+        // for the rejected request.
+        assert_eq!(stats.dram_requests, 1);
     }
 
     #[test]

@@ -15,10 +15,19 @@ struct Entry {
 }
 
 /// A bounded MSHR file for one cache level.
+///
+/// Completed entries are reclaimed lazily: `min_ready` tracks the
+/// earliest completion cycle across the file, and the purge scan is
+/// skipped entirely while `now < min_ready` (no entry can have
+/// completed). Every query observes exactly the same entry set as an
+/// eager purge-on-every-call scheme would, at a fraction of the cost —
+/// the memory walk queries the MSHRs several times per trace op.
 #[derive(Debug, Clone)]
 pub struct Mshr {
     entries: Vec<Entry>,
     capacity: usize,
+    /// Earliest `ready` among `entries`; `u64::MAX` when empty.
+    min_ready: u64,
 }
 
 /// Result of attempting to allocate an MSHR entry.
@@ -41,12 +50,20 @@ impl Mshr {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be positive");
-        Mshr { entries: Vec::with_capacity(capacity), capacity }
+        Mshr { entries: Vec::with_capacity(capacity), capacity, min_ready: u64::MAX }
     }
 
     /// Drop entries whose miss completed at or before `now`.
+    ///
+    /// Fast path: while `now < min_ready` nothing can have completed,
+    /// so the scan is skipped and the entry set is provably identical
+    /// to what an eager purge would leave.
     fn purge(&mut self, now: u64) {
+        if now < self.min_ready {
+            return;
+        }
         self.entries.retain(|e| e.ready > now);
+        self.min_ready = self.entries.iter().map(|e| e.ready).min().unwrap_or(u64::MAX);
     }
 
     /// Number of in-flight entries at `now`.
@@ -110,8 +127,10 @@ impl Mshr {
                 .map(|(i, _)| i)
                 .expect("full file");
             self.entries.swap_remove(idx);
+            self.min_ready = self.entries.iter().map(|e| e.ready).min().unwrap_or(u64::MAX);
         }
         self.entries.push(Entry { line, ready });
+        self.min_ready = self.min_ready.min(ready);
     }
 }
 
@@ -156,6 +175,47 @@ mod tests {
         m.allocate(0, LineAddr(1), 100);
         assert_eq!(m.wait_for_free_traced(40, CacheLevel::L2C, &mut obs), 60);
         assert_eq!(obs.count(EventKind::MshrStall), 1);
+    }
+
+    /// The lazy purge must be observationally identical to an eager
+    /// retain-on-every-query purge over an arbitrary operation mix.
+    #[test]
+    fn lazy_purge_matches_eager_semantics() {
+        let mut m = Mshr::new(4);
+        let mut eager: Vec<(LineAddr, u64)> = Vec::new();
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut now = 0u64;
+        for i in 0..2000u64 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            now += seed >> 61; // advance 0..=7 cycles
+            let line = LineAddr(seed % 16);
+            match seed % 3 {
+                0 => {
+                    eager.retain(|e| e.1 > now);
+                    if eager.len() == 4 {
+                        let idx = eager
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, e)| e.1)
+                            .map(|(j, _)| j)
+                            .unwrap();
+                        eager.swap_remove(idx);
+                    }
+                    let ready = now + 1 + (seed >> 32) % 200;
+                    eager.push((line, ready));
+                    m.allocate(now, line, ready);
+                }
+                1 => {
+                    eager.retain(|e| e.1 > now);
+                    let expect = eager.iter().find(|e| e.0 == line).map(|e| e.1);
+                    assert_eq!(m.inflight(now, line), expect, "op {i} at {now}");
+                }
+                _ => {
+                    eager.retain(|e| e.1 > now);
+                    assert_eq!(m.occupancy(now), eager.len(), "op {i} at {now}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -32,6 +32,19 @@ fn uncore_line(line: LineAddr, who: usize) -> LineAddr {
     LineAddr(line.0.wrapping_sub((who as u64) << 38))
 }
 
+/// Drain `events` into core `who`'s prefetcher hooks, mapping lines
+/// back to the trace's own address space. Draining (rather than
+/// `mem::take`, which would drop and reallocate the buffers) keeps the
+/// per-op event delivery allocation-free.
+fn deliver_events(events: &mut MemEvents, pf: &mut dyn Prefetcher, who: usize, cycle: u64) {
+    for line in events.l1d_evictions.drain(..) {
+        pf.on_evict(&EvictInfo { line: uncore_line(line, who), cycle });
+    }
+    for (line, kind) in events.feedback.drain(..) {
+        pf.on_feedback(uncore_line(line, who), kind);
+    }
+}
+
 /// Per-core outcome of a multi-core run.
 #[derive(Debug, Clone)]
 pub struct MultiCoreResult {
@@ -137,13 +150,7 @@ impl MultiCoreSystem {
         st.dispatched += op.instruction_count();
         // Deliver events (mapped back to the trace's address space),
         // then train on loads.
-        for line in std::mem::take(&mut self.events.l1d_evictions) {
-            self.prefetchers[who]
-                .on_evict(&EvictInfo { line: uncore_line(line, who), cycle: issue });
-        }
-        for (line, kind) in std::mem::take(&mut self.events.feedback) {
-            self.prefetchers[who].on_feedback(uncore_line(line, who), kind);
-        }
+        deliver_events(&mut self.events, &mut *self.prefetchers[who], who, issue);
         if is_load {
             let info = AccessInfo {
                 access: op.access,
@@ -167,13 +174,7 @@ impl MultiCoreSystem {
                     &mut self.events,
                     &mut NullTracer,
                 );
-                for line in std::mem::take(&mut self.events.l1d_evictions) {
-                    self.prefetchers[who]
-                        .on_evict(&EvictInfo { line: uncore_line(line, who), cycle: issue });
-                }
-                for (line, kind) in std::mem::take(&mut self.events.feedback) {
-                    self.prefetchers[who].on_feedback(uncore_line(line, who), kind);
-                }
+                deliver_events(&mut self.events, &mut *self.prefetchers[who], who, issue);
             }
             self.states[who].pf_buf = buf;
         }

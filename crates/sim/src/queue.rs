@@ -15,10 +15,16 @@ use pmp_types::CacheLevel;
 pub const PQ_PROCESS_CYCLES: u64 = 4;
 
 /// A bounded prefetch request queue for one cache level.
+///
+/// Drained entries are reclaimed lazily, mirroring [`crate::mshr::Mshr`]:
+/// `min_release` tracks the earliest release cycle so the purge scan is
+/// skipped while nothing can have drained.
 #[derive(Debug, Clone)]
 pub struct PrefetchQueue {
     release: Vec<u64>,
     capacity: usize,
+    /// Earliest entry in `release`; `u64::MAX` when empty.
+    min_release: u64,
 }
 
 impl PrefetchQueue {
@@ -29,11 +35,15 @@ impl PrefetchQueue {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "PQ capacity must be positive");
-        PrefetchQueue { release: Vec::with_capacity(capacity), capacity }
+        PrefetchQueue { release: Vec::with_capacity(capacity), capacity, min_release: u64::MAX }
     }
 
     fn purge(&mut self, now: u64) {
+        if now < self.min_release {
+            return;
+        }
         self.release.retain(|&r| r > now);
+        self.min_release = self.release.iter().copied().min().unwrap_or(u64::MAX);
     }
 
     /// Requests still being processed at `now`.
@@ -53,7 +63,9 @@ impl PrefetchQueue {
         if self.release.len() >= self.capacity {
             return false;
         }
-        self.release.push(now + PQ_PROCESS_CYCLES);
+        let release = now + PQ_PROCESS_CYCLES;
+        self.release.push(release);
+        self.min_release = self.min_release.min(release);
         true
     }
 
