@@ -1,25 +1,141 @@
-//! Full 125-trace single-core sweep (development diagnostic).
+//! Full 125-trace single-core sweep (development diagnostic), run
+//! fault-tolerantly: every cell is isolated, completed cells are
+//! journaled to `results/journal.jsonl`, and failures are reported in a
+//! summary instead of killing the sweep.
+//!
+//! Flags:
+//! * `--resume` — serve already-journaled cells from the checkpoint and
+//!   execute only the missing ones.
+//! * `--fresh` — explicit form of the default: truncate the journal.
+//! * `--inject-faults` — add two deliberately broken cells (a
+//!   prefetcher that panics mid-run and a corrupted trace file) to
+//!   demonstrate that the sweep degrades to a reported gap instead of
+//!   crashing.
+use pmp_bench::journal;
 use pmp_bench::prefetchers::PrefetcherKind;
-use pmp_bench::runner::{run_traces, normalized_ipcs, geo_mean, RunConfig};
+use pmp_bench::runner::{
+    geo_mean, run_cell, run_traces_checked, CellSpec, RunConfig, RunOutcome, SweepSummary,
+};
+use pmp_traces::io::write_trace_file;
 use pmp_traces::{catalog, Suite, TraceScale};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Cycle budget per cell: generous for a healthy Small-scale run, but a
+/// livelocked cell is cut off instead of hanging the sweep forever.
+const CELL_CYCLE_BUDGET: u64 = 2_000_000_000;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let resume = args.iter().any(|a| a == "--resume");
+    let inject = args.iter().any(|a| a == "--inject-faults");
+    for a in &args {
+        if a != "--resume" && a != "--fresh" && a != "--inject-faults" {
+            eprintln!("unknown flag {a}; expected --resume, --fresh or --inject-faults");
+            std::process::exit(2);
+        }
+    }
+    std::fs::create_dir_all("results").expect("create results dir");
+    match journal::init_global(Path::new("results/journal.jsonl"), resume) {
+        Ok(info) if resume => eprintln!(
+            "journal: resumed with {} completed cells ({} corrupt lines skipped)",
+            info.loaded, info.skipped
+        ),
+        Ok(_) => {}
+        Err(e) => eprintln!("journal: disabled ({e}); running without checkpointing"),
+    }
+
     let specs = catalog();
-    let cfg = RunConfig { scale: TraceScale::Small, ..RunConfig::default() };
-    let base = run_traces(&specs, &PrefetcherKind::None, &cfg);
-    let mpki: Vec<f64> = base.iter().map(|o| o.result.stats.llc_mpki()).collect();
+    let cfg = RunConfig {
+        scale: TraceScale::Small,
+        max_cycles: Some(CELL_CYCLE_BUDGET),
+        ..RunConfig::default()
+    };
+    let mut summary = SweepSummary::default();
+
+    // Baseline grid; traces whose baseline cell failed are excluded
+    // from every comparison below (there is nothing to normalise by).
+    let mut base: HashMap<String, RunOutcome> = HashMap::new();
+    for r in run_traces_checked(&specs, &PrefetcherKind::None, &cfg) {
+        match r {
+            Ok(o) => {
+                summary.completed += 1;
+                base.insert(o.trace.clone(), o);
+            }
+            Err(f) => summary.failures.push(f),
+        }
+    }
+    if base.is_empty() {
+        eprint!("{}", summary.report());
+        eprintln!("no baseline cell completed; nothing to normalise");
+        std::process::exit(1);
+    }
+    let mpki: Vec<f64> = base.values().map(|o| o.result.stats.llc_mpki()).collect();
     let lo = mpki.iter().filter(|&&m| m <= 5.0).count();
-    eprintln!("traces with MPKI<=5: {lo}/125; median {:.1}", {
-        let mut s = mpki.clone(); s.sort_by(|a,b| a.partial_cmp(b).unwrap()); s[62]
+    eprintln!("traces with MPKI<=5: {lo}/{}; median {:.1}", base.len(), {
+        let mut s = mpki.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite MPKI"));
+        s[s.len() / 2]
     });
+
     for kind in PrefetcherKind::paper_five() {
-        let out = run_traces(&specs, &kind, &cfg);
-        let (nipcs, g) = normalized_ipcs(&base, &out);
-        let mut line = format!("{:8} overall {:.3}", kind.label(), g);
+        let mut pairs: Vec<(Suite, f64)> = Vec::new();
+        for r in run_traces_checked(&specs, &kind, &cfg) {
+            match r {
+                Ok(o) => {
+                    summary.completed += 1;
+                    if let Some(b) = base.get(&o.trace) {
+                        pairs.push((o.suite, o.result.ipc() / b.result.ipc().max(1e-12)));
+                    }
+                }
+                Err(f) => summary.failures.push(f),
+            }
+        }
+        let all: Vec<f64> = pairs.iter().map(|(_, n)| *n).collect();
+        let mut line = format!("{:8} overall {:.3}", kind.label(), geo_mean(&all));
         for suite in Suite::ALL {
-            let vals: Vec<f64> = nipcs.iter().zip(&base).filter(|(_, b)| b.suite == suite).map(|(n, _)| *n).collect();
-            line += &format!("  {suite}={:.3}", geo_mean(&vals));
+            let vals: Vec<f64> =
+                pairs.iter().filter(|(s, _)| *s == suite).map(|(_, n)| *n).collect();
+            if !vals.is_empty() {
+                line += &format!("  {suite}={:.3}", geo_mean(&vals));
+            }
         }
         println!("{line}");
+    }
+
+    if inject {
+        eprintln!("injecting two faulty cells (expected to fail in isolation)...");
+        // Cell 1: a prefetcher that panics partway through the run.
+        match pmp_bench::runner::run_trace_checked(
+            &specs[0],
+            &PrefetcherKind::FaultyPanicAfter(10_000),
+            &cfg,
+        ) {
+            Ok(o) => {
+                summary.completed += 1;
+                eprintln!("unexpected: injected panic cell completed ({})", o.trace);
+            }
+            Err(f) => summary.failures.push(f),
+        }
+        // Cell 2: a trace file truncated mid-record.
+        let path = PathBuf::from("results/injected_corrupt.pmpt");
+        let trace = specs[0].build(TraceScale::Tiny);
+        write_trace_file(&trace, &path).expect("write injected trace");
+        let full = std::fs::read(&path).expect("read back");
+        std::fs::write(&path, &full[..full.len() - 7]).expect("truncate injected trace");
+        match run_cell(&CellSpec::File(path), &PrefetcherKind::None, &cfg) {
+            Ok(o) => {
+                summary.completed += 1;
+                eprintln!("unexpected: corrupted trace cell completed ({})", o.trace);
+            }
+            Err(f) => summary.failures.push(f),
+        }
+    }
+
+    summary.resumed = journal::global_hits();
+    eprint!("{}", summary.report());
+    if inject && summary.failures.len() < 2 {
+        eprintln!("fault injection expected 2 failures, saw {}", summary.failures.len());
+        std::process::exit(1);
     }
 }

@@ -1,12 +1,36 @@
 //! Runs every experiment and writes the reports under `results/`.
 //! Scale via `PMP_SCALE` (tiny/small/standard/large; default standard).
+//!
+//! Flags:
+//! * `--resume` — reuse completed cells from `results/journal.jsonl`
+//!   (an interrupted run picks up where it stopped).
+//! * `--fresh` — explicit form of the default: truncate the journal and
+//!   recompute everything.
 use pmp_bench::experiments::{ablation, headline, motivation, multicore, scale_from_env, sensitivity, storage};
+use pmp_bench::journal;
 use std::fs;
+use std::path::Path;
 use std::time::Instant;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let resume = args.iter().any(|a| a == "--resume");
+    for a in &args {
+        if a != "--resume" && a != "--fresh" {
+            eprintln!("unknown flag {a}; expected --resume or --fresh");
+            std::process::exit(2);
+        }
+    }
     let scale = scale_from_env();
     fs::create_dir_all("results").expect("create results dir");
+    match journal::init_global(Path::new("results/journal.jsonl"), resume) {
+        Ok(info) if resume => eprintln!(
+            "journal: resumed with {} completed cells ({} corrupt lines skipped)",
+            info.loaded, info.skipped
+        ),
+        Ok(_) => {}
+        Err(e) => eprintln!("journal: disabled ({e}); running without checkpointing"),
+    }
     let t0 = Instant::now();
     let save = |name: &str, body: String| {
         let path = format!("results/{name}.txt");
@@ -41,5 +65,8 @@ fn main() {
     save("fig12b_llc", sensitivity::fig12b_llc(scale));
 
     save("fig13_multicore", multicore::fig13(scale));
+    if journal::global_hits() > 0 {
+        eprintln!("journal: {} cells served from checkpoint", journal::global_hits());
+    }
     eprintln!("run_all finished in {:?}", t0.elapsed());
 }

@@ -20,6 +20,7 @@ pub fn fig12a_bandwidth(scale: TraceScale) -> String {
         let cfg = RunConfig {
             scale,
             system: SystemConfig::single_core().with_dram_mts(mts),
+            ..RunConfig::default()
         };
         let base = run_traces(&specs, &PrefetcherKind::None, &cfg);
         for (si, kind) in PrefetcherKind::paper_five().iter().enumerate() {
@@ -46,6 +47,7 @@ pub fn fig12b_llc(scale: TraceScale) -> String {
         let cfg = RunConfig {
             scale,
             system: SystemConfig::single_core().with_llc_mb(mb),
+            ..RunConfig::default()
         };
         let base = run_traces(&specs, &PrefetcherKind::None, &cfg);
         for (si, kind) in PrefetcherKind::paper_five().iter().enumerate() {

@@ -1,0 +1,456 @@
+//! JSONL results journal with checkpoint/resume.
+//!
+//! Grid sweeps at paper scale (125 traces × many prefetchers) take long
+//! enough that losing completed work to one bad cell — or to a
+//! ctrl-C — is the dominant robustness cost. The journal makes each
+//! completed (trace, prefetcher, scale, config) cell durable the moment
+//! it finishes: the runner appends one JSON line per cell to
+//! `results/journal.jsonl`, and a re-run started with `--resume` serves
+//! those cells from the journal instead of re-simulating them, so only
+//! missing (i.e. previously failed or never-reached) cells execute.
+//!
+//! The journal is a process-wide singleton the runner consults
+//! implicitly (threading a handle through every experiment function
+//! would churn two dozen call sites for no flexibility anyone needs):
+//! binaries opt in via [`init_global`]; tests can install an in-memory
+//! journal via [`install_global`] and reset with [`clear_global`].
+//!
+//! ## Record format
+//!
+//! One JSON object per line, `stats` rendered by
+//! [`pmp_stats::sim_stats_to_json`] and parsed back by the scanner in
+//! this module (serde-free, like the rest of the workspace):
+//!
+//! ```json
+//! {"key":"spec06.mcf_2|pmp|Small|a1b2...","trace":"spec06.mcf_2",
+//!  "suite":0,"prefetcher":"pmp","instructions":123,"cycles":456,
+//!  "stats":{...}}
+//! ```
+//!
+//! Unparseable lines (torn tail writes after a crash) are skipped on
+//! load and reported, never fatal: a corrupt journal degrades to
+//! re-running some cells.
+
+use pmp_sim::{LevelStats, SimStats};
+use pmp_traces::Suite;
+use std::collections::HashMap;
+use std::fs::OpenOptions;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// One journaled (completed) grid cell.
+#[derive(Debug, Clone)]
+pub struct JournalEntry {
+    /// Trace name.
+    pub trace: String,
+    /// Trace suite.
+    pub suite: Suite,
+    /// Prefetcher label.
+    pub prefetcher: String,
+    /// Measured-window instructions.
+    pub instructions: u64,
+    /// Measured-window cycles.
+    pub cycles: u64,
+    /// Measured-window counters.
+    pub stats: SimStats,
+}
+
+/// Outcome of loading a journal file on resume.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResumeInfo {
+    /// Cells loaded and available for reuse.
+    pub loaded: usize,
+    /// Lines skipped as unparseable (torn writes, corruption).
+    pub skipped: usize,
+}
+
+/// An append-only journal of completed cells, keyed by cell key.
+#[derive(Debug, Default)]
+pub struct Journal {
+    entries: HashMap<String, JournalEntry>,
+    writer: Option<BufWriter<std::fs::File>>,
+    hits: u64,
+}
+
+impl Journal {
+    /// An in-memory journal (tests; nothing touches disk).
+    pub fn in_memory() -> Self {
+        Journal::default()
+    }
+
+    /// Open (append mode) the journal at `path`. With `resume` the
+    /// existing records are loaded for reuse; without it the file is
+    /// truncated and the sweep starts fresh.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors. Unreadable *content* is never
+    /// an error — bad lines are counted in [`ResumeInfo::skipped`].
+    pub fn open(path: &Path, resume: bool) -> io::Result<(Self, ResumeInfo)> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut journal = Journal::default();
+        let mut info = ResumeInfo::default();
+        if resume {
+            match std::fs::read_to_string(path) {
+                Ok(body) => {
+                    for line in body.lines().filter(|l| !l.trim().is_empty()) {
+                        match parse_record(line) {
+                            Some((key, entry)) => {
+                                journal.entries.insert(key, entry);
+                            }
+                            None => info.skipped += 1,
+                        }
+                    }
+                    info.loaded = journal.entries.len();
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(resume)
+            .write(true)
+            .truncate(!resume)
+            .open(path)?;
+        journal.writer = Some(BufWriter::new(file));
+        Ok((journal, info))
+    }
+
+    /// The journaled entry for `key`, if that cell already completed.
+    pub fn lookup(&mut self, key: &str) -> Option<JournalEntry> {
+        let found = self.entries.get(key).cloned();
+        if found.is_some() {
+            self.hits += 1;
+        }
+        found
+    }
+
+    /// Record a completed cell and flush it to disk immediately (a
+    /// crash right after must not lose the cell).
+    pub fn record(&mut self, key: &str, entry: JournalEntry) {
+        let line = render_record(key, &entry);
+        if let Some(w) = &mut self.writer {
+            // Best-effort durability: a full disk must not kill the
+            // sweep that still has healthy in-memory results to report.
+            let _ = writeln!(w, "{line}");
+            let _ = w.flush();
+        }
+        self.entries.insert(key.to_string(), entry);
+    }
+
+    /// Completed cells currently known.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no cells are journaled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups served from the journal since it was opened.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+// ---------------------------------------------------------------------
+// Process-wide journal the runner consults.
+// ---------------------------------------------------------------------
+
+static GLOBAL: Mutex<Option<Journal>> = Mutex::new(None);
+
+/// Lock the global journal slot, surviving a poisoned mutex (a worker
+/// that panicked mid-record must not poison every later cell — that is
+/// exactly the failure mode this PR removes).
+fn global_slot() -> std::sync::MutexGuard<'static, Option<Journal>> {
+    GLOBAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Open `path` and install it as the process-wide journal.
+///
+/// # Errors
+///
+/// Propagates [`Journal::open`] errors.
+pub fn init_global(path: &Path, resume: bool) -> io::Result<ResumeInfo> {
+    let (journal, info) = Journal::open(path, resume)?;
+    *global_slot() = Some(journal);
+    Ok(info)
+}
+
+/// Install an already-built journal (tests use in-memory ones).
+pub fn install_global(journal: Journal) {
+    *global_slot() = Some(journal);
+}
+
+/// Remove the global journal (subsequent sweeps run un-journaled).
+pub fn clear_global() {
+    *global_slot() = None;
+}
+
+/// Whether a global journal is installed.
+pub fn global_active() -> bool {
+    global_slot().is_some()
+}
+
+/// Journal lookup for a cell key (None when inactive or missing).
+pub fn global_lookup(key: &str) -> Option<JournalEntry> {
+    global_slot().as_mut().and_then(|j| j.lookup(key))
+}
+
+/// Record a completed cell into the global journal (no-op when
+/// inactive).
+pub fn global_record(key: &str, entry: JournalEntry) {
+    if let Some(j) = global_slot().as_mut() {
+        j.record(key, entry);
+    }
+}
+
+/// Lookups served from the global journal so far (resume hit count).
+pub fn global_hits() -> u64 {
+    global_slot().as_ref().map_or(0, Journal::hits)
+}
+
+// ---------------------------------------------------------------------
+// Cell keys.
+// ---------------------------------------------------------------------
+
+/// FNV-1a over a string: cheap, deterministic, dependency-free.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Build the journal key for one grid cell. The human-readable prefix
+/// (trace, prefetcher label, scale) makes journals greppable; the
+/// fingerprint hash covers everything the label does not — the full
+/// prefetcher parameterisation (two `PmpCustom` sweeps share a label
+/// but not a configuration) and the system configuration — so a cell
+/// is only ever reused for an identical experiment.
+pub fn cell_key(trace: &str, label: &str, scale_tag: &str, fingerprint_input: &str) -> String {
+    format!("{trace}|{label}|{scale_tag}|{:016x}", fnv1a(fingerprint_input))
+}
+
+// ---------------------------------------------------------------------
+// Serialisation.
+// ---------------------------------------------------------------------
+
+/// Strip characters that would break the one-line JSON framing. Trace
+/// names and prefetcher labels never contain them; this is belt and
+/// braces for hostile file paths used as cell names.
+fn sanitize(s: &str) -> String {
+    s.chars().filter(|c| !c.is_control() && *c != '"' && *c != '\\').collect()
+}
+
+fn suite_index(suite: Suite) -> usize {
+    Suite::ALL.iter().position(|s| *s == suite).unwrap_or(0)
+}
+
+fn render_record(key: &str, e: &JournalEntry) -> String {
+    format!(
+        "{{\"key\":\"{}\",\"trace\":\"{}\",\"suite\":{},\"prefetcher\":\"{}\",\
+         \"instructions\":{},\"cycles\":{},\"stats\":{}}}",
+        sanitize(key),
+        sanitize(&e.trace),
+        suite_index(e.suite),
+        sanitize(&e.prefetcher),
+        e.instructions,
+        e.cycles,
+        pmp_stats::sim_stats_to_json(&e.stats),
+    )
+}
+
+/// `"key":"value"` string field (no escape handling: writers sanitize).
+fn field_str<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let start = obj.find(&pat)? + pat.len();
+    let end = obj[start..].find('"')?;
+    Some(&obj[start..start + end])
+}
+
+/// `"key":123` unsigned numeric field.
+fn field_u64(obj: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = obj.find(&pat)? + pat.len();
+    let digits: String =
+        obj[start..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// The flat `{...}` object following `"key":`.
+fn field_obj<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":{{");
+    let start = obj.find(&pat)? + pat.len() - 1;
+    let end = obj[start..].find('}')?;
+    Some(&obj[start..=start + end])
+}
+
+fn parse_level(obj: &str) -> Option<LevelStats> {
+    Some(LevelStats {
+        load_accesses: field_u64(obj, "load_accesses")?,
+        load_misses: field_u64(obj, "load_misses")?,
+        store_accesses: field_u64(obj, "store_accesses")?,
+        store_misses: field_u64(obj, "store_misses")?,
+        pf_fills: field_u64(obj, "pf_fills")?,
+        pf_useful: field_u64(obj, "pf_useful")?,
+        pf_useless: field_u64(obj, "pf_useless")?,
+        pf_late: field_u64(obj, "pf_late")?,
+        writebacks: field_u64(obj, "writebacks")?,
+    })
+}
+
+fn parse_stats(obj: &str) -> Option<SimStats> {
+    let mut stats = SimStats {
+        instructions: field_u64(obj, "instructions")?,
+        cycles: field_u64(obj, "cycles")?,
+        pf_issued: field_u64(obj, "pf_issued")?,
+        pf_admitted: field_u64(obj, "pf_admitted")?,
+        pf_dropped: field_u64(obj, "pf_dropped")?,
+        pf_redundant: field_u64(obj, "pf_redundant")?,
+        dram_requests: field_u64(obj, "dram_requests")?,
+        dram_writes: field_u64(obj, "dram_writes")?,
+        ..SimStats::default()
+    };
+    for (i, name) in ["l1d", "l2c", "llc"].iter().enumerate() {
+        stats.levels[i] = parse_level(field_obj(obj, name)?)?;
+    }
+    Some(stats)
+}
+
+fn parse_record(line: &str) -> Option<(String, JournalEntry)> {
+    let key = field_str(line, "key")?.to_string();
+    let suite = *Suite::ALL.get(usize::try_from(field_u64(line, "suite")?).ok()?)?;
+    // `stats` is the last field: parse from its opening brace onward so
+    // the outer object's instructions/cycles fields are not confused
+    // with the inner ones.
+    let stats_at = line.find("\"stats\":")?;
+    let entry = JournalEntry {
+        trace: field_str(line, "trace")?.to_string(),
+        suite,
+        prefetcher: field_str(line, "prefetcher")?.to_string(),
+        instructions: field_u64(&line[..stats_at], "instructions")?,
+        cycles: field_u64(&line[..stats_at], "cycles")?,
+        stats: parse_stats(&line[stats_at..])?,
+    };
+    Some((key, entry))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_types::CacheLevel;
+
+    fn sample_entry() -> JournalEntry {
+        let mut stats = SimStats {
+            instructions: 9000,
+            cycles: 4500,
+            pf_issued: 77,
+            pf_admitted: 70,
+            pf_dropped: 4,
+            pf_redundant: 3,
+            dram_requests: 1234,
+            dram_writes: 56,
+            ..SimStats::default()
+        };
+        stats.level_mut(CacheLevel::L1D).load_accesses = 3000;
+        stats.level_mut(CacheLevel::L1D).load_misses = 120;
+        stats.level_mut(CacheLevel::L2C).pf_useful = 44;
+        stats.level_mut(CacheLevel::Llc).writebacks = 9;
+        JournalEntry {
+            trace: "spec06.mcf_2".into(),
+            suite: Suite::Spec06,
+            prefetcher: "pmp".into(),
+            instructions: 9000,
+            cycles: 4500,
+            stats,
+        }
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let entry = sample_entry();
+        let line = render_record("k1|pmp|Small|0123456789abcdef", &entry);
+        let (key, back) = parse_record(&line).expect("parse");
+        assert_eq!(key, "k1|pmp|Small|0123456789abcdef");
+        assert_eq!(back.trace, entry.trace);
+        assert_eq!(back.suite, entry.suite);
+        assert_eq!(back.prefetcher, entry.prefetcher);
+        assert_eq!(back.instructions, entry.instructions);
+        assert_eq!(back.cycles, entry.cycles);
+        assert_eq!(back.stats, entry.stats, "full SimStats must survive the round trip");
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped_not_fatal() {
+        let dir = std::env::temp_dir().join("pmp_journal_corrupt_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("journal.jsonl");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let good = render_record("good-key", &sample_entry());
+        let torn = &good[..good.len() / 2];
+        std::fs::write(&path, format!("{good}\nnot json at all\n{torn}\n")).expect("seed");
+        let (journal, info) = Journal::open(&path, true).expect("open");
+        assert_eq!(info.loaded, 1);
+        assert_eq!(info.skipped, 2);
+        assert_eq!(journal.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fresh_open_truncates() {
+        let dir = std::env::temp_dir().join("pmp_journal_fresh_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("journal.jsonl");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(&path, render_record("stale", &sample_entry()) + "\n").expect("seed");
+        let (journal, info) = Journal::open(&path, false).expect("open");
+        assert_eq!(info.loaded, 0);
+        assert!(journal.is_empty());
+        drop(journal);
+        assert_eq!(std::fs::read_to_string(&path).expect("read").len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_then_resume_restores_cells() {
+        let dir = std::env::temp_dir().join("pmp_journal_resume_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("journal.jsonl");
+        {
+            let (mut journal, _) = Journal::open(&path, false).expect("open");
+            journal.record("cell-a", sample_entry());
+            let mut other = sample_entry();
+            other.trace = "ligra.bfs_2".into();
+            other.suite = Suite::Ligra;
+            journal.record("cell-b", other);
+        }
+        let (mut journal, info) = Journal::open(&path, true).expect("reopen");
+        assert_eq!(info.loaded, 2);
+        assert_eq!(info.skipped, 0);
+        let a = journal.lookup("cell-a").expect("cell-a journaled");
+        assert_eq!(a.trace, "spec06.mcf_2");
+        let b = journal.lookup("cell-b").expect("cell-b journaled");
+        assert_eq!(b.suite, Suite::Ligra);
+        assert!(journal.lookup("cell-c").is_none());
+        assert_eq!(journal.hits(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cell_keys_separate_configs_sharing_a_label() {
+        let a = cell_key("t", "pmp-custom", "Small", "cfg-variant-1");
+        let b = cell_key("t", "pmp-custom", "Small", "cfg-variant-2");
+        assert_ne!(a, b);
+        assert!(a.starts_with("t|pmp-custom|Small|"));
+    }
+}

@@ -21,8 +21,10 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod experiments;
+pub mod journal;
 pub mod microbench;
 pub mod prefetchers;
 pub mod runner;

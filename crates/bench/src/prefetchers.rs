@@ -3,7 +3,11 @@
 
 use pmp_baselines::{Bingo, Bop, DsPatch, Ghb, Isb, Pythia, Sandbox, Sms, SppPpf, Vldp};
 use pmp_core::{DesignB, DesignBConfig, Pmp, PmpConfig};
-use pmp_prefetch::{NextLine, NoPrefetch, PlacedLow, Prefetcher, StridePrefetcher};
+use pmp_prefetch::{
+    AccessInfo, Introspect, NextLine, NoPrefetch, PlacedLow, Prefetcher, PrefetchRequest,
+    StridePrefetcher,
+};
+use pmp_types::HarnessError;
 
 /// Every prefetcher configuration used by the experiments.
 #[derive(Debug, Clone)]
@@ -49,6 +53,11 @@ pub enum PrefetcherKind {
     DesignB(usize),
     /// PMP with a custom configuration (parameter sweeps/ablations).
     PmpCustom(Box<PmpConfig>),
+    /// Fault-injection mock: behaves like no prefetcher, then panics on
+    /// the Nth demand load it observes. Exists so the runner's panic
+    /// isolation can be exercised end-to-end (a deliberately poisoned
+    /// grid cell must not take the sweep down with it).
+    FaultyPanicAfter(u64),
 }
 
 impl PrefetcherKind {
@@ -92,6 +101,61 @@ impl PrefetcherKind {
                 ..DesignBConfig::default()
             })),
             PrefetcherKind::PmpCustom(cfg) => Box::new(Pmp::new((**cfg).clone())),
+            PrefetcherKind::FaultyPanicAfter(n) => Box::new(PanicAfter { remaining: *n }),
+        }
+    }
+
+    /// Pre-flight validation: parameterised kinds whose parameters
+    /// would panic deep inside `build()` or the prefetcher itself are
+    /// rejected here with a diagnosis instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::InvalidConfig`] naming the kind and the
+    /// offending parameter.
+    pub fn validate(&self) -> Result<(), HarnessError> {
+        match self {
+            PrefetcherKind::DesignB(ways) => {
+                // Table VIII sweeps up to 512 ways; beyond 1024 the
+                // config is a typo, not an experiment.
+                if *ways == 0 || *ways > 1024 {
+                    return Err(HarnessError::invalid(
+                        "PrefetcherKind::DesignB.ways",
+                        format!("associativity must be in 1..=1024, got {ways}"),
+                    ));
+                }
+                Ok(())
+            }
+            PrefetcherKind::PmpCustom(cfg) => {
+                let bits: [(&str, u32); 4] = [
+                    ("trigger_offset_bits", cfg.trigger_offset_bits),
+                    ("pc_index_bits", cfg.pc_index_bits),
+                    ("opt_counter_bits", cfg.opt_counter_bits),
+                    ("ppt_counter_bits", cfg.ppt_counter_bits),
+                ];
+                for (field, value) in bits {
+                    if value == 0 || value > 16 {
+                        return Err(HarnessError::invalid(
+                            format!("PrefetcherKind::PmpCustom.{field}"),
+                            format!("width must be in 1..=16 bits, got {value}"),
+                        ));
+                    }
+                }
+                if cfg.pb_entries == 0 {
+                    return Err(HarnessError::invalid(
+                        "PrefetcherKind::PmpCustom.pb_entries",
+                        "prefetch buffer needs at least one entry",
+                    ));
+                }
+                if cfg.monitoring_range == 0 {
+                    return Err(HarnessError::invalid(
+                        "PrefetcherKind::PmpCustom.monitoring_range",
+                        "monitoring range must be non-zero",
+                    ));
+                }
+                Ok(())
+            }
+            _ => Ok(()),
         }
     }
 
@@ -118,7 +182,32 @@ impl PrefetcherKind {
             PrefetcherKind::PmpAdaptive => "pmp-adaptive".into(),
             PrefetcherKind::DesignB(w) => format!("design-b/{w}w"),
             PrefetcherKind::PmpCustom(_) => "pmp-custom".into(),
+            PrefetcherKind::FaultyPanicAfter(n) => format!("faulty-panic/{n}"),
         }
+    }
+}
+
+/// The fault-injection mock behind [`PrefetcherKind::FaultyPanicAfter`].
+struct PanicAfter {
+    remaining: u64,
+}
+
+impl Introspect for PanicAfter {}
+
+impl Prefetcher for PanicAfter {
+    fn name(&self) -> &'static str {
+        "faulty-panic"
+    }
+
+    fn on_access(&mut self, _info: &AccessInfo, _out: &mut Vec<PrefetchRequest>) {
+        if self.remaining == 0 {
+            panic!("injected fault: prefetcher panicked on schedule");
+        }
+        self.remaining -= 1;
+    }
+
+    fn storage_bits(&self) -> u64 {
+        0
     }
 }
 
@@ -149,12 +238,44 @@ mod tests {
             PrefetcherKind::PmpAdaptive,
             PrefetcherKind::DesignB(8),
             PrefetcherKind::PmpCustom(Box::default()),
+            PrefetcherKind::FaultyPanicAfter(10),
         ];
         for k in kinds {
             let p = k.build();
             assert!(!p.name().is_empty());
             assert!(!k.label().is_empty());
+            k.validate().unwrap_or_else(|e| panic!("{} must validate: {e}", k.label()));
         }
+    }
+
+    #[test]
+    fn validate_rejects_bad_parameters() {
+        assert!(PrefetcherKind::DesignB(0).validate().is_err());
+        assert!(PrefetcherKind::DesignB(4096).validate().is_err());
+        assert!(PrefetcherKind::DesignB(512).validate().is_ok(), "Table VIII's largest point");
+        let cfg = PmpConfig { opt_counter_bits: 0, ..PmpConfig::default() };
+        assert!(PrefetcherKind::PmpCustom(Box::new(cfg)).validate().is_err());
+        let cfg = PmpConfig { pb_entries: 0, ..PmpConfig::default() };
+        assert!(PrefetcherKind::PmpCustom(Box::new(cfg)).validate().is_err());
+    }
+
+    #[test]
+    fn faulty_prefetcher_panics_on_schedule() {
+        use pmp_types::{Addr, MemAccess, Pc};
+        let mut p = PrefetcherKind::FaultyPanicAfter(2).build();
+        let info = AccessInfo {
+            access: MemAccess::load(Pc(0x400), Addr(0x1000)),
+            hit: false,
+            cycle: 0,
+            pq_free: 8,
+        };
+        let mut out = Vec::new();
+        p.on_access(&info, &mut out); // 1st: fine
+        p.on_access(&info, &mut out); // 2nd: fine
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.on_access(&info, &mut out)
+        }));
+        assert!(boom.is_err(), "3rd access must panic");
     }
 
     #[test]

@@ -1,9 +1,27 @@
 //! Trace-sweep runner: executes (trace × prefetcher) grids on all
 //! available cores and aggregates normalized IPCs.
+//!
+//! ## Failure model
+//!
+//! Every grid cell runs behind a robustness boundary
+//! ([`run_trace_checked`] / [`run_cell`]): configurations are
+//! pre-flight validated, the simulation runs under the watchdog cycle
+//! budget when [`RunConfig::max_cycles`] is set, and panics anywhere in
+//! the cell (trace generator, prefetcher, simulator) are caught and
+//! converted to a typed [`CellFailure`]. One bad cell therefore costs
+//! exactly one grid gap — reported in the [`SweepSummary`] — instead of
+//! the whole sweep. Completed cells are journaled through
+//! [`crate::journal`] when a journal is active, so interrupted sweeps
+//! resume instead of restarting.
 
+use crate::journal;
 use crate::prefetchers::PrefetcherKind;
 use pmp_sim::{SimResult, System, SystemConfig};
-use pmp_traces::{Suite, TraceScale, TraceSpec};
+use pmp_traces::io::read_trace_file;
+use pmp_traces::{Suite, Trace, TraceScale, TraceSpec};
+use pmp_types::HarnessError;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 
 /// Shared run parameters.
 #[derive(Debug, Clone)]
@@ -12,11 +30,36 @@ pub struct RunConfig {
     pub scale: TraceScale,
     /// Simulated system configuration.
     pub system: SystemConfig,
+    /// Watchdog: maximum core cycles a single cell may consume before
+    /// it is aborted with [`HarnessError::Timeout`]. `None` disables
+    /// the guard (the historical behaviour).
+    pub max_cycles: Option<u64>,
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { scale: TraceScale::Standard, system: SystemConfig::single_core() }
+        RunConfig {
+            scale: TraceScale::Standard,
+            system: SystemConfig::single_core(),
+            max_cycles: None,
+        }
+    }
+}
+
+impl RunConfig {
+    /// The fingerprint input for journal cell keys: everything that
+    /// affects a cell's result beyond trace name and scale.
+    fn fingerprint_input(&self, kind: &PrefetcherKind) -> String {
+        format!("{:?}|{:?}|{:?}", kind, self.system, self.max_cycles)
+    }
+
+    fn cell_key(&self, trace: &str, kind: &PrefetcherKind) -> String {
+        journal::cell_key(
+            trace,
+            &kind.label(),
+            &format!("{:?}", self.scale),
+            &self.fingerprint_input(kind),
+        )
     }
 }
 
@@ -33,7 +76,81 @@ pub struct RunOutcome {
     pub result: SimResult,
 }
 
+/// One isolated (trace, prefetcher) failure: the cell's identity plus
+/// the typed error that killed it.
+#[derive(Debug)]
+pub struct CellFailure {
+    /// Trace name (or file path for imported cells).
+    pub trace: String,
+    /// Prefetcher label.
+    pub prefetcher: String,
+    /// What went wrong.
+    pub error: HarnessError,
+}
+
+impl std::fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell ({} × {}): {}", self.trace, self.prefetcher, self.error)
+    }
+}
+
+/// A cell either completes with an outcome or degrades to a reported
+/// failure.
+pub type CellResult = Result<RunOutcome, CellFailure>;
+
+/// Input of one grid cell: a synthetic catalog spec or an imported
+/// `.pmpt` trace file.
+#[derive(Debug, Clone)]
+pub enum CellSpec {
+    /// A catalog/synthetic trace recipe.
+    Synthetic(TraceSpec),
+    /// A binary trace file (external capture), read with full
+    /// corruption checking.
+    File(PathBuf),
+}
+
+impl CellSpec {
+    /// Display name (trace name or file path).
+    pub fn name(&self) -> String {
+        match self {
+            CellSpec::Synthetic(spec) => spec.name.clone(),
+            CellSpec::File(path) => path.display().to_string(),
+        }
+    }
+}
+
+/// Render a caught panic payload (the `&str`/`String` forms `panic!`
+/// produces; anything else is labelled opaquely).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one materialised trace under one prefetcher inside the
+/// robustness boundary (panic isolation + optional watchdog).
+fn run_isolated(trace: &Trace, kind: &PrefetcherKind, cfg: &RunConfig) -> Result<SimResult, HarnessError> {
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        let mut sys = System::new(cfg.system.clone(), kind.build());
+        match cfg.max_cycles {
+            Some(budget) => sys.run_bounded(&trace.ops, cfg.scale.warmup_instructions(), budget),
+            None => Ok(sys.run(&trace.ops, cfg.scale.warmup_instructions())),
+        }
+    }));
+    match attempt {
+        Ok(result) => result,
+        Err(payload) => Err(HarnessError::Panic { message: panic_message(payload) }),
+    }
+}
+
 /// Run one trace under one prefetcher.
+///
+/// This is the historical unchecked entry point: no validation, no
+/// panic isolation, no journal. Prefer [`run_trace_checked`] in sweeps.
 pub fn run_trace(spec: &TraceSpec, kind: &PrefetcherKind, cfg: &RunConfig) -> RunOutcome {
     let trace = spec.build(cfg.scale);
     let mut sys = System::new(cfg.system.clone(), kind.build());
@@ -46,17 +163,237 @@ pub fn run_trace(spec: &TraceSpec, kind: &PrefetcherKind, cfg: &RunConfig) -> Ru
     }
 }
 
+/// Run one catalog trace under one prefetcher behind the full
+/// robustness boundary: pre-flight validation, journal reuse, panic
+/// isolation, and the watchdog budget.
+///
+/// # Errors
+///
+/// Returns a [`CellFailure`] carrying the typed [`HarnessError`] when
+/// the cell cannot produce a result; the caller's sweep continues.
+pub fn run_trace_checked(
+    spec: &TraceSpec,
+    kind: &PrefetcherKind,
+    cfg: &RunConfig,
+) -> CellResult {
+    let fail = |error| {
+        Err(CellFailure { trace: spec.name.clone(), prefetcher: kind.label(), error })
+    };
+    let key = cfg.cell_key(&spec.name, kind);
+    if let Some(entry) = journal::global_lookup(&key) {
+        return Ok(outcome_from_journal(entry, kind));
+    }
+    if let Err(e) = cfg.system.validate() {
+        return fail(e);
+    }
+    if let Err(e) = kind.validate() {
+        return fail(e);
+    }
+    if let Err(e) = spec.validate() {
+        return fail(e);
+    }
+    // The generator can panic on inputs validation cannot foresee —
+    // keep it inside the isolation boundary too.
+    let trace = match catch_unwind(AssertUnwindSafe(|| spec.build(cfg.scale))) {
+        Ok(trace) => trace,
+        Err(payload) => {
+            return fail(HarnessError::Panic { message: panic_message(payload) })
+        }
+    };
+    match run_isolated(&trace, kind, cfg) {
+        Ok(result) => Ok(complete_cell(&key, trace.name, trace.suite, kind, result)),
+        Err(error) => fail(error),
+    }
+}
+
+/// Run one imported `.pmpt` trace file behind the robustness boundary.
+/// Corrupt or truncated files degrade to a typed
+/// [`HarnessError::TraceIo`] failure for this cell only.
+///
+/// # Errors
+///
+/// Returns a [`CellFailure`] when the file cannot be read or the run
+/// fails.
+pub fn run_file_checked(
+    path: &std::path::Path,
+    kind: &PrefetcherKind,
+    cfg: &RunConfig,
+) -> CellResult {
+    let name = path.display().to_string();
+    let fail = |error| {
+        Err(CellFailure { trace: name.clone(), prefetcher: kind.label(), error })
+    };
+    let key = cfg.cell_key(&name, kind);
+    if let Some(entry) = journal::global_lookup(&key) {
+        return Ok(outcome_from_journal(entry, kind));
+    }
+    if let Err(e) = cfg.system.validate() {
+        return fail(e);
+    }
+    if let Err(e) = kind.validate() {
+        return fail(e);
+    }
+    let trace = match read_trace_file(path) {
+        Ok(trace) => trace,
+        Err(e) => return fail(HarnessError::trace_io(&name, e)),
+    };
+    match run_isolated(&trace, kind, cfg) {
+        Ok(result) => Ok(complete_cell(&key, trace.name, trace.suite, kind, result)),
+        Err(error) => fail(error),
+    }
+}
+
+/// Run one cell of either flavour.
+///
+/// # Errors
+///
+/// Returns the cell's [`CellFailure`] — see [`run_trace_checked`] and
+/// [`run_file_checked`].
+pub fn run_cell(cell: &CellSpec, kind: &PrefetcherKind, cfg: &RunConfig) -> CellResult {
+    match cell {
+        CellSpec::Synthetic(spec) => run_trace_checked(spec, kind, cfg),
+        CellSpec::File(path) => run_file_checked(path, kind, cfg),
+    }
+}
+
+fn complete_cell(
+    key: &str,
+    trace: String,
+    suite: Suite,
+    kind: &PrefetcherKind,
+    result: SimResult,
+) -> RunOutcome {
+    if journal::global_active() {
+        journal::global_record(
+            key,
+            journal::JournalEntry {
+                trace: trace.clone(),
+                suite,
+                prefetcher: kind.label(),
+                instructions: result.instructions,
+                cycles: result.cycles,
+                stats: result.stats,
+            },
+        );
+    }
+    RunOutcome { trace, suite, prefetcher: kind.label(), result }
+}
+
+fn outcome_from_journal(entry: journal::JournalEntry, kind: &PrefetcherKind) -> RunOutcome {
+    let journal::JournalEntry { trace, suite, prefetcher, instructions, cycles, stats } = entry;
+    RunOutcome {
+        trace,
+        suite,
+        prefetcher,
+        result: SimResult {
+            instructions,
+            cycles,
+            stats,
+            // `SimResult::prefetcher` is the engine-reported static
+            // name; rebuild it from the kind (cheap relative to the
+            // simulation the journal hit just saved).
+            prefetcher: kind.build().name(),
+        },
+    }
+}
+
 /// Run a set of traces under one prefetcher, parallelised across OS
-/// threads (each trace is independent).
+/// threads (each trace is independent), with per-cell isolation.
+pub fn run_traces_checked(
+    specs: &[TraceSpec],
+    kind: &PrefetcherKind,
+    cfg: &RunConfig,
+) -> Vec<CellResult> {
+    parallel_map(specs, |spec| run_trace_checked(spec, kind, cfg))
+}
+
+/// Run a set of traces under one prefetcher, parallelised across OS
+/// threads.
+///
+/// This is the strict variant the report generators use: a full grid is
+/// required to render a table, so any cell failure panics with its
+/// diagnosis. Sweeps that should degrade gracefully use
+/// [`run_traces_checked`] and report gaps via [`SweepSummary`].
+///
+/// # Panics
+///
+/// Panics with the typed diagnosis of the first failed cell.
 pub fn run_traces(
     specs: &[TraceSpec],
     kind: &PrefetcherKind,
     cfg: &RunConfig,
 ) -> Vec<RunOutcome> {
-    parallel_map(specs, |spec| run_trace(spec, kind, cfg))
+    run_traces_checked(specs, kind, cfg)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|f| panic!("sweep requires a full grid; {f}")))
+        .collect()
+}
+
+/// Run a mixed grid of cells under several prefetchers, collecting
+/// every outcome and failure into a [`SweepSummary`].
+pub fn run_grid(
+    cells: &[CellSpec],
+    kinds: &[PrefetcherKind],
+    cfg: &RunConfig,
+) -> (Vec<RunOutcome>, SweepSummary) {
+    let mut outcomes = Vec::new();
+    let mut summary = SweepSummary::default();
+    for kind in kinds {
+        let results = parallel_map(cells, |cell| run_cell(cell, kind, cfg));
+        for result in results {
+            match result {
+                Ok(outcome) => outcomes.push(outcome),
+                Err(failure) => summary.failures.push(failure),
+            }
+        }
+    }
+    summary.completed = outcomes.len();
+    summary.resumed = journal::global_hits();
+    (outcomes, summary)
+}
+
+/// Tally of a fault-tolerant sweep: completed cells, journal-resumed
+/// cells, and every isolated failure.
+#[derive(Debug, Default)]
+pub struct SweepSummary {
+    /// Cells that produced an outcome (including journal-resumed ones).
+    pub completed: usize,
+    /// Cells served from the journal instead of re-simulated.
+    pub resumed: u64,
+    /// Isolated cell failures, in grid order.
+    pub failures: Vec<CellFailure>,
+}
+
+impl SweepSummary {
+    /// Human-readable summary block for sweep logs.
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "sweep summary: {} completed ({} resumed from journal), {} failed\n",
+            self.completed,
+            self.resumed,
+            self.failures.len()
+        );
+        for failure in &self.failures {
+            let _ = writeln!(out, "  FAILED [{}] {failure}", failure.error.kind_tag());
+        }
+        out
+    }
+
+    /// True when every cell completed.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
 }
 
 /// Simple scoped-thread parallel map preserving input order.
+///
+/// Results travel over a channel instead of per-slot mutexes, so a
+/// panicking worker cannot poison anything: completed items are
+/// unaffected and the worker's own panic resurfaces (unchanged) once
+/// the scope joins. Callers wanting isolation instead of propagation
+/// wrap `f` in `catch_unwind` — [`run_trace_checked`] does exactly
+/// that.
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -66,22 +403,37 @@ where
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     let threads = threads.min(items.len()).max(1);
     let next = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
     let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
-        out.iter_mut().map(std::sync::Mutex::new).collect();
     std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|| loop {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            s.spawn(move || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
                 let r = f(&items[i]);
-                **slots[i].lock().expect("slot lock") = Some(r);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
             });
         }
+        drop(tx);
+        // Collect on the calling thread while workers are still
+        // producing; ends when every sender is gone.
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
     });
-    out.into_iter().map(|r| r.expect("all slots filled")).collect()
+    out.into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            r.unwrap_or_else(|| panic!("parallel_map worker for item {i} produced no result"))
+        })
+        .collect()
 }
 
 /// Geometric mean of a non-empty slice of positive values.
@@ -133,11 +485,87 @@ mod tests {
     }
 
     #[test]
+    fn parallel_map_survives_panicking_items_behind_catch_unwind() {
+        // The isolation contract: with f catching its own panics, a
+        // poisoned item degrades to an Err and every other slot is
+        // intact — no mutex poisoning, no lost results.
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map(&items, |&x| {
+            catch_unwind(|| {
+                assert!(x != 13, "injected");
+                x * 2
+            })
+        });
+        assert_eq!(out.len(), 64);
+        for (i, r) in out.iter().enumerate() {
+            if i == 13 {
+                assert!(r.is_err(), "poisoned item must fail alone");
+            } else {
+                assert_eq!(*r.as_ref().expect("healthy item"), i as u64 * 2);
+            }
+        }
+    }
+
+    #[test]
     fn run_trace_produces_miss_traffic() {
         let spec = &catalog()[0];
         let cfg = RunConfig { scale: TraceScale::Tiny, ..RunConfig::default() };
         let out = run_trace(spec, &PrefetcherKind::None, &cfg);
         assert!(out.result.stats.llc_mpki() > 0.0, "synthetic traces must miss");
+    }
+
+    #[test]
+    fn checked_run_matches_unchecked() {
+        let spec = &catalog()[0];
+        let cfg = RunConfig { scale: TraceScale::Tiny, ..RunConfig::default() };
+        let plain = run_trace(spec, &PrefetcherKind::NextLine, &cfg);
+        let checked =
+            run_trace_checked(spec, &PrefetcherKind::NextLine, &cfg).expect("healthy cell");
+        assert_eq!(plain.result.cycles, checked.result.cycles);
+        assert_eq!(plain.result.stats, checked.result.stats);
+    }
+
+    #[test]
+    fn panicking_prefetcher_degrades_to_typed_failure() {
+        let spec = &catalog()[0];
+        let cfg = RunConfig { scale: TraceScale::Tiny, ..RunConfig::default() };
+        let failure = run_trace_checked(spec, &PrefetcherKind::FaultyPanicAfter(5), &cfg)
+            .expect_err("injected panic must fail the cell");
+        assert_eq!(failure.error.kind_tag(), "panic");
+        assert!(failure.to_string().contains("injected fault"), "{failure}");
+    }
+
+    #[test]
+    fn watchdog_budget_degrades_to_timeout_failure() {
+        let spec = &catalog()[0];
+        let cfg = RunConfig {
+            scale: TraceScale::Tiny,
+            max_cycles: Some(100),
+            ..RunConfig::default()
+        };
+        let failure = run_trace_checked(spec, &PrefetcherKind::None, &cfg)
+            .expect_err("100 cycles cannot finish a tiny trace");
+        assert_eq!(failure.error.kind_tag(), "timeout");
+    }
+
+    #[test]
+    fn invalid_system_config_fails_fast() {
+        let spec = &catalog()[0];
+        let mut cfg = RunConfig { scale: TraceScale::Tiny, ..RunConfig::default() };
+        cfg.system.l1d.sets = 63;
+        let failure = run_trace_checked(spec, &PrefetcherKind::None, &cfg)
+            .expect_err("broken config must be rejected");
+        assert_eq!(failure.error.kind_tag(), "invalid-config");
+        assert!(failure.to_string().contains("l1d.sets"), "{failure}");
+    }
+
+    #[test]
+    fn missing_trace_file_is_a_typed_io_failure() {
+        let cfg = RunConfig { scale: TraceScale::Tiny, ..RunConfig::default() };
+        let cell = CellSpec::File(PathBuf::from("/nonexistent/not-a-trace.pmpt"));
+        let failure = run_cell(&cell, &PrefetcherKind::None, &cfg)
+            .expect_err("missing file must fail the cell");
+        assert_eq!(failure.error.kind_tag(), "trace-io");
     }
 
     #[test]

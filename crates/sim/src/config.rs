@@ -1,7 +1,7 @@
 //! Simulated system configuration (the paper's Table IV).
 
 use crate::tlb::TlbConfig;
-use pmp_types::LINE_BYTES;
+use pmp_types::{HarnessError, LINE_BYTES};
 
 /// Configuration of one cache level.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,6 +22,38 @@ impl CacheConfig {
     /// Total capacity in bytes.
     pub fn capacity_bytes(&self) -> u64 {
         (self.sets * self.ways) as u64 * LINE_BYTES
+    }
+
+    /// Pre-flight validation: the cache model indexes sets with a mask,
+    /// so `sets` must be a power of two; every other parameter must be
+    /// non-zero for the hierarchy to make progress.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::InvalidConfig`] naming the offending
+    /// field under `context` (e.g. `"l1d"`).
+    pub fn validate(&self, context: &str) -> Result<(), HarnessError> {
+        if self.sets == 0 || !self.sets.is_power_of_two() {
+            return Err(HarnessError::invalid(
+                format!("SystemConfig.{context}.sets"),
+                format!("must be a non-zero power of two (set-mask indexing), got {}", self.sets),
+            ));
+        }
+        let nonzero: [(&str, usize); 4] = [
+            ("ways", self.ways),
+            ("latency", self.latency as usize),
+            ("mshrs", self.mshrs),
+            ("pq_entries", self.pq_entries),
+        ];
+        for (field, value) in nonzero {
+            if value == 0 {
+                return Err(HarnessError::invalid(
+                    format!("SystemConfig.{context}.{field}"),
+                    "must be non-zero",
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// The paper's L1D: 48KB, 12-way, 8-entry PQ, 16-entry MSHR, 5 cycles.
@@ -140,6 +172,67 @@ impl SystemConfig {
         }
     }
 
+    /// Pre-flight validation of the whole system configuration: fail
+    /// fast with a diagnosis instead of a deep panic (or a silently
+    /// wrong simulation) hours into a sweep.
+    ///
+    /// Checks every cache level ([`CacheConfig::validate`]), the core
+    /// front-end, the DRAM model, and the TLB. An inclusive hierarchy
+    /// additionally needs each outer level at least as large as the
+    /// level above it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::InvalidConfig`] naming the first
+    /// offending field.
+    pub fn validate(&self) -> Result<(), HarnessError> {
+        self.l1d.validate("l1d")?;
+        self.l2c.validate("l2c")?;
+        self.llc.validate("llc")?;
+        if self.l2c.capacity_bytes() < self.l1d.capacity_bytes() {
+            return Err(HarnessError::invalid(
+                "SystemConfig.l2c",
+                "inclusive hierarchy: L2C must be at least as large as L1D",
+            ));
+        }
+        if self.llc.capacity_bytes() < self.l2c.capacity_bytes() {
+            return Err(HarnessError::invalid(
+                "SystemConfig.llc",
+                "inclusive hierarchy: LLC must be at least as large as L2C",
+            ));
+        }
+        let core_nonzero: [(&str, usize); 4] = [
+            ("width", self.core.width),
+            ("rob_entries", self.core.rob_entries),
+            ("lq_entries", self.core.lq_entries),
+            ("sq_entries", self.core.sq_entries),
+        ];
+        for (field, value) in core_nonzero {
+            if value == 0 {
+                return Err(HarnessError::invalid(
+                    format!("SystemConfig.core.{field}"),
+                    "must be non-zero",
+                ));
+            }
+        }
+        if self.dram.mts == 0 || self.dram.channels == 0 || self.dram.core_hz == 0 {
+            return Err(HarnessError::invalid(
+                "SystemConfig.dram",
+                format!(
+                    "mts ({}), channels ({}) and core_hz ({}) must all be non-zero",
+                    self.dram.mts, self.dram.channels, self.dram.core_hz
+                ),
+            ));
+        }
+        if self.tlb.dtlb_entries == 0 || self.tlb.stlb_entries == 0 {
+            return Err(HarnessError::invalid(
+                "SystemConfig.tlb",
+                "dtlb_entries and stlb_entries must be non-zero",
+            ));
+        }
+        Ok(())
+    }
+
     /// Override DRAM transfer rate (Fig. 12a sweep).
     pub fn with_dram_mts(mut self, mts: u64) -> Self {
         self.dram.mts = mts;
@@ -197,6 +290,43 @@ mod tests {
     #[should_panic(expected = "LLC size")]
     fn llc_size_rejects_odd() {
         let _ = SystemConfig::single_core().with_llc_mb(3);
+    }
+
+    #[test]
+    fn paper_configs_validate() {
+        SystemConfig::single_core().validate().expect("Table IV single-core");
+        SystemConfig::quad_core().validate().expect("Table IV quad-core");
+        SystemConfig::single_core().with_dram_mts(800).validate().expect("Fig 12a point");
+        SystemConfig::single_core().with_llc_mb(8).validate().expect("Fig 12b point");
+    }
+
+    #[test]
+    fn validate_rejects_non_pow2_sets() {
+        let mut cfg = SystemConfig::single_core();
+        cfg.l1d.sets = 63;
+        let err = cfg.validate().expect_err("63 sets must be rejected");
+        assert!(err.to_string().contains("l1d.sets"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_zero_fields() {
+        let mut cfg = SystemConfig::single_core();
+        cfg.l2c.mshrs = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SystemConfig::single_core();
+        cfg.core.width = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SystemConfig::single_core();
+        cfg.dram.mts = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_inverted_hierarchy() {
+        let mut cfg = SystemConfig::single_core();
+        cfg.llc.sets = 64; // 64KB LLC under a 512KB L2C
+        let err = cfg.validate().expect_err("non-inclusive sizing must be rejected");
+        assert!(err.to_string().contains("LLC"), "{err}");
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::hierarchy::{demand_access, prefetch_access, CoreMem, MemEvents, Share
 use crate::stats::{diff_stats, SimStats};
 use pmp_obs::{IntervalSample, IntervalSampler, NullTracer, SampleInput, Tracer};
 use pmp_prefetch::{AccessInfo, EvictInfo, FeedbackKind, Prefetcher, PrefetchRequest};
-use pmp_types::{CacheLevel, MemAccess, TraceOp};
+use pmp_types::{CacheLevel, HarnessError, MemAccess, TraceOp};
 
 /// Result of a single-core simulation.
 #[derive(Debug, Clone)]
@@ -221,9 +221,43 @@ impl<T: Tracer> System<T> {
     /// the paper's 50M-warm-up / 200M-measure methodology at a smaller
     /// scale.
     pub fn run(&mut self, ops: &[TraceOp], warmup_instructions: u64) -> SimResult {
+        match self.run_bounded(ops, warmup_instructions, u64::MAX) {
+            Ok(r) => r,
+            Err(e) => unreachable!("a u64::MAX cycle budget cannot be exhausted: {e}"),
+        }
+    }
+
+    /// [`System::run`] under a watchdog: abort with
+    /// [`HarnessError::Timeout`] once the run has consumed `max_cycles`
+    /// core cycles, so a livelocked or pathologically slow
+    /// configuration costs one grid cell instead of hanging a sweep.
+    ///
+    /// The budget counts cycles elapsed *within this call* (a reused
+    /// `System` does not inherit earlier runs' cycles). The guard is a
+    /// single predicted-not-taken compare per trace record, so the hot
+    /// path is unaffected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Timeout`] when the budget is exhausted;
+    /// the partial run's statistics are discarded.
+    pub fn run_bounded(
+        &mut self,
+        ops: &[TraceOp],
+        warmup_instructions: u64,
+        max_cycles: u64,
+    ) -> Result<SimResult, HarnessError> {
+        let start_cycle = self.cpu.now();
+        let deadline = start_cycle.saturating_add(max_cycles);
         let mut snap: Option<(u64, u64, SimStats)> = None;
         let mut dispatched = 0u64;
         for op in ops {
+            if self.cpu.now() >= deadline {
+                return Err(HarnessError::Timeout {
+                    cycles: self.cpu.now() - start_cycle,
+                    budget: max_cycles,
+                });
+            }
             if snap.is_none() && dispatched >= warmup_instructions {
                 snap = Some((dispatched, self.cpu.now(), self.stats));
             }
@@ -239,12 +273,12 @@ impl<T: Tracer> System<T> {
         let mut stats = diff_stats(&self.stats, &warm_stats);
         stats.instructions = dispatched - warm_instr;
         stats.cycles = end_cycle - warm_cycle;
-        SimResult {
+        Ok(SimResult {
             instructions: stats.instructions,
             cycles: stats.cycles,
             stats,
             prefetcher: self.prefetcher.name(),
-        }
+        })
     }
 
     /// Convenience wrapper: run a plain access list (every access one
@@ -378,6 +412,44 @@ mod tests {
                 + c.count(EventKind::PrefetchDropped)
                 + c.count(EventKind::PrefetchRedundant)
         );
+    }
+
+    #[test]
+    fn watchdog_fires_on_small_budget() {
+        let ops = chase_ops(3000);
+        let mut sys = System::new(SystemConfig::default(), Box::new(NoPrefetch));
+        let err = sys.run_bounded(&ops, 0, 500).expect_err("500 cycles cannot finish a chase");
+        match err {
+            HarnessError::Timeout { cycles, budget } => {
+                assert_eq!(budget, 500);
+                assert!(cycles >= 500, "watchdog fired early at {cycles}");
+            }
+            other => panic!("expected Timeout, got {other}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_budget_is_per_run() {
+        // A budget that comfortably covers one run must keep covering
+        // re-runs on the same (already warmed, cycle-advanced) system.
+        let ops = stream_ops(500);
+        let mut sys = System::new(SystemConfig::default(), Box::new(NoPrefetch));
+        let first =
+            sys.run_bounded(&ops, 0, 10_000_000).expect("generous budget");
+        let second =
+            sys.run_bounded(&ops, 0, 10_000_000).expect("budget must reset between runs");
+        assert!(first.cycles > 0 && second.cycles > 0);
+    }
+
+    #[test]
+    fn bounded_run_matches_unbounded() {
+        let ops = stream_ops(2000);
+        let free = System::new(SystemConfig::default(), Box::new(NoPrefetch)).run(&ops, 0);
+        let bounded = System::new(SystemConfig::default(), Box::new(NoPrefetch))
+            .run_bounded(&ops, 0, u64::MAX)
+            .expect("unbounded");
+        assert_eq!(free.cycles, bounded.cycles);
+        assert_eq!(free.stats, bounded.stats);
     }
 
     #[test]

@@ -408,6 +408,89 @@ impl Archetype {
     pub fn generate_scaled(&self, seed: u64, scale: TraceScale) -> Vec<TraceOp> {
         self.generate(seed, scale.mem_ops())
     }
+
+    /// Pre-flight validation: every generator parameter that would make
+    /// [`Archetype::generate`] panic, divide by zero, or spin forever
+    /// is rejected up front with a diagnosis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::InvalidConfig`](pmp_types::HarnessError)
+    /// naming the offending parameter.
+    pub fn validate(&self) -> Result<(), pmp_types::HarnessError> {
+        use pmp_types::HarnessError;
+        let invalid = |field: &str, reason: String| {
+            Err(HarnessError::invalid(format!("Archetype.{field}"), reason))
+        };
+        let fraction = |field: &str, v: f64| {
+            if (0.0..=1.0).contains(&v) {
+                Ok(())
+            } else {
+                Err(HarnessError::invalid(
+                    format!("Archetype.{field}"),
+                    format!("must be a fraction in [0, 1], got {v}"),
+                ))
+            }
+        };
+        match self {
+            Archetype::Stream(g) => {
+                if g.streams == 0 {
+                    return invalid("streams", "need at least one stream".into());
+                }
+                if g.element_bytes == 0 || g.array_bytes == 0 {
+                    return invalid("element_bytes/array_bytes", "must be non-zero".into());
+                }
+                fraction("store_fraction", g.store_fraction)
+            }
+            Archetype::Stride(g) => {
+                if g.strides_lines.is_empty() {
+                    return invalid("strides_lines", "need at least one stride".into());
+                }
+                if g.array_bytes == 0 || g.accesses_per_pos == 0 {
+                    return invalid("array_bytes/accesses_per_pos", "must be non-zero".into());
+                }
+                fraction("store_fraction", g.store_fraction)
+            }
+            Archetype::Backward(g) => {
+                if g.array_bytes == 0 || g.max_step_lines == 0 || g.walk_len == 0 {
+                    return invalid(
+                        "array_bytes/max_step_lines/walk_len",
+                        "must be non-zero".into(),
+                    );
+                }
+                fraction("store_fraction", g.store_fraction)
+            }
+            Archetype::Graph(g) => {
+                if g.vertices == 0 || g.avg_degree == 0 {
+                    return invalid("vertices/avg_degree", "must be non-zero".into());
+                }
+                fraction("neighbor_prob", g.neighbor_prob)?;
+                fraction("store_fraction", g.store_fraction)
+            }
+            Archetype::Hash(g) => {
+                if g.table_bytes == 0 || g.hot_bytes == 0 || g.max_burst == 0 {
+                    return invalid("table_bytes/hot_bytes/max_burst", "must be non-zero".into());
+                }
+                fraction("hot_fraction", g.hot_fraction)?;
+                fraction("store_fraction", g.store_fraction)
+            }
+            Archetype::Stencil(g) => {
+                if g.grid_bytes == 0 || g.row_bytes == 0 || g.stride_lines == 0 {
+                    return invalid(
+                        "grid_bytes/row_bytes/stride_lines",
+                        "must be non-zero".into(),
+                    );
+                }
+                fraction("store_fraction", g.store_fraction)
+            }
+            Archetype::Phased(phases) => {
+                if phases.is_empty() {
+                    return invalid("Phased", "needs at least one phase".into());
+                }
+                phases.iter().try_for_each(Archetype::validate)
+            }
+        }
+    }
 }
 
 /// Convenient defaults used by the catalog.

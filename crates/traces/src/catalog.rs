@@ -29,6 +29,32 @@ impl TraceSpec {
             ops: self.archetype.generate_scaled(self.seed, scale),
         }
     }
+
+    /// Pre-flight validation: a spec that would generate an empty or
+    /// degenerate trace (or panic inside its generator) is rejected
+    /// with a diagnosis before any simulation time is spent on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::InvalidConfig`](pmp_types::HarnessError)
+    /// naming the trace and the offending parameter.
+    pub fn validate(&self) -> Result<(), pmp_types::HarnessError> {
+        if self.name.is_empty() {
+            return Err(pmp_types::HarnessError::invalid(
+                "TraceSpec.name",
+                "trace name must be non-empty",
+            ));
+        }
+        self.archetype.validate().map_err(|e| match e {
+            pmp_types::HarnessError::InvalidConfig { context, reason } => {
+                pmp_types::HarnessError::invalid(
+                    format!("TraceSpec({}).{context}", self.name),
+                    reason,
+                )
+            }
+            other => other,
+        })
+    }
 }
 
 fn spec(name: String, suite: Suite, archetype: Archetype, seed: u64) -> TraceSpec {
@@ -273,6 +299,35 @@ mod tests {
         for suite in Suite::ALL {
             assert!(subset.iter().any(|s| s.suite == suite), "{suite} missing");
         }
+    }
+
+    #[test]
+    fn whole_catalog_validates() {
+        for spec in catalog() {
+            spec.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        }
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_specs() {
+        use crate::archetypes::{presets, Archetype};
+        let mut spec = catalog()[0].clone();
+        spec.name = String::new();
+        assert!(spec.validate().is_err(), "empty name");
+
+        let mut spec = catalog()[0].clone();
+        spec.archetype = Archetype::Phased(vec![]);
+        let err = spec.validate().expect_err("empty phase list");
+        assert!(err.to_string().contains(&catalog()[0].name), "{err}");
+
+        let mut spec = catalog()[0].clone();
+        spec.archetype = presets::stream(0, 8);
+        assert!(spec.validate().is_err(), "zero streams");
+
+        let mut spec = catalog()[0].clone();
+        spec.archetype = presets::hash(8, 1.5);
+        let err = spec.validate().expect_err("hot fraction > 1");
+        assert!(err.to_string().contains("1.5"), "{err}");
     }
 
     #[test]

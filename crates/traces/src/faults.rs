@@ -1,0 +1,316 @@
+//! Fault injection for trace I/O.
+//!
+//! [`FaultyReader`] and [`FaultyWriter`] wrap any [`Read`]/[`Write`]
+//! and corrupt the byte stream on the way through: silent truncation,
+//! targeted bit flips (e.g. turning a record count absurd), or hard
+//! I/O errors at a chosen offset. They exist to *prove* — in unit
+//! tests here and in the harness robustness suite — that
+//! [`read_trace`](crate::io::read_trace) rejects every corruption mode
+//! with a typed `InvalidData` error and bounded allocation instead of
+//! OOM-ing, panicking, or silently producing a wrong trace.
+//!
+//! The wrappers are ordinary library code (not `#[cfg(test)]`) so
+//! downstream crates — the bench runner's failure-path tests in
+//! particular — can reuse them.
+
+use std::io::{self, Read, Write};
+
+/// One fault to inject at a byte-stream offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// End the stream after `at` bytes: reads report EOF, writes
+    /// silently discard the tail (a torn file / full disk).
+    TruncateAt(u64),
+    /// XOR the byte at stream offset `offset` with `mask`
+    /// (`mask = 0xff` inverts the byte; a single set bit flips one bit).
+    FlipBits {
+        /// Offset of the corrupted byte from the start of the stream.
+        offset: u64,
+        /// XOR mask applied to that byte.
+        mask: u8,
+    },
+    /// Fail with an [`io::ErrorKind`] once `at` bytes have passed.
+    ErrorAt {
+        /// Offset at which the stream starts erroring.
+        at: u64,
+        /// The error kind to report.
+        kind: io::ErrorKind,
+    },
+}
+
+fn apply_flips(faults: &[Fault], buf: &mut [u8], pos: u64) {
+    for fault in faults {
+        if let Fault::FlipBits { offset, mask } = fault {
+            if let Some(local) = offset.checked_sub(pos) {
+                if let Ok(idx) = usize::try_from(local) {
+                    if idx < buf.len() {
+                        buf[idx] ^= mask;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Byte budget until the nearest `TruncateAt`/`ErrorAt` fault, and the
+/// error to produce when the budget is zero (None = clean EOF).
+fn stream_limit(faults: &[Fault], pos: u64) -> (u64, Option<io::ErrorKind>) {
+    let mut limit = u64::MAX;
+    let mut kind = None;
+    for fault in faults {
+        let (at, k) = match *fault {
+            Fault::TruncateAt(at) => (at, None),
+            Fault::ErrorAt { at, kind } => (at, Some(kind)),
+            Fault::FlipBits { .. } => continue,
+        };
+        let remaining = at.saturating_sub(pos);
+        if remaining < limit || (remaining == limit && kind.is_none()) {
+            limit = remaining;
+            kind = k;
+        }
+    }
+    (limit, kind)
+}
+
+/// A [`Read`] adapter injecting [`Fault`]s into the stream it relays.
+#[derive(Debug)]
+pub struct FaultyReader<R> {
+    inner: R,
+    faults: Vec<Fault>,
+    pos: u64,
+}
+
+impl<R: Read> FaultyReader<R> {
+    /// Wrap `inner`, injecting `faults` (applied at their offsets).
+    pub fn new(inner: R, faults: Vec<Fault>) -> Self {
+        FaultyReader { inner, faults, pos: 0 }
+    }
+
+    /// Bytes relayed so far.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+}
+
+impl<R: Read> Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let (limit, err) = stream_limit(&self.faults, self.pos);
+        if limit == 0 {
+            return match err {
+                Some(kind) => Err(io::Error::new(kind, "injected fault")),
+                None => Ok(0), // injected truncation: clean EOF
+            };
+        }
+        let want = usize::try_from(limit).unwrap_or(usize::MAX).min(buf.len());
+        let n = self.inner.read(&mut buf[..want])?;
+        apply_flips(&self.faults, &mut buf[..n], self.pos);
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+/// A [`Write`] adapter injecting [`Fault`]s into the stream it relays.
+///
+/// Truncation is *silent*: the writer keeps reporting success while
+/// discarding bytes past the fault offset, modelling a torn write that
+/// only the eventual reader can detect.
+#[derive(Debug)]
+pub struct FaultyWriter<W> {
+    inner: W,
+    faults: Vec<Fault>,
+    pos: u64,
+}
+
+impl<W: Write> FaultyWriter<W> {
+    /// Wrap `inner`, injecting `faults` (applied at their offsets).
+    pub fn new(inner: W, faults: Vec<Fault>) -> Self {
+        FaultyWriter { inner, faults, pos: 0 }
+    }
+
+    /// Bytes accepted so far (including silently discarded ones).
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+}
+
+impl<W: Write> Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let (limit, err) = stream_limit(&self.faults, self.pos);
+        if limit == 0 {
+            if let Some(kind) = err {
+                return Err(io::Error::new(kind, "injected fault"));
+            }
+            // Torn write: swallow the bytes, claim success.
+            self.pos += buf.len() as u64;
+            return Ok(buf.len());
+        }
+        let n = usize::try_from(limit).unwrap_or(usize::MAX).min(buf.len());
+        let mut owned = buf[..n].to_vec();
+        apply_flips(&self.faults, &mut owned, self.pos);
+        self.inner.write_all(&owned)?;
+        self.pos += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::catalog;
+    use crate::io::{read_trace, write_trace};
+    use crate::trace::TraceScale;
+
+    fn sample_bytes() -> (Vec<u8>, usize) {
+        let trace = catalog()[0].build(TraceScale::Tiny);
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).expect("serialise");
+        (buf, trace.name.len())
+    }
+
+    /// Offset of the u64 `count` header field.
+    fn count_offset(name_len: usize) -> u64 {
+        (4 + 2 + 1 + 2 + name_len) as u64
+    }
+
+    #[test]
+    fn clean_passthrough_roundtrips() {
+        let (buf, _) = sample_bytes();
+        let r = FaultyReader::new(buf.as_slice(), vec![]);
+        read_trace(r).expect("no faults, no failure");
+    }
+
+    #[test]
+    fn reader_truncation_in_header_is_rejected() {
+        let (buf, _) = sample_bytes();
+        for at in [0u64, 3, 5, 8] {
+            let r = FaultyReader::new(buf.as_slice(), vec![Fault::TruncateAt(at)]);
+            let err = read_trace(r).expect_err("truncated header must fail");
+            assert!(
+                matches!(err.kind(), io::ErrorKind::UnexpectedEof | io::ErrorKind::InvalidData),
+                "truncate@{at}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn reader_truncation_mid_record_is_invalid_data() {
+        let (buf, name_len) = sample_bytes();
+        let records_start = count_offset(name_len) + 8;
+        let r = FaultyReader::new(
+            buf.as_slice(),
+            vec![Fault::TruncateAt(records_start + 30)], // 1.5 records in
+        );
+        let err = read_trace(r).expect_err("mid-record truncation must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+        assert!(err.to_string().contains("truncated mid-record"), "{err}");
+    }
+
+    #[test]
+    fn magic_bit_flip_is_rejected() {
+        let (buf, _) = sample_bytes();
+        let r = FaultyReader::new(
+            buf.as_slice(),
+            vec![Fault::FlipBits { offset: 0, mask: 0x01 }],
+        );
+        let err = read_trace(r).expect_err("flipped magic must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("not a PMPT"), "{err}");
+    }
+
+    #[test]
+    fn suite_corruption_is_rejected() {
+        let (buf, _) = sample_bytes();
+        let r = FaultyReader::new(
+            buf.as_slice(),
+            vec![Fault::FlipBits { offset: 6, mask: 0xf0 }],
+        );
+        let err = read_trace(r).expect_err("bad suite code must fail");
+        assert!(err.to_string().contains("unknown suite"), "{err}");
+    }
+
+    #[test]
+    fn absurd_count_via_bit_flip_is_bounded() {
+        // Flip the top byte of `count` to 0xff: the header now declares
+        // ~2^63 records. The reader must neither allocate for them nor
+        // panic — it fails as soon as the real records run out.
+        let (buf, name_len) = sample_bytes();
+        let r = FaultyReader::new(
+            buf.as_slice(),
+            vec![Fault::FlipBits { offset: count_offset(name_len) + 7, mask: 0xff }],
+        );
+        let err = read_trace(r).expect_err("absurd count must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+    }
+
+    #[test]
+    fn record_flag_corruption_is_rejected() {
+        let (buf, name_len) = sample_bytes();
+        let first_flags = count_offset(name_len) + 8 + 18;
+        let r = FaultyReader::new(
+            buf.as_slice(),
+            vec![Fault::FlipBits { offset: first_flags, mask: 0x80 }],
+        );
+        let err = read_trace(r).expect_err("unknown flag bits must fail");
+        assert!(err.to_string().contains("unknown flag bits"), "{err}");
+    }
+
+    #[test]
+    fn io_errors_propagate_untranslated() {
+        let (buf, name_len) = sample_bytes();
+        let mid_records = count_offset(name_len) + 8 + 10;
+        let r = FaultyReader::new(
+            buf.as_slice(),
+            vec![Fault::ErrorAt { at: mid_records, kind: io::ErrorKind::PermissionDenied }],
+        );
+        let err = read_trace(r).expect_err("injected error must surface");
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied, "{err}");
+    }
+
+    #[test]
+    fn torn_write_detected_on_read_back() {
+        let trace = catalog()[0].build(TraceScale::Tiny);
+        let mut sink = Vec::new();
+        {
+            let mut w = FaultyWriter::new(&mut sink, vec![Fault::TruncateAt(200)]);
+            write_trace(&trace, &mut w).expect("torn write reports success");
+        }
+        assert_eq!(sink.len(), 200, "everything past the tear is gone");
+        let err = read_trace(sink.as_slice()).expect_err("torn file must be rejected");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+    }
+
+    #[test]
+    fn writer_bit_flip_corrupts_exactly_one_byte() {
+        let trace = catalog()[0].build(TraceScale::Tiny);
+        let mut clean = Vec::new();
+        write_trace(&trace, &mut clean).expect("serialise");
+        let mut dirty = Vec::new();
+        {
+            let mut w = FaultyWriter::new(
+                &mut dirty,
+                vec![Fault::FlipBits { offset: 42, mask: 0x10 }],
+            );
+            write_trace(&trace, &mut w).expect("serialise");
+        }
+        assert_eq!(clean.len(), dirty.len());
+        let diffs: Vec<usize> =
+            (0..clean.len()).filter(|&i| clean[i] != dirty[i]).collect();
+        assert_eq!(diffs, vec![42]);
+    }
+
+    #[test]
+    fn writer_error_surfaces() {
+        let trace = catalog()[0].build(TraceScale::Tiny);
+        let mut sink = Vec::new();
+        let mut w = FaultyWriter::new(
+            &mut sink,
+            vec![Fault::ErrorAt { at: 100, kind: io::ErrorKind::StorageFull }],
+        );
+        let err = write_trace(&trace, &mut w).expect_err("disk-full must surface");
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+    }
+}

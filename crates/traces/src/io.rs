@@ -78,12 +78,27 @@ pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
     Ok(())
 }
 
+/// Record size in bytes (pc + addr + gap + flags + pad).
+const RECORD_BYTES: usize = 20;
+
+/// Upper bound on the record capacity reserved up front. The `count`
+/// header field is attacker/corruption-controlled, so it must never be
+/// trusted to size an allocation: a bit-flipped count of `u64::MAX`
+/// would otherwise request a 300+ exabyte `Vec` before the first record
+/// is read. Reads beyond this bound grow the `Vec` organically, which
+/// keeps allocation proportional to bytes actually present in the
+/// stream.
+const MAX_PREALLOC_RECORDS: usize = 1 << 22; // 4M records = 80MB
+
 /// Deserialise a trace from `r`.
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` for a bad magic/version/suite/flags, and
-/// propagates I/O errors (including truncation) from the reader.
+/// Returns `InvalidData` for a bad magic/version/suite/flags, for a
+/// stream that ends mid-record (truncation), or for a declared record
+/// count the stream cannot back; propagates other I/O errors from the
+/// reader. Allocation stays bounded by the bytes actually present even
+/// when the declared `count` is absurd.
 pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
@@ -107,10 +122,18 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
     let mut u64b = [0u8; 8];
     r.read_exact(&mut u64b)?;
     let count = u64::from_le_bytes(u64b);
-    let mut ops = Vec::with_capacity(usize::try_from(count).map_err(|e| bad(e.to_string()))?);
-    let mut buf = [0u8; 20];
-    for _ in 0..count {
-        r.read_exact(&mut buf)?;
+    let count = usize::try_from(count)
+        .map_err(|_| bad(format!("record count {count} exceeds the address space")))?;
+    let mut ops = Vec::with_capacity(count.min(MAX_PREALLOC_RECORDS));
+    let mut buf = [0u8; RECORD_BYTES];
+    for i in 0..count {
+        r.read_exact(&mut buf).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                bad(format!("stream truncated mid-record {i} of declared {count}"))
+            } else {
+                e
+            }
+        })?;
         let pc = Pc(u64::from_le_bytes(buf[0..8].try_into().expect("slice len")));
         let addr = Addr(u64::from_le_bytes(buf[8..16].try_into().expect("slice len")));
         let gap = u16::from_le_bytes(buf[16..18].try_into().expect("slice len"));
@@ -125,11 +148,74 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
     Ok(Trace { name, suite, ops })
 }
 
+/// Read a trace from a file via a buffered reader.
+///
+/// # Errors
+///
+/// Propagates open errors and everything [`read_trace`] rejects.
+pub fn read_trace_file(path: &std::path::Path) -> io::Result<Trace> {
+    let file = std::fs::File::open(path)?;
+    read_trace(std::io::BufReader::new(file))
+}
+
+/// Write a trace to a file via a buffered writer.
+///
+/// # Errors
+///
+/// Propagates create errors and everything [`write_trace`] rejects.
+pub fn write_trace_file(trace: &Trace, path: &std::path::Path) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    write_trace(trace, &mut w)?;
+    use std::io::Write as _;
+    w.flush()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::catalog::catalog;
     use crate::trace::TraceScale;
+
+    /// Byte offset of the `count` field for a given trace name length.
+    pub(crate) fn count_offset(name_len: usize) -> usize {
+        4 + 2 + 1 + 2 + name_len
+    }
+
+    #[test]
+    fn absurd_count_does_not_preallocate() {
+        // Header declares u64::MAX records but carries none: the reader
+        // must fail with InvalidData without reserving count * 20 bytes.
+        let trace = catalog()[0].build(TraceScale::Tiny);
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).expect("serialise");
+        let off = count_offset(trace.name.len());
+        buf[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_trace(buf.as_slice()).expect_err("absurd count must be rejected");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("truncated mid-record"), "{err}");
+    }
+
+    #[test]
+    fn truncation_mid_record_is_invalid_data() {
+        let trace = catalog()[0].build(TraceScale::Tiny);
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).expect("serialise");
+        buf.truncate(buf.len() - 7); // chop into the final record
+        let err = read_trace(buf.as_slice()).expect_err("truncation must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+        assert!(err.to_string().contains("truncated mid-record"), "{err}");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let trace = catalog()[5].build(TraceScale::Tiny);
+        let path = std::env::temp_dir().join("pmp_io_file_roundtrip.pmpt");
+        write_trace_file(&trace, &path).expect("write file");
+        let back = read_trace_file(&path).expect("read file");
+        assert_eq!(back, trace);
+        let _ = std::fs::remove_file(&path);
+    }
 
     #[test]
     fn roundtrip_preserves_everything() {

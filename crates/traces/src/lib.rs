@@ -37,13 +37,16 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod archetypes;
 pub mod catalog;
+pub mod faults;
 pub mod io;
 pub mod mix;
 pub mod trace;
 
 pub use catalog::{catalog, catalog_for, representative_subset, TraceSpec};
+pub use faults::{Fault, FaultyReader, FaultyWriter};
 pub use mix::{MixSpec, MpkiClass};
 pub use trace::{Suite, Trace, TraceScale};

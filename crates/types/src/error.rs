@@ -1,0 +1,123 @@
+//! Typed errors for the experiment harness.
+//!
+//! Long (trace × prefetcher) sweeps must degrade gracefully: a
+//! misconfigured system, a corrupt trace file, a livelocked simulation,
+//! or a panicking prefetcher should cost one grid cell, not the whole
+//! run. [`HarnessError`] is the shared vocabulary every layer reports
+//! such failures in — `pmp-sim` returns [`HarnessError::Timeout`] from
+//! its watchdog, `pmp-traces` wraps I/O corruption, and the `pmp-bench`
+//! runner converts caught panics into [`HarnessError::Panic`] so a
+//! sweep summary can name exactly what went wrong where.
+//!
+//! The enum lives in `pmp-types` (the workspace's dependency root) so
+//! every crate can produce and consume it without new edges.
+
+use core::fmt;
+
+/// A typed failure anywhere in the harness stack.
+#[derive(Debug)]
+pub enum HarnessError {
+    /// A configuration failed pre-flight validation.
+    InvalidConfig {
+        /// Which configuration field or object was rejected
+        /// (e.g. `"SystemConfig.l1d.sets"`).
+        context: String,
+        /// Why it was rejected, with the offending value.
+        reason: String,
+    },
+    /// Trace serialisation or deserialisation failed.
+    TraceIo {
+        /// The trace involved (catalog name or file path).
+        trace: String,
+        /// The underlying I/O error (corruption maps to
+        /// [`std::io::ErrorKind::InvalidData`]).
+        source: std::io::Error,
+    },
+    /// A simulation exceeded its cycle budget (watchdog).
+    Timeout {
+        /// Cycles elapsed when the watchdog fired.
+        cycles: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+    /// A grid cell panicked and was isolated.
+    Panic {
+        /// The panic payload rendered as a string.
+        message: String,
+    },
+}
+
+impl HarnessError {
+    /// Shorthand for an [`HarnessError::InvalidConfig`].
+    pub fn invalid(context: impl Into<String>, reason: impl Into<String>) -> Self {
+        HarnessError::InvalidConfig { context: context.into(), reason: reason.into() }
+    }
+
+    /// Shorthand for an [`HarnessError::TraceIo`].
+    pub fn trace_io(trace: impl Into<String>, source: std::io::Error) -> Self {
+        HarnessError::TraceIo { trace: trace.into(), source }
+    }
+
+    /// A short stable tag for summaries and journal records
+    /// (`"invalid-config"`, `"trace-io"`, `"timeout"`, `"panic"`).
+    pub fn kind_tag(&self) -> &'static str {
+        match self {
+            HarnessError::InvalidConfig { .. } => "invalid-config",
+            HarnessError::TraceIo { .. } => "trace-io",
+            HarnessError::Timeout { .. } => "timeout",
+            HarnessError::Panic { .. } => "panic",
+        }
+    }
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::InvalidConfig { context, reason } => {
+                write!(f, "invalid configuration ({context}): {reason}")
+            }
+            HarnessError::TraceIo { trace, source } => {
+                write!(f, "trace I/O failed ({trace}): {source}")
+            }
+            HarnessError::Timeout { cycles, budget } => {
+                write!(f, "cycle budget exhausted: {cycles} cycles elapsed, budget {budget}")
+            }
+            HarnessError::Panic { message } => write!(f, "cell panicked: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HarnessError::TraceIo { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = HarnessError::invalid("SystemConfig.l1d.sets", "must be a power of two, got 63");
+        assert!(e.to_string().contains("SystemConfig.l1d.sets"));
+        assert!(e.to_string().contains("63"));
+        assert_eq!(e.kind_tag(), "invalid-config");
+
+        let e = HarnessError::Timeout { cycles: 1_000_001, budget: 1_000_000 };
+        assert!(e.to_string().contains("1000000"));
+        assert_eq!(e.kind_tag(), "timeout");
+    }
+
+    #[test]
+    fn trace_io_chains_source() {
+        use std::error::Error as _;
+        let inner = std::io::Error::new(std::io::ErrorKind::InvalidData, "bad magic");
+        let e = HarnessError::trace_io("spec06.mcf_2", inner);
+        assert!(e.source().is_some(), "TraceIo must expose its I/O source");
+        assert!(e.to_string().contains("spec06.mcf_2"));
+    }
+}

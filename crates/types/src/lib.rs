@@ -23,14 +23,17 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod access;
 pub mod addr;
+pub mod error;
 pub mod level;
 pub mod pattern;
 pub mod rng;
 
 pub use access::{AccessKind, MemAccess, TraceOp};
+pub use error::HarnessError;
 pub use addr::{Addr, LineAddr, Pc, RegionAddr, RegionGeometry, LINE_BYTES, LINE_SHIFT, PAGE_BYTES};
 pub use level::CacheLevel;
 pub use pattern::{BitPattern, PrefetchPattern, PrefetchTarget};

@@ -1,0 +1,189 @@
+//! Fault-tolerance integration tests for the experiment harness: panic
+//! isolation, watchdog budgets, corrupt-trace handling, pre-flight
+//! validation, and journal checkpoint/resume — the failure model
+//! documented in ARCHITECTURE.md.
+
+use pmp_bench::journal::{self, Journal};
+use pmp_bench::prefetchers::PrefetcherKind;
+use pmp_bench::runner::{run_cell, run_grid, run_trace_checked, CellSpec, RunConfig};
+use pmp_traces::io::write_trace_file;
+use pmp_traces::{catalog, TraceScale};
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+
+/// The global journal is process-wide; tests that install one must not
+/// interleave. (Poisoning is irrelevant here — none of these tests
+/// panic while holding the guard, and a poisoned lock is recovered.)
+static JOURNAL_TESTS: Mutex<()> = Mutex::new(());
+
+fn journal_lock() -> MutexGuard<'static, ()> {
+    JOURNAL_TESTS.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn tiny_cfg() -> RunConfig {
+    RunConfig { scale: TraceScale::Tiny, ..RunConfig::default() }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pmp_harness_robustness_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Write a structurally valid trace file, then chop bytes off the end
+/// so it is truncated mid-record.
+fn corrupted_trace_file(dir: &std::path::Path) -> PathBuf {
+    let path = dir.join("corrupt.pmpt");
+    let trace = catalog()[0].build(TraceScale::Tiny);
+    write_trace_file(&trace, &path).expect("write trace file");
+    let bytes = std::fs::read(&path).expect("read trace file back");
+    std::fs::write(&path, &bytes[..bytes.len() - 7]).expect("truncate trace file");
+    path
+}
+
+#[test]
+fn panicking_cell_leaves_rest_of_grid_intact() {
+    let _guard = journal_lock();
+    journal::clear_global();
+    let specs = &catalog()[..4];
+    let cells: Vec<CellSpec> = specs.iter().cloned().map(CellSpec::Synthetic).collect();
+    let kinds = [PrefetcherKind::None, PrefetcherKind::FaultyPanicAfter(50)];
+    let (outcomes, summary) = run_grid(&cells, &kinds, &tiny_cfg());
+
+    // Every healthy (trace × baseline) cell completed...
+    assert_eq!(outcomes.len(), 4, "baseline row must be complete");
+    for spec in specs {
+        assert!(
+            outcomes.iter().any(|o| o.trace == spec.name && o.prefetcher == "baseline"),
+            "{} missing from the healthy row",
+            spec.name
+        );
+    }
+    // ...and every poisoned cell is reported as an isolated failure.
+    assert_eq!(summary.failures.len(), 4, "each faulty cell fails alone");
+    for f in &summary.failures {
+        assert_eq!(f.error.kind_tag(), "panic");
+        assert_eq!(f.prefetcher, "faulty-panic/50");
+        assert!(f.error.to_string().contains("injected fault"), "{f}");
+    }
+    assert_eq!(summary.completed, 4);
+    assert!(!summary.is_clean());
+    let report = summary.report();
+    assert!(report.contains("4 completed"), "{report}");
+    assert!(report.contains("4 failed"), "{report}");
+    assert!(report.contains("FAILED [panic]"), "{report}");
+}
+
+#[test]
+fn corrupt_trace_file_fails_its_cell_only() {
+    let _guard = journal_lock();
+    journal::clear_global();
+    let dir = temp_dir("corrupt_cell");
+    let cells = vec![
+        CellSpec::Synthetic(catalog()[0].clone()),
+        CellSpec::File(corrupted_trace_file(&dir)),
+    ];
+    let (outcomes, summary) = run_grid(&cells, &[PrefetcherKind::NextLine], &tiny_cfg());
+    assert_eq!(outcomes.len(), 1, "healthy synthetic cell still completes");
+    assert_eq!(summary.failures.len(), 1);
+    let failure = &summary.failures[0];
+    assert_eq!(failure.error.kind_tag(), "trace-io");
+    assert!(
+        failure.error.to_string().contains("truncated"),
+        "truncation diagnosis expected: {failure}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn watchdog_and_validation_fail_fast_with_typed_errors() {
+    let _guard = journal_lock();
+    journal::clear_global();
+    let spec = &catalog()[0];
+
+    // Watchdog: an impossible cycle budget aborts the cell with Timeout.
+    let cfg = RunConfig { max_cycles: Some(50), ..tiny_cfg() };
+    let timeout = run_trace_checked(spec, &PrefetcherKind::None, &cfg)
+        .expect_err("50-cycle budget cannot finish");
+    assert_eq!(timeout.error.kind_tag(), "timeout");
+
+    // Validation: broken system / prefetcher / trace configs are all
+    // rejected before any simulation runs.
+    let mut cfg = tiny_cfg();
+    cfg.system.core.rob_entries = 0;
+    let bad_system = run_trace_checked(spec, &PrefetcherKind::None, &cfg)
+        .expect_err("zero ROB must be rejected");
+    assert_eq!(bad_system.error.kind_tag(), "invalid-config");
+
+    let bad_kind = run_trace_checked(spec, &PrefetcherKind::DesignB(0), &tiny_cfg())
+        .expect_err("zero-way Design B must be rejected");
+    assert_eq!(bad_kind.error.kind_tag(), "invalid-config");
+
+    let mut bad_spec = spec.clone();
+    bad_spec.archetype = pmp_traces::archetypes::presets::hash(8, 2.0);
+    let bad_trace = run_trace_checked(&bad_spec, &PrefetcherKind::None, &tiny_cfg())
+        .expect_err("hot fraction 2.0 must be rejected");
+    assert_eq!(bad_trace.error.kind_tag(), "invalid-config");
+    assert!(bad_trace.error.to_string().contains(&spec.name), "{bad_trace}");
+}
+
+#[test]
+fn journal_resume_skips_exactly_the_completed_cells() {
+    let _guard = journal_lock();
+    let dir = temp_dir("resume");
+    let path = dir.join("journal.jsonl");
+    let specs = &catalog()[..3];
+    let cells: Vec<CellSpec> = specs.iter().cloned().map(CellSpec::Synthetic).collect();
+    let kinds = [PrefetcherKind::NextLine, PrefetcherKind::FaultyPanicAfter(50)];
+    let cfg = tiny_cfg();
+
+    // First attempt: healthy cells journal, poisoned cells fail.
+    let info = journal::init_global(&path, false).expect("open journal");
+    assert_eq!(info.loaded, 0);
+    let (first, summary1) = run_grid(&cells, &kinds, &cfg);
+    assert_eq!(first.len(), 3);
+    assert_eq!(summary1.failures.len(), 3);
+    assert_eq!(summary1.resumed, 0, "fresh journal serves nothing");
+    journal::clear_global();
+
+    // Resume: exactly the three completed cells load back...
+    let info = journal::init_global(&path, true).expect("reopen journal");
+    assert_eq!(info.loaded, 3, "completed cells persist");
+    assert_eq!(info.skipped, 0, "no torn lines expected");
+    let (second, summary2) = run_grid(&cells, &kinds, &cfg);
+    // ...are served without re-simulation, and only the failed cells
+    // re-execute (and fail again — the fault is deterministic).
+    assert_eq!(summary2.resumed, 3, "healthy cells come from the journal");
+    assert_eq!(summary2.failures.len(), 3, "failed cells re-execute");
+    assert_eq!(second.len(), 3);
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.result.cycles, b.result.cycles, "journaled result must be bit-identical");
+        assert_eq!(a.result.stats, b.result.stats);
+    }
+    journal::clear_global();
+
+    // A config change invalidates the key: nothing is wrongly reused.
+    journal::install_global(Journal::in_memory());
+    let bigger = RunConfig { max_cycles: Some(u64::MAX - 1), ..tiny_cfg() };
+    let _ = run_trace_checked(&specs[0], &PrefetcherKind::NextLine, &bigger);
+    assert_eq!(journal::global_hits(), 0, "different config must be a different cell");
+    journal::clear_global();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unjournaled_runs_behave_as_before() {
+    let _guard = journal_lock();
+    journal::clear_global();
+    assert!(!journal::global_active());
+    let out = run_cell(
+        &CellSpec::Synthetic(catalog()[0].clone()),
+        &PrefetcherKind::NextLine,
+        &tiny_cfg(),
+    )
+    .expect("healthy cell");
+    assert!(out.result.ipc() > 0.0);
+    assert_eq!(journal::global_hits(), 0);
+}
