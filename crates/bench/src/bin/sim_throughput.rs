@@ -20,7 +20,7 @@ use pmp_types::{Addr, CacheLevel, LineAddr, MemAccess, Pc, TraceOp};
 use std::fmt::Write as _;
 
 /// Pre-PR baselines (ns/iter on the reference machine, commit 70aaa43)
-/// for each workload, in [`workloads`] order. The acceptance target for
+/// for each workload, in `workloads()` order. The acceptance target for
 /// the hot-path rework is >= 1.3x ops/sec on the memory-walk workloads.
 const BASELINE_NS_PER_OP: [f64; 4] = [
     DEMAND_WALK_BASELINE_NS,

@@ -131,6 +131,20 @@ impl Journal {
         found
     }
 
+    /// The journaled entries for *all* of `keys`, or `None` if any is
+    /// missing. Multi-core mix cells journal one entry per core but are
+    /// only resumable as a whole; a partial hit re-runs the cell and
+    /// counts no hits (so [`Journal::hits`] never inflates the resumed
+    /// tally with work that was re-simulated anyway).
+    pub fn lookup_all(&mut self, keys: &[String]) -> Option<Vec<JournalEntry>> {
+        let found: Option<Vec<JournalEntry>> =
+            keys.iter().map(|k| self.entries.get(k).cloned()).collect();
+        if found.is_some() {
+            self.hits += keys.len() as u64;
+        }
+        found
+    }
+
     /// Record a completed cell and flush it to disk immediately (a
     /// crash right after must not lose the cell).
     pub fn record(&mut self, key: &str, entry: JournalEntry) {
@@ -202,6 +216,12 @@ pub fn global_active() -> bool {
 /// Journal lookup for a cell key (None when inactive or missing).
 pub fn global_lookup(key: &str) -> Option<JournalEntry> {
     global_slot().as_mut().and_then(|j| j.lookup(key))
+}
+
+/// All-or-nothing journal lookup for a group of cell keys (multi-core
+/// mixes). `None` when inactive or when any key is missing.
+pub fn global_lookup_all(keys: &[String]) -> Option<Vec<JournalEntry>> {
+    global_slot().as_mut().and_then(|j| j.lookup_all(keys))
 }
 
 /// Record a completed cell into the global journal (no-op when
@@ -444,6 +464,22 @@ mod tests {
         assert!(journal.lookup("cell-c").is_none());
         assert_eq!(journal.hits(), 2);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lookup_all_is_all_or_nothing() {
+        let mut journal = Journal::in_memory();
+        journal.record("mix#c0", sample_entry());
+        journal.record("mix#c1", sample_entry());
+        // Partial coverage: no entries returned, no hits counted.
+        assert!(journal.lookup_all(&["mix#c0".into(), "mix#c2".into()]).is_none());
+        assert_eq!(journal.hits(), 0);
+        // Full coverage: all entries, hits advanced by the group size.
+        let got = journal
+            .lookup_all(&["mix#c0".into(), "mix#c1".into()])
+            .expect("both journaled");
+        assert_eq!(got.len(), 2);
+        assert_eq!(journal.hits(), 2);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use crate::journal;
 use crate::prefetchers::PrefetcherKind;
-use pmp_sim::{SimResult, System, SystemConfig};
+use pmp_sim::{MultiCoreSystem, SimResult, SimStats, System, SystemConfig};
 use pmp_traces::io::read_trace_file;
 use pmp_traces::{Suite, Trace, TraceScale, TraceSpec};
 use pmp_types::HarnessError;
@@ -61,19 +61,41 @@ impl RunConfig {
             &self.fingerprint_input(kind),
         )
     }
+
+    /// Journal keys for a mix cell: one per core (`name#c0` … `name#c3`),
+    /// fingerprinted over the full trace list so two mixes sharing a
+    /// display name but not a composition never alias.
+    fn mix_keys(&self, mix: &MixCell, kind: &PrefetcherKind) -> Vec<String> {
+        let traces: Vec<&str> = mix.specs.iter().map(|s| s.name.as_str()).collect();
+        let fp = format!("{}|{}", self.fingerprint_input(kind), traces.join("+"));
+        (0..mix.specs.len())
+            .map(|i| {
+                journal::cell_key(
+                    &format!("{}#c{i}", mix.name),
+                    &kind.label(),
+                    &format!("{:?}", self.scale),
+                    &fp,
+                )
+            })
+            .collect()
+    }
 }
 
 /// One (trace, prefetcher) outcome.
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
-    /// Trace name.
+    /// Trace name (or mix name for [`CellSpec::Mix`] cells).
     pub trace: String,
-    /// Trace suite.
+    /// Trace suite (the first core's suite for mix cells).
     pub suite: Suite,
     /// Prefetcher label.
     pub prefetcher: String,
-    /// Measured-window simulation result.
+    /// Measured-window simulation result. For mix cells this is the
+    /// aggregate: summed counters with makespan cycles.
     pub result: SimResult,
+    /// Per-core measured-window counters for [`CellSpec::Mix`] cells;
+    /// empty for single-core cells.
+    pub per_core: Vec<SimStats>,
 }
 
 /// One isolated (trace, prefetcher) failure: the cell's identity plus
@@ -98,8 +120,29 @@ impl std::fmt::Display for CellFailure {
 /// failure.
 pub type CellResult = Result<RunOutcome, CellFailure>;
 
-/// Input of one grid cell: a synthetic catalog spec or an imported
-/// `.pmpt` trace file.
+/// A four-trace multi-programmed mix (Fig. 13): each spec runs on its
+/// own core of a shared-LLC/DRAM system, and the cell's outcome is the
+/// aggregate plus per-core breakdowns.
+#[derive(Debug, Clone)]
+pub struct MixCell {
+    /// Display name, e.g. `"homo/spec06.mcf_2"` or `"all-high/1"`.
+    pub name: String,
+    /// One catalog recipe per core.
+    pub specs: [TraceSpec; 4],
+}
+
+impl MixCell {
+    /// A homogeneous mix: the same trace on all four cores.
+    pub fn homogeneous(spec: &TraceSpec) -> MixCell {
+        MixCell {
+            name: format!("homo/{}", spec.name),
+            specs: std::array::from_fn(|_| spec.clone()),
+        }
+    }
+}
+
+/// Input of one grid cell: a synthetic catalog spec, an imported
+/// `.pmpt` trace file, or a 4-core mix.
 #[derive(Debug, Clone)]
 pub enum CellSpec {
     /// A catalog/synthetic trace recipe.
@@ -107,14 +150,18 @@ pub enum CellSpec {
     /// A binary trace file (external capture), read with full
     /// corruption checking.
     File(PathBuf),
+    /// A 4-core multi-programmed mix run on the shared-memory system
+    /// (boxed: four `TraceSpec`s dwarf the other variants).
+    Mix(Box<MixCell>),
 }
 
 impl CellSpec {
-    /// Display name (trace name or file path).
+    /// Display name (trace name, file path, or mix name).
     pub fn name(&self) -> String {
         match self {
             CellSpec::Synthetic(spec) => spec.name.clone(),
             CellSpec::File(path) => path.display().to_string(),
+            CellSpec::Mix(mix) => mix.name.clone(),
         }
     }
 }
@@ -160,6 +207,7 @@ pub fn run_trace(spec: &TraceSpec, kind: &PrefetcherKind, cfg: &RunConfig) -> Ru
         suite: trace.suite,
         prefetcher: kind.label(),
         result,
+        per_core: Vec::new(),
     }
 }
 
@@ -243,16 +291,124 @@ pub fn run_file_checked(
     }
 }
 
-/// Run one cell of either flavour.
+/// Run one 4-core mix behind the robustness boundary: pre-flight
+/// validation of the system and every per-core recipe, all-or-nothing
+/// journal reuse (one journal entry per core), panic isolation around
+/// trace generation and the multi-core simulation, and the watchdog
+/// budget via [`MultiCoreSystem::run_bounded`].
+///
+/// The outcome's `result` is the mix aggregate — counters summed
+/// across cores, cycles the makespan (slowest core) — and `per_core`
+/// carries each core's measured window.
 ///
 /// # Errors
 ///
-/// Returns the cell's [`CellFailure`] — see [`run_trace_checked`] and
-/// [`run_file_checked`].
+/// Returns a [`CellFailure`] carrying the typed [`HarnessError`] when
+/// the mix cannot produce a result; the caller's sweep continues.
+pub fn run_mix_checked(mix: &MixCell, kind: &PrefetcherKind, cfg: &RunConfig) -> CellResult {
+    let fail = |error| {
+        Err(CellFailure { trace: mix.name.clone(), prefetcher: kind.label(), error })
+    };
+    let keys = cfg.mix_keys(mix, kind);
+    if let Some(entries) = journal::global_lookup_all(&keys) {
+        let per_core: Vec<SimStats> = entries.into_iter().map(|e| e.stats).collect();
+        return Ok(mix_outcome(mix, kind, per_core));
+    }
+    if let Err(e) = cfg.system.validate() {
+        return fail(e);
+    }
+    if let Err(e) = kind.validate() {
+        return fail(e);
+    }
+    for spec in &mix.specs {
+        if let Err(e) = spec.validate() {
+            return fail(e);
+        }
+    }
+    let traces = match catch_unwind(AssertUnwindSafe(|| {
+        mix.specs.clone().map(|spec| spec.build(cfg.scale))
+    })) {
+        Ok(traces) => traces,
+        Err(payload) => return fail(HarnessError::Panic { message: panic_message(payload) }),
+    };
+    // ~10 instructions per memory op across the archetypes: measure a
+    // window comparable to the whole trace, as the single-core runs do.
+    let measure = (cfg.scale.mem_ops() as u64) * 10;
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        let prefetchers = (0..mix.specs.len()).map(|_| kind.build()).collect();
+        let mut sys = MultiCoreSystem::new(cfg.system.clone(), prefetchers);
+        let refs: Vec<_> = traces.iter().map(|t| t.ops.as_slice()).collect();
+        let warmup = cfg.scale.warmup_instructions();
+        match cfg.max_cycles {
+            Some(budget) => sys.run_bounded(&refs, warmup, measure, budget),
+            None => Ok(sys.run(&refs, warmup, measure)),
+        }
+    }));
+    let result = match attempt {
+        Ok(Ok(result)) => result,
+        Ok(Err(error)) => return fail(error),
+        Err(payload) => return fail(HarnessError::Panic { message: panic_message(payload) }),
+    };
+    if journal::global_active() {
+        for (i, key) in keys.iter().enumerate() {
+            journal::global_record(
+                key,
+                journal::JournalEntry {
+                    trace: mix.specs[i].name.clone(),
+                    suite: mix.specs[i].suite,
+                    prefetcher: kind.label(),
+                    instructions: result.cores[i].instructions,
+                    cycles: result.cores[i].cycles,
+                    stats: result.cores[i],
+                },
+            );
+        }
+    }
+    Ok(mix_outcome(mix, kind, result.cores))
+}
+
+/// Fold per-core measured windows into the mix's aggregate outcome.
+fn mix_outcome(mix: &MixCell, kind: &PrefetcherKind, per_core: Vec<SimStats>) -> RunOutcome {
+    let mut total = SimStats::default();
+    for s in &per_core {
+        total.instructions += s.instructions;
+        // Makespan: the mix is done when its slowest core is.
+        total.cycles = total.cycles.max(s.cycles);
+        total.pf_issued += s.pf_issued;
+        total.pf_admitted += s.pf_admitted;
+        total.pf_dropped += s.pf_dropped;
+        total.pf_redundant += s.pf_redundant;
+        total.dram_requests += s.dram_requests;
+        total.dram_writes += s.dram_writes;
+        for (acc, lvl) in total.levels.iter_mut().zip(&s.levels) {
+            acc.accumulate(lvl);
+        }
+    }
+    RunOutcome {
+        trace: mix.name.clone(),
+        suite: mix.specs[0].suite,
+        prefetcher: kind.label(),
+        result: SimResult {
+            instructions: total.instructions,
+            cycles: total.cycles,
+            stats: total,
+            prefetcher: kind.build().name(),
+        },
+        per_core,
+    }
+}
+
+/// Run one cell of any flavour.
+///
+/// # Errors
+///
+/// Returns the cell's [`CellFailure`] — see [`run_trace_checked`],
+/// [`run_file_checked`] and [`run_mix_checked`].
 pub fn run_cell(cell: &CellSpec, kind: &PrefetcherKind, cfg: &RunConfig) -> CellResult {
     match cell {
         CellSpec::Synthetic(spec) => run_trace_checked(spec, kind, cfg),
         CellSpec::File(path) => run_file_checked(path, kind, cfg),
+        CellSpec::Mix(mix) => run_mix_checked(mix, kind, cfg),
     }
 }
 
@@ -276,7 +432,7 @@ fn complete_cell(
             },
         );
     }
-    RunOutcome { trace, suite, prefetcher: kind.label(), result }
+    RunOutcome { trace, suite, prefetcher: kind.label(), result, per_core: Vec::new() }
 }
 
 fn outcome_from_journal(entry: journal::JournalEntry, kind: &PrefetcherKind) -> RunOutcome {
@@ -294,6 +450,7 @@ fn outcome_from_journal(entry: journal::JournalEntry, kind: &PrefetcherKind) -> 
             // simulation the journal hit just saved).
             prefetcher: kind.build().name(),
         },
+        per_core: Vec::new(),
     }
 }
 
@@ -566,6 +723,41 @@ mod tests {
         let failure = run_cell(&cell, &PrefetcherKind::None, &cfg)
             .expect_err("missing file must fail the cell");
         assert_eq!(failure.error.kind_tag(), "trace-io");
+    }
+
+    #[test]
+    fn mix_cell_aggregates_cores() {
+        let specs: [TraceSpec; 4] = std::array::from_fn(|i| catalog()[i * 7].clone());
+        let mix = MixCell { name: "test-mix".into(), specs };
+        let cfg = RunConfig {
+            scale: TraceScale::Tiny,
+            system: SystemConfig::quad_core(),
+            max_cycles: None,
+        };
+        let out = run_mix_checked(&mix, &PrefetcherKind::None, &cfg).expect("healthy mix");
+        assert_eq!(out.trace, "test-mix");
+        assert_eq!(out.per_core.len(), 4);
+        let summed: u64 = out.per_core.iter().map(|s| s.instructions).sum();
+        assert_eq!(out.result.instructions, summed, "aggregate sums instructions");
+        let makespan = out.per_core.iter().map(|s| s.cycles).max().expect("4 cores");
+        assert_eq!(out.result.cycles, makespan, "aggregate cycles are the makespan");
+        let dram: u64 = out.per_core.iter().map(|s| s.dram_requests).sum();
+        assert_eq!(out.result.stats.dram_requests, dram);
+    }
+
+    #[test]
+    fn mix_watchdog_degrades_to_timeout() {
+        let specs: [TraceSpec; 4] = std::array::from_fn(|i| catalog()[i].clone());
+        let mix = MixCell { name: "slow-mix".into(), specs };
+        let cfg = RunConfig {
+            scale: TraceScale::Tiny,
+            system: SystemConfig::quad_core(),
+            max_cycles: Some(50),
+        };
+        let failure = run_mix_checked(&mix, &PrefetcherKind::None, &cfg)
+            .expect_err("50 cycles cannot finish a mix");
+        assert_eq!(failure.error.kind_tag(), "timeout");
+        assert_eq!(failure.trace, "slow-mix");
     }
 
     #[test]

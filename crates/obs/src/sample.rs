@@ -30,6 +30,10 @@ pub struct SampleInput {
 /// One sampling window's derived rates.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IntervalSample {
+    /// The core this window was sampled on (0 for single-core runs).
+    /// Multi-core drivers run one sampler per core; merged sample
+    /// streams stay attributable through this tag.
+    pub core: u32,
     /// First cycle of the window.
     pub start_cycle: u64,
     /// Last cycle of the window (exclusive).
@@ -64,26 +68,45 @@ pub struct IntervalSampler {
     dram_cycles_per_request: f64,
     /// Number of DRAM channels.
     dram_channels: u32,
+    /// Core tag stamped onto every emitted sample.
+    core: u32,
     prev: SampleInput,
     next_boundary: u64,
     samples: Vec<IntervalSample>,
 }
 
 impl IntervalSampler {
-    /// Create a sampler firing every `period` cycles.
-    /// `dram_cycles_per_request` and `dram_channels` parameterise the
-    /// bandwidth-utilization calculation.
+    /// Create a sampler firing every `period` cycles, tagging samples
+    /// with core 0. `dram_cycles_per_request` and `dram_channels`
+    /// parameterise the bandwidth-utilization calculation.
     ///
     /// # Panics
     ///
     /// Panics if `period` or `dram_channels` is zero.
     pub fn new(period: u64, dram_cycles_per_request: f64, dram_channels: u32) -> Self {
+        IntervalSampler::for_core(period, dram_cycles_per_request, dram_channels, 0)
+    }
+
+    /// [`IntervalSampler::new`] with an explicit core tag: multi-core
+    /// drivers run one sampler per core and stamp each sample with the
+    /// core it was taken on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` or `dram_channels` is zero.
+    pub fn for_core(
+        period: u64,
+        dram_cycles_per_request: f64,
+        dram_channels: u32,
+        core: u32,
+    ) -> Self {
         assert!(period > 0, "sampling period must be positive");
         assert!(dram_channels > 0, "need at least one DRAM channel");
         IntervalSampler {
             period,
             dram_cycles_per_request,
             dram_channels,
+            core,
             prev: SampleInput::default(),
             next_boundary: period,
             samples: Vec::new(),
@@ -117,6 +140,7 @@ impl IntervalSampler {
         let busy = d_dram as f64 * self.dram_cycles_per_request;
         let capacity = window as f64 * f64::from(self.dram_channels);
         let sample = IntervalSample {
+            core: self.core,
             start_cycle: self.prev.cycle,
             end_cycle: input.cycle,
             instructions: d_instr,
@@ -209,5 +233,13 @@ mod tests {
         let a = s.record(input(10, 1, [0; 3], 0));
         assert_eq!(a.pq_occupancy, [1, 2, 3]);
         assert_eq!(a.mshr_occupancy, [4, 5, 6]);
+    }
+
+    #[test]
+    fn core_tag_stamps_samples() {
+        let mut s0 = IntervalSampler::new(10, 1.0, 1);
+        assert_eq!(s0.record(input(10, 1, [0; 3], 0)).core, 0);
+        let mut s3 = IntervalSampler::for_core(10, 1.0, 1, 3);
+        assert_eq!(s3.record(input(10, 1, [0; 3], 0)).core, 3);
     }
 }

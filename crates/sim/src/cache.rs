@@ -48,7 +48,7 @@ pub struct Eviction {
 /// trace-driven, so no data payloads exist. The directory is laid out
 /// struct-of-arrays, each array one contiguous allocation indexed by
 /// `set * ways + way`: the tag probe that every access performs scans
-/// only the 8-byte tag array (empty ways hold [`INVALID_TAG`], so no
+/// only the 8-byte tag array (empty ways hold `INVALID_TAG`, so no
 /// separate valid bit is consulted), and the LRU stamps and line
 /// metadata are touched only at the matching way. A 16-way set probe
 /// therefore reads 128 contiguous bytes instead of the ~384 bytes an

@@ -17,8 +17,12 @@
 //!   `width` instructions per cycle, load/store queues, and optional
 //!   load→load dependencies so pointer-chasing traces serialise
 //!   ([`cpu`]);
-//! * single-core ([`system`]) and 4-core ([`multicore`]) drivers with
-//!   the paper's Table IV configuration as defaults ([`config`]).
+//! * a core-generic execution engine owning the per-op pipeline
+//!   (dispatch, demand access, event delivery, prefetcher training,
+//!   prefetch issue, measured-window accounting) exactly once
+//!   ([`engine`]), specialised by single-core ([`system`]) and 4-core
+//!   ([`multicore`]) drivers with the paper's Table IV configuration as
+//!   defaults ([`config`]).
 //!
 //! Prefetchers attach at the L1D through the
 //! [`pmp_prefetch::Prefetcher`] trait and are trained on demand loads,
@@ -49,6 +53,7 @@ pub mod cache;
 pub mod config;
 pub mod cpu;
 pub mod dram;
+pub mod engine;
 pub mod hierarchy;
 pub mod mshr;
 pub mod multicore;
@@ -58,6 +63,7 @@ pub mod system;
 pub mod tlb;
 
 pub use config::{CacheConfig, CoreConfig, DramConfig, SystemConfig};
+pub use engine::{CoreDramTraffic, Engine};
 pub use tlb::{Tlb, TlbConfig, TlbStats};
 pub use hierarchy::{CoreMem, SharedMem};
 pub use multicore::{MultiCoreResult, MultiCoreSystem};

@@ -1,5 +1,7 @@
-//! The 4-core system driver: private L1D/L2C per core, shared inclusive
-//! LLC and DRAM channels.
+//! The multi-core system driver: private L1D/L2C per core, shared
+//! inclusive LLC and DRAM channels — a thin wrapper selecting the
+//! multi-programmed schedule of the core-generic
+//! [`Engine`].
 //!
 //! Cores advance in near-lockstep: each scheduling step executes one
 //! trace record on the core whose local clock is furthest behind, so
@@ -9,80 +11,31 @@
 //! resources — but its metrics are frozen at first completion, the usual
 //! multi-programmed methodology (and the paper's: every core runs its
 //! 200M-instruction window).
+//!
+//! The per-op pipeline itself lives in `crate::engine` and is shared
+//! with the single-core `System`, so the two paths can never drift:
+//! multi-core runs get the tracer generic, per-core interval sampling
+//! with [`pmp_prefetch::Prefetcher::on_bandwidth`] delivery, and the
+//! watchdog cycle budget for free.
 
 use crate::config::SystemConfig;
-use crate::cpu::Cpu;
-use crate::hierarchy::{demand_access, prefetch_access, CoreMem, MemEvents, SharedMem};
-use crate::stats::{diff_stats, SimStats};
-use pmp_obs::NullTracer;
-use pmp_prefetch::{AccessInfo, EvictInfo, Prefetcher, PrefetchRequest};
-use pmp_types::{LineAddr, TraceOp};
-
-/// Per-core virtual-address offset (in cache lines): multi-programmed
-/// workloads are independent processes, so each core's addresses are
-/// shifted into a private slice of the physical space — otherwise
-/// homogeneous mixes would falsely share LLC lines.
-fn core_line(line: LineAddr, who: usize) -> LineAddr {
-    LineAddr(line.0 + ((who as u64) << 38))
-}
-
-/// Inverse of [`core_line`]: events delivered to a core's prefetcher
-/// must be in the trace's own address space.
-fn uncore_line(line: LineAddr, who: usize) -> LineAddr {
-    LineAddr(line.0.wrapping_sub((who as u64) << 38))
-}
-
-/// Drain `events` into core `who`'s prefetcher hooks, mapping lines
-/// back to the trace's own address space. Draining (rather than
-/// `mem::take`, which would drop and reallocate the buffers) keeps the
-/// per-op event delivery allocation-free.
-fn deliver_events(events: &mut MemEvents, pf: &mut dyn Prefetcher, who: usize, cycle: u64) {
-    for line in events.l1d_evictions.drain(..) {
-        pf.on_evict(&EvictInfo { line: uncore_line(line, who), cycle });
-    }
-    for (line, kind) in events.feedback.drain(..) {
-        pf.on_feedback(uncore_line(line, who), kind);
-    }
-}
-
-/// Per-core outcome of a multi-core run.
-#[derive(Debug, Clone)]
-pub struct MultiCoreResult {
-    /// Per-core counters over each core's measured window.
-    pub cores: Vec<SimStats>,
-    /// Shared DRAM requests over the whole run.
-    pub dram_requests: u64,
-}
-
-impl MultiCoreResult {
-    /// Per-core IPCs.
-    pub fn ipcs(&self) -> Vec<f64> {
-        self.cores.iter().map(|s| s.ipc()).collect()
-    }
-}
-
-struct CoreState {
-    cpu: Cpu,
-    ops_idx: usize,
-    dispatched: u64,
-    done: bool,
-    snap: Option<(u64, u64, SimStats)>,
-    result: Option<SimStats>,
-    stats: SimStats,
-    pf_buf: Vec<PrefetchRequest>,
-}
+use crate::engine::Engine;
+pub use crate::engine::{CoreDramTraffic, MultiCoreResult};
+use pmp_obs::{IntervalSample, NullTracer, Tracer};
+use pmp_prefetch::Prefetcher;
+use pmp_types::{HarnessError, TraceOp};
 
 /// A multi-programmed multi-core system.
-pub struct MultiCoreSystem {
-    cfg: SystemConfig,
-    mems: Vec<CoreMem>,
-    shared: SharedMem,
-    prefetchers: Vec<Box<dyn Prefetcher>>,
-    states: Vec<CoreState>,
-    events: MemEvents,
+///
+/// `T` is the tracer every memory operation (from every core) reports
+/// lifecycle events to; the default [`NullTracer`] compiles the
+/// instrumentation away. Traced line addresses are the *physical*
+/// (per-core shifted) ones the hierarchy sees.
+pub struct MultiCoreSystem<T: Tracer = NullTracer> {
+    engine: Engine<T>,
 }
 
-impl MultiCoreSystem {
+impl MultiCoreSystem<NullTracer> {
     /// Build an `n`-core system; `prefetchers` supplies one prefetcher
     /// per core.
     ///
@@ -90,104 +43,57 @@ impl MultiCoreSystem {
     ///
     /// Panics if `prefetchers` is empty.
     pub fn new(cfg: SystemConfig, prefetchers: Vec<Box<dyn Prefetcher>>) -> Self {
-        assert!(!prefetchers.is_empty(), "need at least one core");
-        let n = prefetchers.len();
-        MultiCoreSystem {
-            mems: (0..n).map(|_| CoreMem::new(&cfg)).collect(),
-            shared: SharedMem::new(&cfg),
-            states: (0..n)
-                .map(|_| CoreState {
-                    cpu: Cpu::new(&cfg.core),
-                    ops_idx: 0,
-                    dispatched: 0,
-                    done: false,
-                    snap: None,
-                    result: None,
-                    stats: SimStats::default(),
-                    pf_buf: Vec::with_capacity(64),
-                })
-                .collect(),
-            prefetchers,
-            events: MemEvents::default(),
-            cfg,
-        }
+        MultiCoreSystem::with_tracer(cfg, prefetchers, NullTracer)
+    }
+}
+
+impl<T: Tracer> MultiCoreSystem<T> {
+    /// Build an `n`-core system whose memory operations report
+    /// lifecycle events to `tracer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefetchers` is empty.
+    pub fn with_tracer(
+        cfg: SystemConfig,
+        prefetchers: Vec<Box<dyn Prefetcher>>,
+        tracer: T,
+    ) -> Self {
+        MultiCoreSystem { engine: Engine::with_tracer(cfg, prefetchers, tracer) }
     }
 
-    fn step_core(
-        &mut self,
-        who: usize,
-        op: &TraceOp,
-        warmup: u64,
-        measure: u64,
-    ) {
-        let st = &mut self.states[who];
-        if st.snap.is_none() && st.dispatched >= warmup {
-            st.snap = Some((st.dispatched, st.cpu.now(), st.stats));
-        }
-        for _ in 0..op.nonmem_before {
-            st.cpu.dispatch_nonmem();
-        }
-        let is_load = op.access.kind.is_load();
-        let issue = st.cpu.begin_mem_op(is_load, op.dep_on_prev_load);
-        self.events.clear();
-        let (latency, l1_hit) = demand_access(
-            core_line(op.access.addr.line(), who),
-            is_load,
-            issue,
-            who,
-            &mut self.mems,
-            &mut self.shared,
-            &mut self.states[who].stats,
-            &mut self.events,
-            &mut NullTracer,
-        );
-        let st = &mut self.states[who];
-        if is_load {
-            st.cpu.dispatch_load(issue, latency);
-        } else {
-            st.cpu.dispatch_store(issue, latency);
-        }
-        st.dispatched += op.instruction_count();
-        // Deliver events (mapped back to the trace's address space),
-        // then train on loads.
-        deliver_events(&mut self.events, &mut *self.prefetchers[who], who, issue);
-        if is_load {
-            let info = AccessInfo {
-                access: op.access,
-                hit: l1_hit,
-                cycle: issue,
-                pq_free: self.mems[who].l1_pq_free(issue),
-            };
-            let mut buf = std::mem::take(&mut self.states[who].pf_buf);
-            buf.clear();
-            self.prefetchers[who].on_access(&info, &mut buf);
-            for req in &buf {
-                self.events.clear();
-                let req = PrefetchRequest::new(core_line(req.line, who), req.fill_level);
-                let _ = prefetch_access(
-                    req,
-                    issue,
-                    who,
-                    &mut self.mems,
-                    &mut self.shared,
-                    &mut self.states[who].stats,
-                    &mut self.events,
-                    &mut NullTracer,
-                );
-                deliver_events(&mut self.events, &mut *self.prefetchers[who], who, issue);
-            }
-            self.states[who].pf_buf = buf;
-        }
-        // Check completion of the measured window.
-        let st = &mut self.states[who];
-        if !st.done && st.dispatched >= warmup + measure {
-            let (wi, wc, ws) = st.snap.unwrap_or((0, 0, SimStats::default()));
-            let mut out = diff_stats(&st.stats, &ws);
-            out.instructions = st.dispatched - wi;
-            out.cycles = st.cpu.now().saturating_sub(wc).max(1);
-            st.result = Some(out);
-            st.done = true;
-        }
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.engine.cores()
+    }
+
+    /// Record an [`IntervalSample`] every `period` cycles on every core
+    /// during `run`; each core's window DRAM utilization (computed from
+    /// the *shared* DRAM counter, so it reflects all cores' contention)
+    /// is forwarded to that core's prefetcher via
+    /// [`pmp_prefetch::Prefetcher::on_bandwidth`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn enable_sampling(&mut self, period: u64) {
+        self.engine.enable_sampling(period);
+    }
+
+    /// Interval samples recorded for `core` so far (empty unless
+    /// [`MultiCoreSystem::enable_sampling`] was called).
+    pub fn samples(&self, core: usize) -> &[IntervalSample] {
+        self.engine.samples(core)
+    }
+
+    /// The tracer receiving lifecycle events from every core.
+    pub fn tracer(&self) -> &T {
+        self.engine.tracer()
+    }
+
+    /// Mutable access to the tracer (e.g. to drain a recorder).
+    pub fn tracer_mut(&mut self) -> &mut T {
+        self.engine.tracer_mut()
     }
 
     /// Run one trace per core; each core's measured window is
@@ -204,32 +110,40 @@ impl MultiCoreSystem {
         warmup_instructions: u64,
         measure_instructions: u64,
     ) -> MultiCoreResult {
-        assert_eq!(traces.len(), self.states.len(), "one trace per core");
-        assert!(traces.iter().all(|t| !t.is_empty()), "traces must be non-empty");
-        // Pick the laggard unfinished core each step.
-        while let Some(who) = self
-            .states
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| !s.done)
-            .min_by_key(|(_, s)| s.cpu.now())
-            .map(|(i, _)| i)
-        {
-            let ops = traces[who];
-            let idx = self.states[who].ops_idx;
-            let op = ops[idx % ops.len()];
-            self.states[who].ops_idx = idx + 1;
-            self.step_core(who, &op, warmup_instructions, measure_instructions);
+        match self.run_bounded(traces, warmup_instructions, measure_instructions, u64::MAX) {
+            Ok(r) => r,
+            Err(e) => unreachable!("a u64::MAX cycle budget cannot be exhausted: {e}"),
         }
-        MultiCoreResult {
-            cores: self.states.iter().map(|s| s.result.expect("all cores done")).collect(),
-            dram_requests: self.shared.dram.requests(),
-        }
+    }
+
+    /// [`MultiCoreSystem::run`] under a watchdog: abort with
+    /// [`HarnessError::Timeout`] once any core has consumed
+    /// `max_cycles` local cycles within this call, so a livelocked mix
+    /// costs one grid cell instead of hanging a sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Timeout`] when the budget is exhausted;
+    /// the partial run's statistics are discarded.
+    pub fn run_bounded(
+        &mut self,
+        traces: &[&[TraceOp]],
+        warmup_instructions: u64,
+        measure_instructions: u64,
+        max_cycles: u64,
+    ) -> Result<MultiCoreResult, HarnessError> {
+        self.engine.run_windows(traces, warmup_instructions, measure_instructions, max_cycles)
+    }
+
+    /// Introspection gauges of `core`'s prefetcher, via
+    /// [`pmp_prefetch::Introspect`].
+    pub fn prefetcher_gauges(&self, core: usize) -> Vec<pmp_prefetch::Gauge> {
+        self.engine.prefetcher_gauges(core)
     }
 
     /// The configuration the system was built with.
     pub fn config(&self) -> &SystemConfig {
-        &self.cfg
+        self.engine.config()
     }
 }
 
@@ -269,6 +183,11 @@ mod tests {
             assert!(s.cycles > 0);
         }
         assert!(r.dram_requests > 0);
+        // Streaming loads with no prefetch: the shared-LLC aggregate
+        // and per-core DRAM attribution are populated and consistent.
+        assert!(r.llc.load_accesses > 0);
+        assert_eq!(r.core_dram.len(), 4);
+        assert!(r.core_dram.iter().all(|c| c.requests > 0));
     }
 
     #[test]
@@ -291,5 +210,92 @@ mod tests {
         let base_ipc: f64 = base.ipcs().iter().sum();
         let next_ipc: f64 = next.ipcs().iter().sum();
         assert!(next_ipc > base_ipc, "prefetch {next_ipc} vs base {base_ipc}");
+    }
+
+    #[test]
+    fn multicore_sampling_feeds_every_core() {
+        let cfg = SystemConfig::quad_core();
+        let pfs: Vec<Box<dyn Prefetcher>> =
+            (0..4).map(|_| Box::new(NoPrefetch) as Box<dyn Prefetcher>).collect();
+        let mut sys = MultiCoreSystem::new(cfg, pfs);
+        sys.enable_sampling(500);
+        let traces: Vec<Vec<TraceOp>> =
+            (0..4).map(|c| stream(0x1000_0000 * (c + 1), 2000)).collect();
+        let refs: Vec<&[TraceOp]> = traces.iter().map(|t| t.as_slice()).collect();
+        let _ = sys.run(&refs, 300, 4000);
+        for core in 0..4 {
+            let samples = sys.samples(core);
+            assert!(!samples.is_empty(), "core {core} recorded no samples");
+            assert!(samples.iter().all(|s| s.core == core as u32));
+            // Four cores streaming through a shared DRAM: every core's
+            // sampler sees the *shared* bandwidth pressure.
+            assert!(
+                samples.iter().any(|s| s.dram_utilization > 0.0),
+                "core {core} saw no DRAM utilization"
+            );
+        }
+    }
+
+    /// The bugfix pinned as behaviour: bandwidth-aware prefetchers
+    /// (DSPatch, Pythia) only modulate aggressiveness if `on_bandwidth`
+    /// is actually delivered in multi-core runs — which the pre-engine
+    /// `MultiCoreSystem` never did. A probe prefetcher records every
+    /// delivery; with sampling enabled and four cores streaming through
+    /// the shared DRAM, every core's hook must fire with a non-zero
+    /// utilization.
+    #[test]
+    fn bandwidth_feedback_reaches_multicore_prefetchers() {
+        use pmp_prefetch::{AccessInfo, Introspect, PrefetchRequest};
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        /// Counts `on_bandwidth` deliveries and remembers the peak.
+        struct BwProbe {
+            calls: Rc<Cell<u64>>,
+            peak: Rc<Cell<f64>>,
+        }
+        impl Introspect for BwProbe {}
+        impl Prefetcher for BwProbe {
+            fn name(&self) -> &'static str {
+                "bw-probe"
+            }
+            fn on_access(&mut self, _info: &AccessInfo, _out: &mut Vec<PrefetchRequest>) {}
+            fn on_bandwidth(&mut self, utilization: f64) {
+                self.calls.set(self.calls.get() + 1);
+                self.peak.set(self.peak.get().max(utilization));
+            }
+            fn storage_bits(&self) -> u64 {
+                0
+            }
+        }
+
+        let cfg = SystemConfig::quad_core();
+        let calls: Vec<Rc<Cell<u64>>> = (0..4).map(|_| Rc::new(Cell::new(0))).collect();
+        let peaks: Vec<Rc<Cell<f64>>> = (0..4).map(|_| Rc::new(Cell::new(0.0))).collect();
+        let pfs: Vec<Box<dyn Prefetcher>> = (0..4)
+            .map(|c| {
+                Box::new(BwProbe { calls: calls[c].clone(), peak: peaks[c].clone() })
+                    as Box<dyn Prefetcher>
+            })
+            .collect();
+        let mut sys = MultiCoreSystem::new(cfg, pfs);
+        sys.enable_sampling(500);
+        let traces: Vec<Vec<TraceOp>> =
+            (0..4).map(|c| stream(0x1000_0000 * (c + 1), 2500)).collect();
+        let refs: Vec<&[TraceOp]> = traces.iter().map(|t| t.as_slice()).collect();
+        let _ = sys.run(&refs, 300, 5000);
+        for core in 0..4 {
+            assert!(
+                calls[core].get() > 0,
+                "core {core}: on_bandwidth never delivered"
+            );
+            // The utilization each core sees is computed from the
+            // *shared* DRAM counter: four streaming cores guarantee
+            // non-zero pressure at every core's prefetcher.
+            assert!(
+                peaks[core].get() > 0.0,
+                "core {core}: delivered utilization stuck at zero"
+            );
+        }
     }
 }

@@ -46,6 +46,21 @@ impl LevelStats {
         let total = self.pf_useful + self.pf_useless;
         (total > 0).then(|| self.pf_useful as f64 / total as f64)
     }
+
+    /// Field-wise `self += other`: aggregates one level's counters
+    /// across cores (the multi-core engine sums each core's view of the
+    /// shared LLC into one contention picture).
+    pub fn accumulate(&mut self, other: &LevelStats) {
+        self.load_accesses += other.load_accesses;
+        self.load_misses += other.load_misses;
+        self.store_accesses += other.store_accesses;
+        self.store_misses += other.store_misses;
+        self.pf_fills += other.pf_fills;
+        self.pf_useful += other.pf_useful;
+        self.pf_useless += other.pf_useless;
+        self.pf_late += other.pf_late;
+        self.writebacks += other.writebacks;
+    }
 }
 
 /// Counters for one simulated core plus the memory system it saw.

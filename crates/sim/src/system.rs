@@ -1,12 +1,18 @@
-//! The single-core system driver: core + hierarchy + prefetcher.
+//! The single-core system driver: a thin 1-core specialization of the
+//! core-generic [`Engine`].
+//!
+//! The per-op pipeline (warmup snapshot, non-memory dispatch, demand
+//! access, event delivery, prefetcher training, prefetch issue) lives
+//! in `crate::engine` and is shared bit-for-bit with the multi-core
+//! driver; `System` only selects the sequential schedule (run the trace
+//! in order, drain the ROB at the end) and fixes the core count at one.
 
 use crate::config::SystemConfig;
-use crate::cpu::Cpu;
-use crate::hierarchy::{demand_access, prefetch_access, CoreMem, MemEvents, SharedMem};
-use crate::stats::{diff_stats, SimStats};
-use pmp_obs::{IntervalSample, IntervalSampler, NullTracer, SampleInput, Tracer};
-use pmp_prefetch::{AccessInfo, EvictInfo, FeedbackKind, Prefetcher, PrefetchRequest};
-use pmp_types::{CacheLevel, HarnessError, MemAccess, TraceOp};
+use crate::engine::Engine;
+use crate::stats::SimStats;
+use pmp_obs::{IntervalSample, NullTracer, Tracer};
+use pmp_prefetch::{FeedbackKind, Prefetcher};
+use pmp_types::{HarnessError, MemAccess, TraceOp};
 
 /// Result of a single-core simulation.
 #[derive(Debug, Clone)]
@@ -39,16 +45,7 @@ impl SimResult {
 /// to; the default [`NullTracer`] is a ZST whose emits compile away, so
 /// uninstrumented simulations pay nothing for the instrumentation.
 pub struct System<T: Tracer = NullTracer> {
-    cfg: SystemConfig,
-    cpu: Cpu,
-    core: Vec<CoreMem>,
-    shared: SharedMem,
-    prefetcher: Box<dyn Prefetcher>,
-    stats: SimStats,
-    events: MemEvents,
-    pf_buf: Vec<PrefetchRequest>,
-    tracer: T,
-    sampler: Option<IntervalSampler>,
+    engine: Engine<T>,
 }
 
 impl System<NullTracer> {
@@ -63,156 +60,45 @@ impl<T: Tracer> System<T> {
     /// Build a system whose memory operations report lifecycle events
     /// to `tracer`.
     pub fn with_tracer(cfg: SystemConfig, prefetcher: Box<dyn Prefetcher>, tracer: T) -> Self {
-        System {
-            cpu: Cpu::new(&cfg.core),
-            core: vec![CoreMem::new(&cfg)],
-            shared: SharedMem::new(&cfg),
-            prefetcher,
-            stats: SimStats::default(),
-            events: MemEvents::default(),
-            pf_buf: Vec::with_capacity(64),
-            tracer,
-            sampler: None,
-            cfg,
-        }
+        System { engine: Engine::with_tracer(cfg, vec![prefetcher], tracer) }
     }
 
     /// Record an [`IntervalSample`] every `period` cycles during `run`.
     /// Each sample's DRAM utilization is also forwarded to the
-    /// prefetcher via [`Prefetcher::on_bandwidth`].
+    /// prefetcher via [`pmp_prefetch::Prefetcher::on_bandwidth`].
     ///
     /// # Panics
     ///
     /// Panics if `period` is zero.
     pub fn enable_sampling(&mut self, period: u64) {
-        self.sampler = Some(IntervalSampler::new(
-            period,
-            self.shared.dram.cycles_per_line(),
-            self.shared.dram.channels() as u32,
-        ));
+        self.engine.enable_sampling(period);
     }
 
     /// Interval samples recorded so far (empty unless
     /// [`System::enable_sampling`] was called).
     pub fn samples(&self) -> &[IntervalSample] {
-        self.sampler.as_ref().map(|s| s.samples()).unwrap_or(&[])
+        self.engine.samples(0)
     }
 
     /// The tracer receiving this system's lifecycle events.
     pub fn tracer(&self) -> &T {
-        &self.tracer
+        self.engine.tracer()
     }
 
     /// Mutable access to the tracer (e.g. to drain a recorder).
     pub fn tracer_mut(&mut self) -> &mut T {
-        &mut self.tracer
+        self.engine.tracer_mut()
     }
 
     /// The prefetcher's introspection gauges, via
     /// [`pmp_prefetch::Introspect`].
     pub fn prefetcher_gauges(&self) -> Vec<pmp_prefetch::Gauge> {
-        let mut out = Vec::new();
-        self.prefetcher.gauges(&mut out);
-        out
+        self.engine.prefetcher_gauges(0)
     }
 
     /// The system configuration.
     pub fn config(&self) -> &SystemConfig {
-        &self.cfg
-    }
-
-    /// Execute one trace record (its non-memory prefix plus the access).
-    fn step(&mut self, op: &TraceOp) {
-        for _ in 0..op.nonmem_before {
-            self.cpu.dispatch_nonmem();
-        }
-        let is_load = op.access.kind.is_load();
-        let issue = self.cpu.begin_mem_op(is_load, op.dep_on_prev_load);
-        self.events.clear();
-        let (latency, l1_hit) = demand_access(
-            op.access.addr.line(),
-            is_load,
-            issue,
-            0,
-            &mut self.core,
-            &mut self.shared,
-            &mut self.stats,
-            &mut self.events,
-            &mut self.tracer,
-        );
-        if is_load {
-            self.cpu.dispatch_load(issue, latency);
-        } else {
-            self.cpu.dispatch_store(issue, latency);
-        }
-        self.deliver_events(issue);
-
-        // Train and trigger the prefetcher on demand loads only
-        // (the paper: "The training process performs on L1D loads").
-        if is_load {
-            let info = AccessInfo {
-                access: op.access,
-                hit: l1_hit,
-                cycle: issue,
-                pq_free: self.core[0].l1_pq_free(issue),
-            };
-            self.pf_buf.clear();
-            self.prefetcher.on_access(&info, &mut self.pf_buf);
-            let reqs = std::mem::take(&mut self.pf_buf);
-            for req in &reqs {
-                self.events.clear();
-                let _ = prefetch_access(
-                    *req,
-                    issue,
-                    0,
-                    &mut self.core,
-                    &mut self.shared,
-                    &mut self.stats,
-                    &mut self.events,
-                    &mut self.tracer,
-                );
-                self.deliver_events(issue);
-            }
-            self.pf_buf = reqs;
-        }
-    }
-
-    fn deliver_events(&mut self, cycle: u64) {
-        for line in self.events.l1d_evictions.drain(..) {
-            self.prefetcher.on_evict(&EvictInfo { line, cycle });
-        }
-        for (line, kind) in self.events.feedback.drain(..) {
-            self.prefetcher.on_feedback(line, kind);
-        }
-    }
-
-    /// Close the current sampling window: snapshot the cumulative
-    /// counters and occupancies, record the interval, and forward the
-    /// window's DRAM utilization to the prefetcher.
-    fn take_sample(&mut self, instructions: u64) {
-        let now = self.cpu.now();
-        let miss = |l: CacheLevel, s: &SimStats| {
-            let lv = s.level(l);
-            lv.load_misses + lv.store_misses
-        };
-        let pq = self.core[0].pq_occupancy(now);
-        let mshr = self.core[0].mshr_occupancy(now);
-        let input = SampleInput {
-            cycle: now,
-            instructions,
-            misses: [
-                miss(CacheLevel::L1D, &self.stats),
-                miss(CacheLevel::L2C, &self.stats),
-                miss(CacheLevel::Llc, &self.stats),
-            ],
-            dram_requests: self.shared.dram.requests(),
-            pq_occupancy: [pq[0], pq[1], self.shared.llc_pq_occupancy(now)],
-            mshr_occupancy: [mshr[0], mshr[1], self.shared.llc_mshr_occupancy(now)],
-        };
-        if let Some(sampler) = &mut self.sampler {
-            let sample = sampler.record(input);
-            self.prefetcher.on_bandwidth(sample.dram_utilization);
-        }
+        self.engine.config()
     }
 
     /// Run `ops`, treating the first `warmup_instructions` retired
@@ -247,38 +133,7 @@ impl<T: Tracer> System<T> {
         warmup_instructions: u64,
         max_cycles: u64,
     ) -> Result<SimResult, HarnessError> {
-        let start_cycle = self.cpu.now();
-        let deadline = start_cycle.saturating_add(max_cycles);
-        let mut snap: Option<(u64, u64, SimStats)> = None;
-        let mut dispatched = 0u64;
-        for op in ops {
-            if self.cpu.now() >= deadline {
-                return Err(HarnessError::Timeout {
-                    cycles: self.cpu.now() - start_cycle,
-                    budget: max_cycles,
-                });
-            }
-            if snap.is_none() && dispatched >= warmup_instructions {
-                snap = Some((dispatched, self.cpu.now(), self.stats));
-            }
-            self.step(op);
-            dispatched += op.instruction_count();
-            if self.sampler.as_ref().is_some_and(|s| s.due(self.cpu.now())) {
-                self.take_sample(dispatched);
-            }
-        }
-        let end_cycle = self.cpu.drain();
-        let (warm_instr, warm_cycle, warm_stats) =
-            snap.unwrap_or((0, 0, SimStats::default()));
-        let mut stats = diff_stats(&self.stats, &warm_stats);
-        stats.instructions = dispatched - warm_instr;
-        stats.cycles = end_cycle - warm_cycle;
-        Ok(SimResult {
-            instructions: stats.instructions,
-            cycles: stats.cycles,
-            stats,
-            prefetcher: self.prefetcher.name(),
-        })
+        self.engine.run_sequential(ops, warmup_instructions, max_cycles)
     }
 
     /// Convenience wrapper: run a plain access list (every access one
@@ -290,7 +145,7 @@ impl<T: Tracer> System<T> {
 
     /// Feedback hook used by tests to poke the prefetcher directly.
     pub fn prefetcher_feedback(&mut self, line: pmp_types::LineAddr, kind: FeedbackKind) {
-        self.prefetcher.on_feedback(line, kind);
+        self.engine.prefetcher_feedback(0, line, kind);
     }
 }
 
@@ -377,6 +232,8 @@ mod tests {
             "utilization all zero"
         );
         assert!(samples.iter().all(|s| (0.0..=1.0).contains(&s.dram_utilization)));
+        // Single-core samples carry the core-0 tag.
+        assert!(samples.iter().all(|s| s.core == 0));
         // Windows are contiguous and strictly increasing.
         for w in samples.windows(2) {
             assert!(w[1].end_cycle > w[0].end_cycle);

@@ -190,6 +190,7 @@ mod tests {
     #[test]
     fn interval_table_shapes_csv() {
         let s = IntervalSample {
+            core: 0,
             start_cycle: 0,
             end_cycle: 1000,
             instructions: 800,

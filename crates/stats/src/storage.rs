@@ -132,11 +132,12 @@ pub fn sim_stats_to_json(s: &SimStats) -> String {
 pub fn interval_sample_to_json(s: &IntervalSample) -> String {
     format!(
         concat!(
-            "{{\"start_cycle\":{},\"end_cycle\":{},\"instructions\":{},",
+            "{{\"core\":{},\"start_cycle\":{},\"end_cycle\":{},\"instructions\":{},",
             "\"ipc\":{},\"mpki_l1d\":{},\"mpki_l2c\":{},\"mpki_llc\":{},",
             "\"dram_utilization\":{},",
             "\"pq_occupancy\":[{},{},{}],\"mshr_occupancy\":[{},{},{}]}}"
         ),
+        s.core,
         s.start_cycle,
         s.end_cycle,
         s.instructions,
@@ -246,6 +247,7 @@ mod tests {
     #[test]
     fn interval_sample_json_lines() {
         let s = IntervalSample {
+            core: 0,
             start_cycle: 1000,
             end_cycle: 2000,
             instructions: 500,
@@ -268,6 +270,7 @@ mod tests {
     #[test]
     fn non_finite_floats_serialise_as_null() {
         let s = IntervalSample {
+            core: 0,
             start_cycle: 0,
             end_cycle: 1,
             instructions: 0,

@@ -2,7 +2,7 @@
 //! harness must always produce a well-formed report for each paper
 //! artifact (the assertions check structure, not numbers).
 
-use pmp_bench::experiments::{ablation, headline, motivation, sensitivity, storage};
+use pmp_bench::experiments::{ablation, headline, motivation, multicore, sensitivity, storage};
 use pmp_traces::TraceScale;
 
 const SCALE: TraceScale = TraceScale::Tiny;
@@ -93,6 +93,18 @@ fn tab10_report() {
     let s = ablation::tab10_width_counter(SCALE);
     assert!(s.contains("12-bit trigger offset"));
     assert!(s.contains("8-bit counters"));
+}
+
+#[test]
+fn fig13_report() {
+    let s = multicore::fig13(SCALE);
+    for needle in ["Fig. 13", "homogeneous", "heterogeneous", "pmp", "pmp-limit"] {
+        assert!(s.contains(needle), "missing {needle:?} in:\n{s}");
+    }
+    // 25 homogeneous workloads + 3 mixes for each of the 6 Table VII
+    // kinds survive the checked grid at Tiny scale.
+    assert!(s.contains("25 homogeneous workloads"), "{s}");
+    assert!(s.contains("18 Table-VII mixes"), "{s}");
 }
 
 #[test]

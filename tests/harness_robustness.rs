@@ -5,9 +5,10 @@
 
 use pmp_bench::journal::{self, Journal};
 use pmp_bench::prefetchers::PrefetcherKind;
-use pmp_bench::runner::{run_cell, run_grid, run_trace_checked, CellSpec, RunConfig};
+use pmp_bench::runner::{run_cell, run_grid, run_trace_checked, CellSpec, MixCell, RunConfig};
+use pmp_sim::SystemConfig;
 use pmp_traces::io::write_trace_file;
-use pmp_traces::{catalog, TraceScale};
+use pmp_traces::{catalog, TraceScale, TraceSpec};
 use std::path::PathBuf;
 use std::sync::{Mutex, MutexGuard};
 
@@ -169,6 +170,88 @@ fn journal_resume_skips_exactly_the_completed_cells() {
     let bigger = RunConfig { max_cycles: Some(u64::MAX - 1), ..tiny_cfg() };
     let _ = run_trace_checked(&specs[0], &PrefetcherKind::NextLine, &bigger);
     assert_eq!(journal::global_hits(), 0, "different config must be a different cell");
+    journal::clear_global();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn quad_cfg() -> RunConfig {
+    RunConfig {
+        scale: TraceScale::Tiny,
+        system: SystemConfig::quad_core(),
+        max_cycles: None,
+    }
+}
+
+/// `n` disjoint 4-core mixes drawn from the head of the catalog.
+fn mix_cells(n: usize) -> Vec<CellSpec> {
+    let all = catalog();
+    (0..n)
+        .map(|m| {
+            let specs: [TraceSpec; 4] = std::array::from_fn(|i| all[m * 4 + i].clone());
+            CellSpec::Mix(Box::new(MixCell { name: format!("mix/{m}"), specs }))
+        })
+        .collect()
+}
+
+#[test]
+fn panicking_core_fails_its_mix_cell_only() {
+    let _guard = journal_lock();
+    journal::clear_global();
+    let cells = mix_cells(2);
+    let kinds = [PrefetcherKind::None, PrefetcherKind::FaultyPanicAfter(50)];
+    let (outcomes, summary) = run_grid(&cells, &kinds, &quad_cfg());
+
+    // The healthy baseline row completes with full per-core breakdowns...
+    assert_eq!(outcomes.len(), 2, "baseline mixes must complete");
+    for o in &outcomes {
+        assert_eq!(o.per_core.len(), 4, "mix outcome carries every core");
+        assert!(o.result.ipc() > 0.0);
+    }
+    // ...while a prefetcher panicking on one core of a 4-core mix costs
+    // exactly that mix cell, typed as a panic, not the sweep.
+    assert_eq!(summary.failures.len(), 2, "each faulty mix fails alone");
+    for f in &summary.failures {
+        assert_eq!(f.error.kind_tag(), "panic");
+        assert!(f.trace.starts_with("mix/"), "{f}");
+        assert!(f.error.to_string().contains("injected fault"), "{f}");
+    }
+    assert!(!summary.is_clean());
+}
+
+#[test]
+fn mix_journal_resume_replays_only_failed_mixes() {
+    let _guard = journal_lock();
+    let dir = temp_dir("mix_resume");
+    let path = dir.join("journal.jsonl");
+    let cells = mix_cells(2);
+    let kinds = [PrefetcherKind::NextLine, PrefetcherKind::FaultyPanicAfter(50)];
+    let cfg = quad_cfg();
+
+    // First attempt: healthy mixes journal one entry per core, faulty
+    // mixes fail.
+    let info = journal::init_global(&path, false).expect("open journal");
+    assert_eq!(info.loaded, 0);
+    let (first, summary1) = run_grid(&cells, &kinds, &cfg);
+    assert_eq!(first.len(), 2);
+    assert_eq!(summary1.failures.len(), 2);
+    assert_eq!(summary1.resumed, 0, "fresh journal serves nothing");
+    journal::clear_global();
+
+    // Resume: all four per-core entries of each healthy mix load back
+    // and are served without re-simulation; only the failed mix cells
+    // re-execute (and fail again — the fault is deterministic).
+    let info = journal::init_global(&path, true).expect("reopen journal");
+    assert_eq!(info.loaded, 8, "2 healthy mixes x 4 per-core entries");
+    assert_eq!(info.skipped, 0);
+    let (second, summary2) = run_grid(&cells, &kinds, &cfg);
+    assert_eq!(summary2.resumed, 8, "every core of every healthy mix resumes");
+    assert_eq!(summary2.failures.len(), 2, "failed mixes re-execute");
+    assert_eq!(second.len(), 2);
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.result.stats, b.result.stats, "aggregate must be bit-identical");
+        assert_eq!(a.per_core, b.per_core, "per-core windows must be bit-identical");
+    }
     journal::clear_global();
     let _ = std::fs::remove_dir_all(&dir);
 }
