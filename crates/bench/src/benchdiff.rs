@@ -1,0 +1,257 @@
+//! Comparing `BENCH_*.json` trajectory files for regressions.
+//!
+//! Both emitters in this repo (`BENCH_sim.json` from `sim_throughput`,
+//! `BENCH_sweep.json` from the sweep telemetry) are line-oriented,
+//! serde-free JSON whose throughput metrics are named `ops_per_sec` /
+//! `cells_per_sec` and whose entries are labelled by a preceding
+//! `"name"` field. This module extracts those `(label, metric, value)`
+//! triples from two files and classifies each shared metric as
+//! regressed, improved, or steady against a relative threshold —
+//! higher is always better for the extracted metrics, so a regression
+//! is `new < old * (1 - threshold)`.
+//!
+//! The parser deliberately reads only what the comparison needs: a
+//! full JSON parser would be more code than the rest of the harness's
+//! serialization combined, and both producers are in-repo.
+
+use std::fmt::Write as _;
+
+/// Metric field names worth gating on (throughputs: higher is better).
+const METRIC_KEYS: [&str; 2] = ["ops_per_sec", "cells_per_sec"];
+
+/// One extracted throughput sample: `label` is the nearest preceding
+/// `"name"` (empty for top-level aggregates).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// `label/field` identity, e.g. `"demand_walk/ops_per_sec"`.
+    pub key: String,
+    /// The measured value.
+    pub value: f64,
+}
+
+/// Extract `"key": number` for `field` from a single line, requiring
+/// an exact field name (so `ops_per_sec` does not match
+/// `baseline_ops_per_sec`).
+fn exact_field(line: &str, field: &str) -> Option<f64> {
+    let pat = format!("\"{field}\":");
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(&pat) {
+        let at = from + rel;
+        // Reject a longer field name ending in ours: the byte before
+        // the opening quote must not be part of an identifier.
+        let exact = at == 0 || !line.as_bytes()[at - 1].is_ascii_alphanumeric() && line.as_bytes()[at - 1] != b'_';
+        if exact {
+            let tail = line[at + pat.len()..].trim_start();
+            let num: String = tail
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == 'E' || *c == '+')
+                .collect();
+            return num.parse().ok();
+        }
+        from = at + pat.len();
+    }
+    None
+}
+
+/// The nearest `"name": "..."` on this line, if any.
+fn name_field(line: &str) -> Option<&str> {
+    let pat = "\"name\": \"";
+    let start = line.find(pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(&line[start..start + end])
+}
+
+/// Pull every labelled throughput metric out of a `BENCH_*.json` body.
+pub fn extract_metrics(body: &str) -> Vec<Metric> {
+    let mut out = Vec::new();
+    let mut label = String::new();
+    for line in body.lines() {
+        if let Some(name) = name_field(line) {
+            label = name.to_string();
+        }
+        for field in METRIC_KEYS {
+            if let Some(value) = exact_field(line, field) {
+                let key = if label.is_empty() {
+                    field.to_string()
+                } else {
+                    format!("{label}/{field}")
+                };
+                out.push(Metric { key, value });
+            }
+        }
+    }
+    out
+}
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct DiffLine {
+    /// `label/field` identity.
+    pub key: String,
+    /// Baseline value.
+    pub old: f64,
+    /// Current value.
+    pub new: f64,
+    /// `new / old` (∞ when the baseline is 0).
+    pub ratio: f64,
+    /// Past the regression threshold.
+    pub regressed: bool,
+}
+
+/// Full comparison of two `BENCH_*.json` bodies.
+#[derive(Debug, Default)]
+pub struct BenchDiff {
+    /// Metrics present in both files.
+    pub compared: Vec<DiffLine>,
+    /// Keys only in the baseline (removed by the new run).
+    pub removed: Vec<String>,
+    /// Keys only in the new file.
+    pub added: Vec<String>,
+}
+
+impl BenchDiff {
+    /// Compare `old_body` to `new_body` with a relative regression
+    /// `threshold` (0.10 = flag a >10% throughput drop).
+    pub fn compare(old_body: &str, new_body: &str, threshold: f64) -> BenchDiff {
+        let old = extract_metrics(old_body);
+        let new = extract_metrics(new_body);
+        let mut diff = BenchDiff::default();
+        for o in &old {
+            match new.iter().find(|n| n.key == o.key) {
+                Some(n) => {
+                    let ratio = if o.value == 0.0 { f64::INFINITY } else { n.value / o.value };
+                    diff.compared.push(DiffLine {
+                        key: o.key.clone(),
+                        old: o.value,
+                        new: n.value,
+                        ratio,
+                        regressed: ratio < 1.0 - threshold,
+                    });
+                }
+                None => diff.removed.push(o.key.clone()),
+            }
+        }
+        for n in &new {
+            if !old.iter().any(|o| o.key == n.key) {
+                diff.added.push(n.key.clone());
+            }
+        }
+        diff
+    }
+
+    /// Any metric past the threshold (a *removed* metric also counts —
+    /// silently dropping a gated number must not read as a pass).
+    pub fn has_regression(&self) -> bool {
+        !self.removed.is_empty() || self.compared.iter().any(|d| d.regressed)
+    }
+
+    /// Human-readable comparison table.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        for d in &self.compared {
+            let verdict = if d.regressed {
+                "REGRESSED"
+            } else if d.ratio > 1.05 {
+                "improved"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                out,
+                "{:<40} {:>14.1} -> {:>14.1}  ({:>6.3}x)  {verdict}",
+                d.key, d.old, d.new, d.ratio
+            );
+        }
+        for key in &self.removed {
+            let _ = writeln!(out, "{key:<40} present in baseline, MISSING in new run");
+        }
+        for key in &self.added {
+            let _ = writeln!(out, "{key:<40} new metric (no baseline)");
+        }
+        if self.compared.is_empty() && self.removed.is_empty() {
+            let _ = writeln!(out, "no comparable metrics found");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIM_STYLE: &str = r#"{
+  "bench": "sim_throughput",
+  "workloads": [
+    {"name": "demand_walk", "ns_per_op": 60.0, "ops_per_sec": 16666667, "baseline_ops_per_sec": 10718114, "speedup": 1.555},
+    {"name": "system_stream", "ns_per_op": 250.0, "ops_per_sec": 4000000, "baseline_ops_per_sec": 2722570, "speedup": 1.469}
+  ]
+}"#;
+
+    const SWEEP_STYLE: &str = r#"{
+  "bench": "sweep",
+  "cells": {"done": 750, "executed": 750, "resumed": 0},
+  "aggregate": {"instructions": 90000000, "ops_per_sec": 5000000, "cells_per_sec": 6.2, "cell_wall_ms": {"p99_ms": 512}},
+  "prefetchers": [
+    {"name": "pmp", "wall_ms": {"cells": 125, "mean_ms": 140.0}}
+  ]
+}"#;
+
+    #[test]
+    fn extracts_exact_fields_only() {
+        let metrics = extract_metrics(SIM_STYLE);
+        // baseline_ops_per_sec must NOT match; two workloads → two
+        // metrics.
+        assert_eq!(metrics.len(), 2);
+        assert_eq!(metrics[0].key, "demand_walk/ops_per_sec");
+        assert!((metrics[0].value - 16_666_667.0).abs() < 1.0);
+        assert_eq!(metrics[1].key, "system_stream/ops_per_sec");
+    }
+
+    #[test]
+    fn extracts_sweep_aggregates_without_label() {
+        let metrics = extract_metrics(SWEEP_STYLE);
+        assert_eq!(metrics.len(), 2);
+        assert_eq!(metrics[0].key, "ops_per_sec");
+        assert_eq!(metrics[1].key, "cells_per_sec");
+        assert!((metrics[1].value - 6.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flags_regressions_past_threshold_only() {
+        let new = SIM_STYLE
+            .replace("\"ops_per_sec\": 16666667", "\"ops_per_sec\": 8000000") // -52%
+            .replace("\"ops_per_sec\": 4000000", "\"ops_per_sec\": 3900000"); // -2.5%
+        let diff = BenchDiff::compare(SIM_STYLE, &new, 0.10);
+        assert!(diff.has_regression());
+        assert_eq!(diff.compared.len(), 2);
+        assert!(diff.compared[0].regressed, "52% drop past a 10% threshold");
+        assert!(!diff.compared[1].regressed, "2.5% drop within a 10% threshold");
+        // A generous threshold passes both.
+        assert!(!BenchDiff::compare(SIM_STYLE, &new, 0.60).has_regression());
+    }
+
+    #[test]
+    fn improvement_is_not_a_regression() {
+        let new = SIM_STYLE.replace("\"ops_per_sec\": 16666667", "\"ops_per_sec\": 20000000");
+        let diff = BenchDiff::compare(SIM_STYLE, &new, 0.10);
+        assert!(!diff.has_regression());
+        assert!(diff.report().contains("improved"), "{}", diff.report());
+    }
+
+    #[test]
+    fn missing_metric_counts_as_regression() {
+        let diff = BenchDiff::compare(SIM_STYLE, SWEEP_STYLE, 0.10);
+        assert!(diff.has_regression(), "dropped workload metrics must not pass silently");
+        assert!(!diff.removed.is_empty());
+        assert!(!diff.added.is_empty());
+    }
+
+    #[test]
+    fn cross_format_self_compare_is_clean() {
+        for body in [SIM_STYLE, SWEEP_STYLE] {
+            let diff = BenchDiff::compare(body, body, 0.10);
+            assert!(!diff.has_regression());
+            assert!(diff.compared.iter().all(|d| (d.ratio - 1.0).abs() < 1e-12));
+        }
+    }
+}

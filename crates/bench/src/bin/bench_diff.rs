@@ -1,0 +1,84 @@
+//! `bench_diff` — gate on the perf trajectory.
+//!
+//! Compares two `BENCH_*.json` files (either `BENCH_sim.json` from
+//! `sim_throughput` or `BENCH_sweep.json` from a telemetry-on sweep)
+//! and exits nonzero when any throughput metric dropped past the
+//! threshold.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_diff OLD.json NEW.json [--threshold 0.15] [--report-only]
+//! ```
+//!
+//! Exit codes (stable, scripts key on them):
+//! * `0` — no regression (or `--report-only`, which always reports
+//!   and exits 0 so CI can surface the diff without gating on noisy
+//!   shared runners).
+//! * `1` — at least one metric regressed past the threshold, or a
+//!   baseline metric disappeared.
+//! * `2` — usage or I/O error.
+
+use pmp_bench::benchdiff::BenchDiff;
+
+/// Default relative drop tolerated before flagging: 10%.
+const DEFAULT_THRESHOLD: f64 = 0.10;
+
+fn usage() -> ! {
+    eprintln!("usage: bench_diff OLD.json NEW.json [--threshold FRACTION] [--report-only]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut report_only = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--report-only" => report_only = true,
+            "--threshold" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    usage();
+                };
+                if !(0.0..1.0).contains(&v) {
+                    eprintln!("threshold must be a fraction in [0, 1), got {v}");
+                    std::process::exit(2);
+                }
+                threshold = v;
+            }
+            _ if arg.starts_with("--") => usage(),
+            _ => paths.push(arg),
+        }
+    }
+    if paths.len() != 2 {
+        usage();
+    }
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(body) => body,
+        Err(e) => {
+            eprintln!("bench_diff: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let old = read(&paths[0]);
+    let new = read(&paths[1]);
+    let diff = BenchDiff::compare(&old, &new, threshold);
+    print!("{}", diff.report());
+    if diff.has_regression() {
+        println!(
+            "regression past {:.0}% threshold ({} vs {})",
+            threshold * 100.0,
+            paths[1],
+            paths[0]
+        );
+        if report_only {
+            println!("report-only mode: exiting 0");
+        } else {
+            std::process::exit(1);
+        }
+    } else {
+        println!("no regression past {:.0}% threshold", threshold * 100.0);
+    }
+}

@@ -11,11 +11,21 @@
 //!   prefetcher that panics mid-run and a corrupted trace file) to
 //!   demonstrate that the sweep degrades to a reported gap instead of
 //!   crashing.
-use pmp_bench::journal;
+//! * `--no-progress` — suppress the live progress/ETA reporter (also
+//!   `PMP_NO_PROGRESS=1`).
+//!
+//! The sweep runs with telemetry on: per-cell spans aggregate into
+//! `results/BENCH_sweep.json` (wall-clock, ops/sec, per-prefetcher
+//! and per-archetype wall histograms, executed/resumed/failed counts)
+//! so sweep throughput is a tracked perf number — `bench_diff` gates
+//! on it.
 use pmp_bench::prefetchers::PrefetcherKind;
+use pmp_bench::progress::{ProgressMode, ProgressReporter};
 use pmp_bench::runner::{
     geo_mean, run_cell, run_traces_checked, CellSpec, RunConfig, RunOutcome, SweepSummary,
 };
+use pmp_bench::{journal, telemetry};
+use pmp_obs::SweepObserver;
 use pmp_traces::io::write_trace_file;
 use pmp_traces::{catalog, Suite, TraceScale};
 use std::collections::HashMap;
@@ -30,8 +40,10 @@ fn main() {
     let resume = args.iter().any(|a| a == "--resume");
     let inject = args.iter().any(|a| a == "--inject-faults");
     for a in &args {
-        if a != "--resume" && a != "--fresh" && a != "--inject-faults" {
-            eprintln!("unknown flag {a}; expected --resume, --fresh or --inject-faults");
+        if a != "--resume" && a != "--fresh" && a != "--inject-faults" && a != "--no-progress" {
+            eprintln!(
+                "unknown flag {a}; expected --resume, --fresh, --inject-faults or --no-progress"
+            );
             std::process::exit(2);
         }
     }
@@ -44,6 +56,8 @@ fn main() {
         Ok(_) => {}
         Err(e) => eprintln!("journal: disabled ({e}); running without checkpointing"),
     }
+    telemetry::install(SweepObserver::new());
+    let reporter = ProgressReporter::start(ProgressMode::from_env(&args));
 
     let specs = catalog();
     let cfg = RunConfig {
@@ -55,6 +69,7 @@ fn main() {
 
     // Baseline grid; traces whose baseline cell failed are excluded
     // from every comparison below (there is nothing to normalise by).
+    telemetry::phase("baseline");
     let mut base: HashMap<String, RunOutcome> = HashMap::new();
     for r in run_traces_checked(&specs, &PrefetcherKind::None, &cfg) {
         match r {
@@ -78,6 +93,7 @@ fn main() {
         s[s.len() / 2]
     });
 
+    telemetry::phase("paper_five");
     for kind in PrefetcherKind::paper_five() {
         let mut pairs: Vec<(Suite, f64)> = Vec::new();
         for r in run_traces_checked(&specs, &kind, &cfg) {
@@ -104,6 +120,7 @@ fn main() {
     }
 
     if inject {
+        telemetry::phase("fault_injection");
         eprintln!("injecting two faulty cells (expected to fail in isolation)...");
         // Cell 1: a prefetcher that panics partway through the run.
         match pmp_bench::runner::run_trace_checked(
@@ -132,8 +149,18 @@ fn main() {
         }
     }
 
+    if let Some(reporter) = reporter {
+        reporter.finish();
+    }
     summary.resumed = journal::global_hits();
     eprint!("{}", summary.report());
+    if telemetry::write_sweep_json(
+        Path::new("results/BENCH_sweep.json"),
+        "full_sweep",
+        &format!("{:?}", cfg.scale),
+    ) {
+        eprintln!("wrote results/BENCH_sweep.json");
+    }
     if inject && summary.failures.len() < 2 {
         eprintln!("fault injection expected 2 failures, saw {}", summary.failures.len());
         std::process::exit(1);

@@ -24,8 +24,14 @@
 //! ```json
 //! {"key":"spec06.mcf_2|pmp|Small|a1b2...","trace":"spec06.mcf_2",
 //!  "suite":0,"prefetcher":"pmp","instructions":123,"cycles":456,
-//!  "stats":{...}}
+//!  "wall_ms":97,"outcome":"ok","stats":{...}}
 //! ```
+//!
+//! `wall_ms` (the cell's wall-clock cost — resume reporting uses it to
+//! say how much time the checkpoint saved) and `outcome` (the span tag,
+//! always `"ok"` for journaled cells today) were added by the sweep
+//! telemetry PR; both default (`0` / `"ok"`) when missing, so journals
+//! written before that PR still resume.
 //!
 //! Unparseable lines (torn tail writes after a crash) are skipped on
 //! load and reported, never fatal: a corrupt journal degrades to
@@ -52,6 +58,13 @@ pub struct JournalEntry {
     pub instructions: u64,
     /// Measured-window cycles.
     pub cycles: u64,
+    /// Wall-clock the cell cost when it executed, in milliseconds
+    /// (0 for records written before the telemetry PR).
+    pub wall_ms: u64,
+    /// Span outcome tag (`"ok"` — only completed cells are journaled;
+    /// the field exists so future partial-result records stay
+    /// parseable).
+    pub outcome: String,
     /// Measured-window counters.
     pub stats: SimStats,
 }
@@ -279,13 +292,15 @@ fn suite_index(suite: Suite) -> usize {
 fn render_record(key: &str, e: &JournalEntry) -> String {
     format!(
         "{{\"key\":\"{}\",\"trace\":\"{}\",\"suite\":{},\"prefetcher\":\"{}\",\
-         \"instructions\":{},\"cycles\":{},\"stats\":{}}}",
+         \"instructions\":{},\"cycles\":{},\"wall_ms\":{},\"outcome\":\"{}\",\"stats\":{}}}",
         sanitize(key),
         sanitize(&e.trace),
         suite_index(e.suite),
         sanitize(&e.prefetcher),
         e.instructions,
         e.cycles,
+        e.wall_ms,
+        sanitize(&e.outcome),
         pmp_stats::sim_stats_to_json(&e.stats),
     )
 }
@@ -354,12 +369,18 @@ fn parse_record(line: &str) -> Option<(String, JournalEntry)> {
     // the outer object's instructions/cycles fields are not confused
     // with the inner ones.
     let stats_at = line.find("\"stats\":")?;
+    let head = &line[..stats_at];
     let entry = JournalEntry {
         trace: field_str(line, "trace")?.to_string(),
         suite,
         prefetcher: field_str(line, "prefetcher")?.to_string(),
-        instructions: field_u64(&line[..stats_at], "instructions")?,
-        cycles: field_u64(&line[..stats_at], "cycles")?,
+        instructions: field_u64(head, "instructions")?,
+        cycles: field_u64(head, "cycles")?,
+        // Telemetry fields are younger than the journal format:
+        // records from pre-telemetry journals default instead of
+        // failing, so old checkpoints still resume.
+        wall_ms: field_u64(head, "wall_ms").unwrap_or(0),
+        outcome: field_str(head, "outcome").unwrap_or("ok").to_string(),
         stats: parse_stats(&line[stats_at..])?,
     };
     Some((key, entry))
@@ -392,6 +413,8 @@ mod tests {
             prefetcher: "pmp".into(),
             instructions: 9000,
             cycles: 4500,
+            wall_ms: 137,
+            outcome: "ok".into(),
             stats,
         }
     }
@@ -407,7 +430,59 @@ mod tests {
         assert_eq!(back.prefetcher, entry.prefetcher);
         assert_eq!(back.instructions, entry.instructions);
         assert_eq!(back.cycles, entry.cycles);
+        assert_eq!(back.wall_ms, 137);
+        assert_eq!(back.outcome, "ok");
         assert_eq!(back.stats, entry.stats, "full SimStats must survive the round trip");
+    }
+
+    #[test]
+    fn pre_telemetry_records_parse_with_defaults() {
+        // A record in the exact format journals used before wall_ms /
+        // outcome existed must still load (fields defaulted), so old
+        // checkpoints keep resuming.
+        let entry = sample_entry();
+        let old_line = format!(
+            "{{\"key\":\"old-key\",\"trace\":\"{}\",\"suite\":0,\"prefetcher\":\"pmp\",\
+             \"instructions\":{},\"cycles\":{},\"stats\":{}}}",
+            entry.trace,
+            entry.instructions,
+            entry.cycles,
+            pmp_stats::sim_stats_to_json(&entry.stats),
+        );
+        let (key, back) = parse_record(&old_line).expect("old-format record must parse");
+        assert_eq!(key, "old-key");
+        assert_eq!(back.instructions, entry.instructions);
+        assert_eq!(back.wall_ms, 0, "missing wall_ms defaults");
+        assert_eq!(back.outcome, "ok", "missing outcome defaults");
+        assert_eq!(back.stats, entry.stats);
+    }
+
+    #[test]
+    fn old_journal_file_resumes() {
+        // End-to-end form of the compatibility guarantee: a journal
+        // file written by the pre-telemetry format loads and serves
+        // lookups.
+        let dir = std::env::temp_dir().join("pmp_journal_compat_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("journal.jsonl");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let entry = sample_entry();
+        let old_line = format!(
+            "{{\"key\":\"compat-cell\",\"trace\":\"{}\",\"suite\":0,\"prefetcher\":\"pmp\",\
+             \"instructions\":{},\"cycles\":{},\"stats\":{}}}\n",
+            entry.trace,
+            entry.instructions,
+            entry.cycles,
+            pmp_stats::sim_stats_to_json(&entry.stats),
+        );
+        std::fs::write(&path, old_line).expect("seed old-format journal");
+        let (mut journal, info) = Journal::open(&path, true).expect("open");
+        assert_eq!(info.loaded, 1);
+        assert_eq!(info.skipped, 0);
+        let got = journal.lookup("compat-cell").expect("old cell resumes");
+        assert_eq!(got.cycles, entry.cycles);
+        assert_eq!(got.wall_ms, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -23,8 +23,11 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod benchdiff;
 pub mod experiments;
 pub mod journal;
 pub mod microbench;
 pub mod prefetchers;
+pub mod progress;
 pub mod runner;
+pub mod telemetry;

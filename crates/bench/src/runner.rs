@@ -16,12 +16,15 @@
 
 use crate::journal;
 use crate::prefetchers::PrefetcherKind;
+use crate::telemetry;
+use pmp_obs::{CellSpan, SpanOutcome};
 use pmp_sim::{MultiCoreSystem, SimResult, SimStats, System, SystemConfig};
 use pmp_traces::io::read_trace_file;
 use pmp_traces::{Suite, Trace, TraceScale, TraceSpec};
 use pmp_types::HarnessError;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::time::Instant;
 
 /// Shared run parameters.
 #[derive(Debug, Clone)]
@@ -166,6 +169,68 @@ impl CellSpec {
     }
 }
 
+// ---------------------------------------------------------------------
+// Sweep-telemetry spans: every checked cell reports one CellSpan to the
+// installed observer (no-ops when telemetry is off). The observer only
+// watches — results are bit-identical either way.
+// ---------------------------------------------------------------------
+
+/// Map a cell's typed error to its span outcome: pre-flight rejections
+/// (invalid-config, trace-io) never simulated, so they are `Skip`.
+fn error_outcome(error: &HarnessError) -> SpanOutcome {
+    match error.kind_tag() {
+        "panic" => SpanOutcome::Panic,
+        "timeout" => SpanOutcome::Timeout,
+        _ => SpanOutcome::Skip,
+    }
+}
+
+/// Span for a cell that failed with `error` after `start`.
+fn failure_span(name: &str, group: &str, family: &str, start: Instant, error: &HarnessError) -> CellSpan {
+    CellSpan {
+        name: name.to_string(),
+        group: group.to_string(),
+        family: family.to_string(),
+        wall_ms: start.elapsed().as_millis() as u64,
+        cycles: 0,
+        instructions: 0,
+        resumed: false,
+        saved_ms: 0,
+        outcome: error_outcome(error),
+    }
+}
+
+/// Span for a journal hit: near-zero wall, `saved_ms` the recorded
+/// cost of the original execution.
+fn resumed_span(name: &str, group: &str, family: &str, start: Instant, saved_ms: u64, cycles: u64, instructions: u64) -> CellSpan {
+    CellSpan {
+        name: name.to_string(),
+        group: group.to_string(),
+        family: family.to_string(),
+        wall_ms: start.elapsed().as_millis() as u64,
+        cycles,
+        instructions,
+        resumed: true,
+        saved_ms,
+        outcome: SpanOutcome::Ok,
+    }
+}
+
+/// Span for an executed, successful cell.
+fn ok_span(name: &str, group: &str, family: &str, wall_ms: u64, cycles: u64, instructions: u64) -> CellSpan {
+    CellSpan {
+        name: name.to_string(),
+        group: group.to_string(),
+        family: family.to_string(),
+        wall_ms,
+        cycles,
+        instructions,
+        resumed: false,
+        saved_ms: 0,
+        outcome: SpanOutcome::Ok,
+    }
+}
+
 /// Render a caught panic payload (the `&str`/`String` forms `panic!`
 /// produces; anything else is labelled opaquely).
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -224,11 +289,25 @@ pub fn run_trace_checked(
     kind: &PrefetcherKind,
     cfg: &RunConfig,
 ) -> CellResult {
-    let fail = |error| {
-        Err(CellFailure { trace: spec.name.clone(), prefetcher: kind.label(), error })
+    let start = Instant::now();
+    let label = kind.label();
+    let family = spec.archetype.tag();
+    telemetry::cell_started(&spec.name);
+    let fail = |error: HarnessError| {
+        telemetry::cell_finished(failure_span(&spec.name, &label, family, start, &error));
+        Err(CellFailure { trace: spec.name.clone(), prefetcher: label.clone(), error })
     };
     let key = cfg.cell_key(&spec.name, kind);
     if let Some(entry) = journal::global_lookup(&key) {
+        telemetry::cell_finished(resumed_span(
+            &spec.name,
+            &label,
+            family,
+            start,
+            entry.wall_ms,
+            entry.cycles,
+            entry.instructions,
+        ));
         return Ok(outcome_from_journal(entry, kind));
     }
     if let Err(e) = cfg.system.validate() {
@@ -249,7 +328,18 @@ pub fn run_trace_checked(
         }
     };
     match run_isolated(&trace, kind, cfg) {
-        Ok(result) => Ok(complete_cell(&key, trace.name, trace.suite, kind, result)),
+        Ok(result) => {
+            let wall_ms = start.elapsed().as_millis() as u64;
+            telemetry::cell_finished(ok_span(
+                &spec.name,
+                &label,
+                family,
+                wall_ms,
+                result.cycles,
+                result.instructions,
+            ));
+            Ok(complete_cell(&key, trace.name, trace.suite, kind, result, wall_ms))
+        }
         Err(error) => fail(error),
     }
 }
@@ -267,12 +357,25 @@ pub fn run_file_checked(
     kind: &PrefetcherKind,
     cfg: &RunConfig,
 ) -> CellResult {
+    let start = Instant::now();
     let name = path.display().to_string();
-    let fail = |error| {
-        Err(CellFailure { trace: name.clone(), prefetcher: kind.label(), error })
+    let label = kind.label();
+    telemetry::cell_started(&name);
+    let fail = |error: HarnessError| {
+        telemetry::cell_finished(failure_span(&name, &label, "file", start, &error));
+        Err(CellFailure { trace: name.clone(), prefetcher: label.clone(), error })
     };
     let key = cfg.cell_key(&name, kind);
     if let Some(entry) = journal::global_lookup(&key) {
+        telemetry::cell_finished(resumed_span(
+            &name,
+            &label,
+            "file",
+            start,
+            entry.wall_ms,
+            entry.cycles,
+            entry.instructions,
+        ));
         return Ok(outcome_from_journal(entry, kind));
     }
     if let Err(e) = cfg.system.validate() {
@@ -286,7 +389,18 @@ pub fn run_file_checked(
         Err(e) => return fail(HarnessError::trace_io(&name, e)),
     };
     match run_isolated(&trace, kind, cfg) {
-        Ok(result) => Ok(complete_cell(&key, trace.name, trace.suite, kind, result)),
+        Ok(result) => {
+            let wall_ms = start.elapsed().as_millis() as u64;
+            telemetry::cell_finished(ok_span(
+                &name,
+                &label,
+                "file",
+                wall_ms,
+                result.cycles,
+                result.instructions,
+            ));
+            Ok(complete_cell(&key, trace.name, trace.suite, kind, result, wall_ms))
+        }
         Err(error) => fail(error),
     }
 }
@@ -306,13 +420,30 @@ pub fn run_file_checked(
 /// Returns a [`CellFailure`] carrying the typed [`HarnessError`] when
 /// the mix cannot produce a result; the caller's sweep continues.
 pub fn run_mix_checked(mix: &MixCell, kind: &PrefetcherKind, cfg: &RunConfig) -> CellResult {
-    let fail = |error| {
-        Err(CellFailure { trace: mix.name.clone(), prefetcher: kind.label(), error })
+    let start = Instant::now();
+    let label = kind.label();
+    telemetry::cell_started(&mix.name);
+    let fail = |error: HarnessError| {
+        telemetry::cell_finished(failure_span(&mix.name, &label, "mix", start, &error));
+        Err(CellFailure { trace: mix.name.clone(), prefetcher: label.clone(), error })
     };
     let keys = cfg.mix_keys(mix, kind);
     if let Some(entries) = journal::global_lookup_all(&keys) {
+        // Each core entry carries the whole cell's recorded wall; the
+        // resume saved that cost once, not once per core.
+        let saved_ms = entries.iter().map(|e| e.wall_ms).max().unwrap_or(0);
         let per_core: Vec<SimStats> = entries.into_iter().map(|e| e.stats).collect();
-        return Ok(mix_outcome(mix, kind, per_core));
+        let outcome = mix_outcome(mix, kind, per_core);
+        telemetry::cell_finished(resumed_span(
+            &mix.name,
+            &label,
+            "mix",
+            start,
+            saved_ms,
+            outcome.result.cycles,
+            outcome.result.instructions,
+        ));
+        return Ok(outcome);
     }
     if let Err(e) = cfg.system.validate() {
         return fail(e);
@@ -349,6 +480,7 @@ pub fn run_mix_checked(mix: &MixCell, kind: &PrefetcherKind, cfg: &RunConfig) ->
         Ok(Err(error)) => return fail(error),
         Err(payload) => return fail(HarnessError::Panic { message: panic_message(payload) }),
     };
+    let wall_ms = start.elapsed().as_millis() as u64;
     if journal::global_active() {
         for (i, key) in keys.iter().enumerate() {
             journal::global_record(
@@ -359,12 +491,23 @@ pub fn run_mix_checked(mix: &MixCell, kind: &PrefetcherKind, cfg: &RunConfig) ->
                     prefetcher: kind.label(),
                     instructions: result.cores[i].instructions,
                     cycles: result.cores[i].cycles,
+                    wall_ms,
+                    outcome: "ok".to_string(),
                     stats: result.cores[i],
                 },
             );
         }
     }
-    Ok(mix_outcome(mix, kind, result.cores))
+    let outcome = mix_outcome(mix, kind, result.cores);
+    telemetry::cell_finished(ok_span(
+        &mix.name,
+        &label,
+        "mix",
+        wall_ms,
+        outcome.result.cycles,
+        outcome.result.instructions,
+    ));
+    Ok(outcome)
 }
 
 /// Fold per-core measured windows into the mix's aggregate outcome.
@@ -418,6 +561,7 @@ fn complete_cell(
     suite: Suite,
     kind: &PrefetcherKind,
     result: SimResult,
+    wall_ms: u64,
 ) -> RunOutcome {
     if journal::global_active() {
         journal::global_record(
@@ -428,6 +572,8 @@ fn complete_cell(
                 prefetcher: kind.label(),
                 instructions: result.instructions,
                 cycles: result.cycles,
+                wall_ms,
+                outcome: "ok".to_string(),
                 stats: result.stats,
             },
         );
@@ -436,7 +582,7 @@ fn complete_cell(
 }
 
 fn outcome_from_journal(entry: journal::JournalEntry, kind: &PrefetcherKind) -> RunOutcome {
-    let journal::JournalEntry { trace, suite, prefetcher, instructions, cycles, stats } = entry;
+    let journal::JournalEntry { trace, suite, prefetcher, instructions, cycles, stats, .. } = entry;
     RunOutcome {
         trace,
         suite,
@@ -461,6 +607,7 @@ pub fn run_traces_checked(
     kind: &PrefetcherKind,
     cfg: &RunConfig,
 ) -> Vec<CellResult> {
+    telemetry::expect_cells(specs.len());
     parallel_map(specs, |spec| run_trace_checked(spec, kind, cfg))
 }
 
@@ -493,6 +640,7 @@ pub fn run_grid(
     kinds: &[PrefetcherKind],
     cfg: &RunConfig,
 ) -> (Vec<RunOutcome>, SweepSummary) {
+    telemetry::expect_cells(cells.len() * kinds.len());
     let mut outcomes = Vec::new();
     let mut summary = SweepSummary::default();
     for kind in kinds {

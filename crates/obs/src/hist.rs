@@ -107,6 +107,21 @@ impl Log2Histogram {
         u64::MAX
     }
 
+    /// Median upper bound: [`Log2Histogram::percentile_upper_bound`] at 0.50.
+    pub fn p50(&self) -> u64 {
+        self.percentile_upper_bound(0.50)
+    }
+
+    /// 95th-percentile upper bound.
+    pub fn p95(&self) -> u64 {
+        self.percentile_upper_bound(0.95)
+    }
+
+    /// 99th-percentile upper bound.
+    pub fn p99(&self) -> u64 {
+        self.percentile_upper_bound(0.99)
+    }
+
     /// Fold another histogram into this one.
     pub fn merge(&mut self, other: &Log2Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -172,6 +187,45 @@ mod tests {
         assert_eq!(h.percentile_upper_bound(0.99), 15);
         assert_eq!(h.percentile_upper_bound(1.0), 1023);
         assert_eq!(Log2Histogram::new().percentile_upper_bound(0.5), 0);
+    }
+
+    #[test]
+    fn percentiles_at_bucket_boundaries() {
+        // A value exactly at a power of two sits in the bucket it
+        // *opens*: the reported upper bound is the next boundary - 1.
+        let mut h = Log2Histogram::new();
+        for _ in 0..100 {
+            h.record(64); // opens bucket [64, 127]
+        }
+        assert_eq!(h.p50(), 127);
+        assert_eq!(h.p95(), 127);
+        assert_eq!(h.p99(), 127);
+
+        // All-zero samples: every percentile is the zero bucket.
+        let mut z = Log2Histogram::new();
+        for _ in 0..10 {
+            z.record(0);
+        }
+        assert_eq!(z.p50(), 0);
+        assert_eq!(z.p99(), 0);
+
+        // u64::MAX lands in the terminal bucket whose upper bound is
+        // u64::MAX itself; lower percentiles stay in the small bucket.
+        let mut m = Log2Histogram::new();
+        for _ in 0..99 {
+            m.record(1);
+        }
+        m.record(u64::MAX);
+        assert_eq!(m.p50(), 1);
+        assert_eq!(m.p95(), 1);
+        assert_eq!(m.p99(), 1);
+        assert_eq!(m.percentile_upper_bound(1.0), u64::MAX);
+
+        // Empty histogram: all percentiles are 0 (no samples).
+        let e = Log2Histogram::new();
+        assert_eq!(e.p50(), 0);
+        assert_eq!(e.p95(), 0);
+        assert_eq!(e.p99(), 0);
     }
 
     #[test]

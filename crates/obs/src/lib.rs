@@ -31,6 +31,7 @@ pub mod hist;
 pub mod introspect;
 pub mod ring;
 pub mod sample;
+pub mod sweep;
 
 pub use collector::ObsCollector;
 pub use event::{EventKind, NullTracer, TraceEvent, Tracer};
@@ -38,3 +39,4 @@ pub use hist::Log2Histogram;
 pub use introspect::{Gauge, Introspect};
 pub use ring::RingRecorder;
 pub use sample::{IntervalSample, IntervalSampler, SampleInput};
+pub use sweep::{CellSpan, SpanOutcome, SweepObserver, SweepSnapshot};

@@ -409,6 +409,20 @@ impl Archetype {
         self.generate(seed, scale.mem_ops())
     }
 
+    /// Stable lowercase tag naming the generator family (sweep
+    /// telemetry groups cell timings by it).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Archetype::Stream(_) => "stream",
+            Archetype::Stride(_) => "stride",
+            Archetype::Backward(_) => "backward",
+            Archetype::Graph(_) => "graph",
+            Archetype::Hash(_) => "hash",
+            Archetype::Stencil(_) => "stencil",
+            Archetype::Phased(_) => "phased",
+        }
+    }
+
     /// Pre-flight validation: every generator parameter that would make
     /// [`Archetype::generate`] panic, divide by zero, or spin forever
     /// is rejected up front with a diagnosis.
