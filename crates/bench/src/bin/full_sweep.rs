@@ -19,11 +19,14 @@
 //! and per-archetype wall histograms, executed/resumed/failed counts)
 //! so sweep throughput is a tracked perf number — `bench_diff` gates
 //! on it.
+//!
+//! The whole baseline + paper-five product runs as ONE grid through
+//! the work-stealing scheduler: no per-kind barrier, and the shared
+//! trace cache generates each of the 125 traces once instead of once
+//! per prefetcher.
 use pmp_bench::prefetchers::PrefetcherKind;
 use pmp_bench::progress::{ProgressMode, ProgressReporter};
-use pmp_bench::runner::{
-    geo_mean, run_cell, run_traces_checked, CellSpec, RunConfig, RunOutcome, SweepSummary,
-};
+use pmp_bench::runner::{geo_mean, run_cell, run_grid, CellSpec, RunConfig, RunOutcome};
 use pmp_bench::{journal, telemetry};
 use pmp_obs::SweepObserver;
 use pmp_traces::io::write_trace_file;
@@ -65,19 +68,23 @@ fn main() {
         max_cycles: Some(CELL_CYCLE_BUDGET),
         ..RunConfig::default()
     };
-    let mut summary = SweepSummary::default();
 
-    // Baseline grid; traces whose baseline cell failed are excluded
-    // from every comparison below (there is nothing to normalise by).
-    telemetry::phase("baseline");
+    // Baseline + paper five as ONE 125 × 6 grid through the shared
+    // scheduler pool; outcomes are partitioned by prefetcher label
+    // afterwards. Traces whose baseline cell failed are excluded from
+    // every comparison below (there is nothing to normalise by).
+    telemetry::phase("grid");
+    let cells: Vec<CellSpec> = specs.iter().cloned().map(CellSpec::Synthetic).collect();
+    let mut kinds = vec![PrefetcherKind::None];
+    kinds.extend(PrefetcherKind::paper_five());
+    let (outcomes, mut summary) = run_grid(&cells, &kinds, &cfg);
     let mut base: HashMap<String, RunOutcome> = HashMap::new();
-    for r in run_traces_checked(&specs, &PrefetcherKind::None, &cfg) {
-        match r {
-            Ok(o) => {
-                summary.completed += 1;
-                base.insert(o.trace.clone(), o);
-            }
-            Err(f) => summary.failures.push(f),
+    let mut by_kind: HashMap<String, Vec<RunOutcome>> = HashMap::new();
+    for o in outcomes {
+        if o.prefetcher == PrefetcherKind::None.label() {
+            base.insert(o.trace.clone(), o);
+        } else {
+            by_kind.entry(o.prefetcher.clone()).or_default().push(o);
         }
     }
     if base.is_empty() {
@@ -93,19 +100,18 @@ fn main() {
         s[s.len() / 2]
     });
 
-    telemetry::phase("paper_five");
     for kind in PrefetcherKind::paper_five() {
-        let mut pairs: Vec<(Suite, f64)> = Vec::new();
-        for r in run_traces_checked(&specs, &kind, &cfg) {
-            match r {
-                Ok(o) => {
-                    summary.completed += 1;
-                    if let Some(b) = base.get(&o.trace) {
-                        pairs.push((o.suite, o.result.ipc() / b.result.ipc().max(1e-12)));
-                    }
-                }
-                Err(f) => summary.failures.push(f),
-            }
+        let outs = by_kind.remove(&kind.label()).unwrap_or_default();
+        let pairs: Vec<(Suite, f64)> = outs
+            .iter()
+            .filter_map(|o| {
+                base.get(&o.trace)
+                    .map(|b| (o.suite, o.result.ipc() / b.result.ipc().max(1e-12)))
+            })
+            .collect();
+        if pairs.is_empty() {
+            eprintln!("{:8} no completed cells", kind.label());
+            continue;
         }
         let all: Vec<f64> = pairs.iter().map(|(_, n)| *n).collect();
         let mut line = format!("{:8} overall {:.3}", kind.label(), geo_mean(&all));
@@ -152,7 +158,8 @@ fn main() {
     if let Some(reporter) = reporter {
         reporter.finish();
     }
-    summary.resumed = journal::global_hits();
+    // `summary.resumed` is already the grid's own journal-hit delta;
+    // the injected cells above fail, so they never add resumes.
     eprint!("{}", summary.report());
     if telemetry::write_sweep_json(
         Path::new("results/BENCH_sweep.json"),

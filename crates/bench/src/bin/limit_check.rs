@@ -1,14 +1,20 @@
 //! Diagnostic: PMP vs PMP-Limit traffic and NIPC.
 use pmp_bench::prefetchers::PrefetcherKind;
-use pmp_bench::runner::{run_traces, normalized_ipcs, RunConfig};
+use pmp_bench::runner::{run_specs_grid, normalized_ipcs, RunConfig};
 use pmp_traces::{representative_subset, TraceScale};
 
 fn main() {
     let specs = representative_subset();
     let cfg = RunConfig { scale: TraceScale::Small, ..RunConfig::default() };
-    let base = run_traces(&specs, &PrefetcherKind::None, &cfg);
-    for kind in [PrefetcherKind::Pmp, PrefetcherKind::PmpLimit, PrefetcherKind::Bingo] {
-        let out = run_traces(&specs, &kind, &cfg);
+    let kinds = vec![
+        PrefetcherKind::None,
+        PrefetcherKind::Pmp,
+        PrefetcherKind::PmpLimit,
+        PrefetcherKind::Bingo,
+    ];
+    let mut grids = run_specs_grid(&specs, &kinds, &cfg).into_iter();
+    let base = grids.next().expect("baseline grid present");
+    for (kind, out) in kinds[1..].iter().zip(grids) {
         let (_, g) = normalized_ipcs(&base, &out);
         let dram: u64 = out.iter().map(|o| o.result.stats.dram_requests).sum();
         let bdram: u64 = base.iter().map(|o| o.result.stats.dram_requests).sum();

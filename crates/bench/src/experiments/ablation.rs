@@ -4,7 +4,7 @@
 //! (Table X), monitoring range (Table XI).
 
 use crate::prefetchers::PrefetcherKind;
-use crate::runner::{normalized_ipcs, run_traces, RunConfig};
+use crate::runner::{normalized_ipcs, run_specs_grid, RunConfig};
 use pmp_core::{ExtractionScheme, PmpConfig};
 use pmp_core::pmp::TableMode;
 use pmp_stats::Table;
@@ -14,26 +14,42 @@ fn sweep_config() -> Vec<TraceSpec> {
     representative_subset()
 }
 
+/// One scheduler product over `[baseline] + kinds`: the baseline
+/// outcomes first, then one outcome set per requested kind.
+fn baseline_and(
+    specs: &[TraceSpec],
+    kinds: Vec<PrefetcherKind>,
+    cfg: &RunConfig,
+) -> (Vec<crate::runner::RunOutcome>, Vec<Vec<crate::runner::RunOutcome>>) {
+    let mut all = vec![PrefetcherKind::None];
+    all.extend(kinds);
+    let mut grids = run_specs_grid(specs, &all, cfg).into_iter();
+    let base = grids.next().expect("baseline grid present");
+    (base, grids.collect())
+}
+
 fn geomean_nipc(specs: &[TraceSpec], kind: &PrefetcherKind, cfg: &RunConfig) -> f64 {
-    let base = run_traces(specs, &PrefetcherKind::None, cfg);
-    let with = run_traces(specs, kind, cfg);
+    let (base, mut withs) = baseline_and(specs, vec![kind.clone()], cfg);
+    let with = withs.pop().expect("one kind requested");
     normalized_ipcs(&base, &with).1
 }
 
-/// Run several PMP variants against one shared baseline.
+/// Run several PMP variants against one shared baseline — the whole
+/// `(1 + variants) × specs` product as one scheduler grid.
 fn pmp_variants(
     specs: &[TraceSpec],
     cfg: &RunConfig,
     variants: &[(String, PmpConfig)],
 ) -> Vec<(String, f64)> {
-    let base = run_traces(specs, &PrefetcherKind::None, cfg);
+    let kinds: Vec<PrefetcherKind> = variants
+        .iter()
+        .map(|(_, c)| PrefetcherKind::PmpCustom(Box::new(c.clone())))
+        .collect();
+    let (base, withs) = baseline_and(specs, kinds, cfg);
     variants
         .iter()
-        .map(|(label, c)| {
-            let kind = PrefetcherKind::PmpCustom(Box::new(c.clone()));
-            let with = run_traces(specs, &kind, cfg);
-            (label.clone(), normalized_ipcs(&base, &with).1)
-        })
+        .zip(withs)
+        .map(|((label, _), with)| (label.clone(), normalized_ipcs(&base, &with).1))
         .collect()
 }
 
@@ -43,24 +59,20 @@ fn pmp_variants(
 pub fn tab8_design_b(scale: TraceScale) -> String {
     let specs = sweep_config();
     let cfg = RunConfig { scale, ..RunConfig::default() };
-    let base = run_traces(&specs, &PrefetcherKind::None, &cfg);
+    let mut kinds: Vec<PrefetcherKind> =
+        [8usize, 32, 128, 512].iter().map(|&w| PrefetcherKind::DesignB(w)).collect();
+    kinds.push(PrefetcherKind::Pmp);
+    let (base, withs) = baseline_and(&specs, kinds.clone(), &cfg);
     let mut t = Table::new(&["design", "ways", "NIPC", "storage KiB"]);
-    for ways in [8usize, 32, 128, 512] {
-        let kind = PrefetcherKind::DesignB(ways);
-        let with = run_traces(&specs, &kind, &cfg);
+    for (kind, with) in kinds.iter().zip(withs) {
         let (_, g) = normalized_ipcs(&base, &with);
         let kib = kind.build().storage_bits() as f64 / 8.0 / 1024.0;
-        t.row_owned(vec![
-            "Design B".into(),
-            ways.to_string(),
-            super::f3(g),
-            format!("{kib:.1}"),
-        ]);
+        let (design, ways) = match kind {
+            PrefetcherKind::DesignB(w) => ("Design B".to_string(), w.to_string()),
+            _ => ("PMP".to_string(), "-".to_string()),
+        };
+        t.row_owned(vec![design, ways, super::f3(g), format!("{kib:.1}")]);
     }
-    let with = run_traces(&specs, &PrefetcherKind::Pmp, &cfg);
-    let (_, g) = normalized_ipcs(&base, &with);
-    let kib = PrefetcherKind::Pmp.build().storage_bits() as f64 / 8.0 / 1024.0;
-    t.row_owned(vec!["PMP".into(), "-".into(), super::f3(g), format!("{kib:.1}")]);
     format!(
         "Table VIII: Design B (identical-pattern counting) vs associativity\n(paper: NIPC grows with ways — 1.176/1.188/1.215/1.224 — but PMP beats 512-way by 34.9%)\n\n{}",
         t.render()
@@ -216,16 +228,16 @@ pub fn tab11_monitor_range(scale: TraceScale) -> String {
 pub fn xp_extension(scale: TraceScale) -> String {
     let specs = sweep_config();
     let cfg = RunConfig { scale, ..RunConfig::default() };
-    let base = run_traces(&specs, &PrefetcherKind::None, &cfg);
-    let base_dram: u64 = base.iter().map(|o| o.result.stats.dram_requests).sum();
-    let mut t = Table::new(&["configuration", "NIPC", "NMT"]);
-    for kind in [
+    let kinds = vec![
         PrefetcherKind::Pmp,
         PrefetcherKind::PmpXp,
         PrefetcherKind::PmpAdaptive,
         PrefetcherKind::PmpLimit,
-    ] {
-        let outs = run_traces(&specs, &kind, &cfg);
+    ];
+    let (base, withs) = baseline_and(&specs, kinds.clone(), &cfg);
+    let base_dram: u64 = base.iter().map(|o| o.result.stats.dram_requests).sum();
+    let mut t = Table::new(&["configuration", "NIPC", "NMT"]);
+    for (kind, outs) in kinds.iter().zip(withs) {
         let (_, g) = normalized_ipcs(&base, &outs);
         let dram: u64 = outs.iter().map(|o| o.result.stats.dram_requests).sum();
         t.row_owned(vec![
@@ -246,11 +258,11 @@ pub fn xp_extension(scale: TraceScale) -> String {
 pub fn placement(scale: TraceScale) -> String {
     let specs = sweep_config();
     let cfg = RunConfig { scale, ..RunConfig::default() };
-    let base = run_traces(&specs, &PrefetcherKind::None, &cfg);
+    let kinds = vec![PrefetcherKind::Pmp, PrefetcherKind::Bingo, PrefetcherKind::BingoAtLlc];
+    let (base, withs) = baseline_and(&specs, kinds.clone(), &cfg);
     let mut t = Table::new(&["configuration", "NIPC"]);
     let mut results = Vec::new();
-    for kind in [PrefetcherKind::Pmp, PrefetcherKind::Bingo, PrefetcherKind::BingoAtLlc] {
-        let outs = run_traces(&specs, &kind, &cfg);
+    for (kind, outs) in kinds.iter().zip(withs) {
         let (_, g) = normalized_ipcs(&base, &outs);
         results.push((kind.label(), g));
         t.row_owned(vec![kind.label(), super::f3(g)]);
@@ -274,7 +286,6 @@ pub fn related_work(scale: TraceScale) -> String {
     // stride-heavy representative subset).
     let specs = pmp_traces::catalog();
     let cfg = RunConfig { scale, ..RunConfig::default() };
-    let base = run_traces(&specs, &PrefetcherKind::None, &cfg);
     let mut t = Table::new(&["prefetcher", "family", "NIPC", "KiB"]);
     let rows: [(PrefetcherKind, &str); 10] = [
         (PrefetcherKind::NextLine, "constant stride"),
@@ -288,8 +299,9 @@ pub fn related_work(scale: TraceScale) -> String {
         (PrefetcherKind::Sms, "bit vector"),
         (PrefetcherKind::Pmp, "bit vector (merged)"),
     ];
-    for (kind, family) in rows {
-        let outs = run_traces(&specs, &kind, &cfg);
+    let kinds: Vec<PrefetcherKind> = rows.iter().map(|(k, _)| k.clone()).collect();
+    let (base, withs) = baseline_and(&specs, kinds, &cfg);
+    for ((kind, family), outs) in rows.into_iter().zip(withs) {
         let (_, g) = normalized_ipcs(&base, &outs);
         let kib = kind.build().storage_bits() as f64 / 8.0 / 1024.0;
         t.row_owned(vec![kind.label(), family.into(), super::f3(g), format!("{kib:.1}")]);

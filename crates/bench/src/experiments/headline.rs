@@ -3,7 +3,7 @@
 //! useless prefetches), and the Section V-D NMT analysis.
 
 use crate::prefetchers::PrefetcherKind;
-use crate::runner::{geo_mean, normalized_ipcs, run_traces, RunConfig, RunOutcome};
+use crate::runner::{geo_mean, normalized_ipcs, run_specs_grid, RunConfig, RunOutcome};
 use pmp_stats::metrics::{accuracy, coverage, nmt, PrefetchBreakdown};
 use pmp_stats::Table;
 use pmp_traces::{catalog, Suite, TraceScale};
@@ -19,17 +19,17 @@ pub struct HeadlineRuns {
 }
 
 impl HeadlineRuns {
-    /// Execute the grid.
+    /// Execute the grid: all seven kinds × 125 traces as one scheduler
+    /// product (each trace generated once, no per-kind barrier).
     pub fn execute(scale: TraceScale) -> Self {
         let specs = catalog();
         let cfg = RunConfig { scale, ..RunConfig::default() };
-        let base = run_traces(&specs, &PrefetcherKind::None, &cfg);
-        let mut with = Vec::new();
-        let mut kinds = PrefetcherKind::paper_five();
+        let mut kinds = vec![PrefetcherKind::None];
+        kinds.extend(PrefetcherKind::paper_five());
         kinds.push(PrefetcherKind::PmpLimit);
-        for kind in kinds {
-            with.push((kind.label(), run_traces(&specs, &kind, &cfg)));
-        }
+        let mut grids = run_specs_grid(&specs, &kinds, &cfg).into_iter();
+        let base = grids.next().expect("baseline grid present");
+        let with = kinds[1..].iter().map(PrefetcherKind::label).zip(grids).collect();
         HeadlineRuns { base, with }
     }
 

@@ -2,10 +2,24 @@
 //! (Fig. 12b).
 
 use crate::prefetchers::PrefetcherKind;
-use crate::runner::{normalized_ipcs, run_traces, RunConfig};
+use crate::runner::{normalized_ipcs, run_specs_grid, RunConfig};
 use pmp_sim::SystemConfig;
 use pmp_stats::report::{render_series, Series};
 use pmp_traces::{representative_subset, TraceScale};
+
+/// Baseline + paper-five over `specs` as one scheduler grid for one
+/// system-config point; returns (baseline outcomes, per-kind outcomes
+/// in `paper_five` order).
+fn point_grids(
+    specs: &[pmp_traces::TraceSpec],
+    cfg: &RunConfig,
+) -> (Vec<crate::runner::RunOutcome>, Vec<Vec<crate::runner::RunOutcome>>) {
+    let mut kinds = vec![PrefetcherKind::None];
+    kinds.extend(PrefetcherKind::paper_five());
+    let mut grids = run_specs_grid(specs, &kinds, cfg).into_iter();
+    let base = grids.next().expect("baseline grid present");
+    (base, grids.collect())
+}
 
 /// **Fig. 12a** — five prefetchers under 800/1600/3200/6400 MT/s.
 ///
@@ -22,10 +36,9 @@ pub fn fig12a_bandwidth(scale: TraceScale) -> String {
             system: SystemConfig::single_core().with_dram_mts(mts),
             ..RunConfig::default()
         };
-        let base = run_traces(&specs, &PrefetcherKind::None, &cfg);
-        for (si, kind) in PrefetcherKind::paper_five().iter().enumerate() {
-            let with = run_traces(&specs, kind, &cfg);
-            let (_, g) = normalized_ipcs(&base, &with);
+        let (base, withs) = point_grids(&specs, &cfg);
+        for (si, with) in withs.iter().enumerate() {
+            let (_, g) = normalized_ipcs(&base, with);
             series[si].push(format!("{mts} MT/s"), g);
         }
     }
@@ -49,10 +62,9 @@ pub fn fig12b_llc(scale: TraceScale) -> String {
             system: SystemConfig::single_core().with_llc_mb(mb),
             ..RunConfig::default()
         };
-        let base = run_traces(&specs, &PrefetcherKind::None, &cfg);
-        for (si, kind) in PrefetcherKind::paper_five().iter().enumerate() {
-            let with = run_traces(&specs, kind, &cfg);
-            let (_, g) = normalized_ipcs(&base, &with);
+        let (base, withs) = point_grids(&specs, &cfg);
+        for (si, with) in withs.iter().enumerate() {
+            let (_, g) = normalized_ipcs(&base, with);
             series[si].push(format!("{mb}MB"), g);
         }
     }

@@ -144,6 +144,13 @@ impl Journal {
         found
     }
 
+    /// Whether `key` is journaled, without counting a resume hit.
+    /// Cost-model peeks (the scheduler asks "would this cell resume?"
+    /// to order work) must not inflate the resumed tally.
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
     /// The journaled entries for *all* of `keys`, or `None` if any is
     /// missing. Multi-core mix cells journal one entry per core but are
     /// only resumable as a whole; a partial hit re-runs the cell and
@@ -153,7 +160,10 @@ impl Journal {
         let found: Option<Vec<JournalEntry>> =
             keys.iter().map(|k| self.entries.get(k).cloned()).collect();
         if found.is_some() {
-            self.hits += keys.len() as u64;
+            // One hit per resumed *cell*, not per key: a 4-core mix
+            // resumes as a single cell, and `SweepSummary.resumed`
+            // counts cells.
+            self.hits += 1;
         }
         found
     }
@@ -235,6 +245,18 @@ pub fn global_lookup(key: &str) -> Option<JournalEntry> {
 /// mixes). `None` when inactive or when any key is missing.
 pub fn global_lookup_all(keys: &[String]) -> Option<Vec<JournalEntry>> {
     global_slot().as_mut().and_then(|j| j.lookup_all(keys))
+}
+
+/// Non-counting peek: whether `key` is journaled (false when no journal
+/// is installed). See [`Journal::contains`].
+pub fn global_contains(key: &str) -> bool {
+    global_slot().as_ref().is_some_and(|j| j.contains(key))
+}
+
+/// Non-counting peek: whether *all* of `keys` are journaled (false when
+/// no journal is installed).
+pub fn global_contains_all(keys: &[String]) -> bool {
+    global_slot().as_ref().is_some_and(|j| keys.iter().all(|k| j.contains(k)))
 }
 
 /// Record a completed cell into the global journal (no-op when
@@ -549,12 +571,24 @@ mod tests {
         // Partial coverage: no entries returned, no hits counted.
         assert!(journal.lookup_all(&["mix#c0".into(), "mix#c2".into()]).is_none());
         assert_eq!(journal.hits(), 0);
-        // Full coverage: all entries, hits advanced by the group size.
+        // Full coverage: all entries, hits advanced by ONE — the group
+        // resumes as a single cell, however many keys it spans.
         let got = journal
             .lookup_all(&["mix#c0".into(), "mix#c1".into()])
             .expect("both journaled");
         assert_eq!(got.len(), 2);
-        assert_eq!(journal.hits(), 2);
+        assert_eq!(journal.hits(), 1, "one resumed cell, not one hit per core");
+    }
+
+    #[test]
+    fn contains_peeks_without_counting_hits() {
+        let mut journal = Journal::in_memory();
+        journal.record("cell-x", sample_entry());
+        assert!(journal.contains("cell-x"));
+        assert!(!journal.contains("cell-y"));
+        assert_eq!(journal.hits(), 0, "peeks must not count as resumes");
+        assert!(journal.lookup("cell-x").is_some());
+        assert_eq!(journal.hits(), 1);
     }
 
     #[test]

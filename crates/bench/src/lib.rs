@@ -30,4 +30,5 @@ pub mod microbench;
 pub mod prefetchers;
 pub mod progress;
 pub mod runner;
+pub mod scheduler;
 pub mod telemetry;

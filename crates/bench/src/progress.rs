@@ -5,7 +5,7 @@
 //! line (cells done/total, throughput, EWMA ETA, slowest in-flight
 //! cell) a few times a second; when stderr is not a TTY — CI logs,
 //! piped runs — it degrades to one plain-text line every
-//! [`PLAIN_PERIOD`] so logs stay grep-able and append-only. Progress
+//! `PLAIN_PERIOD` (10 s) so logs stay grep-able and append-only. Progress
 //! is opt-out: `--no-progress` (or `PMP_NO_PROGRESS=1`) switches it
 //! off entirely, and it is a no-op when no observer is installed.
 //!

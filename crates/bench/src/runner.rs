@@ -16,14 +16,16 @@
 
 use crate::journal;
 use crate::prefetchers::PrefetcherKind;
+use crate::scheduler;
 use crate::telemetry;
 use pmp_obs::{CellSpan, SpanOutcome};
 use pmp_sim::{MultiCoreSystem, SimResult, SimStats, System, SystemConfig};
 use pmp_traces::io::read_trace_file;
-use pmp_traces::{Suite, Trace, TraceScale, TraceSpec};
+use pmp_traces::{Suite, Trace, TraceCache, TraceScale, TraceSpec};
 use pmp_types::HarnessError;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Shared run parameters.
@@ -56,7 +58,7 @@ impl RunConfig {
         format!("{:?}|{:?}|{:?}", kind, self.system, self.max_cycles)
     }
 
-    fn cell_key(&self, trace: &str, kind: &PrefetcherKind) -> String {
+    pub(crate) fn cell_key(&self, trace: &str, kind: &PrefetcherKind) -> String {
         journal::cell_key(
             trace,
             &kind.label(),
@@ -68,7 +70,7 @@ impl RunConfig {
     /// Journal keys for a mix cell: one per core (`name#c0` … `name#c3`),
     /// fingerprinted over the full trace list so two mixes sharing a
     /// display name but not a composition never alias.
-    fn mix_keys(&self, mix: &MixCell, kind: &PrefetcherKind) -> Vec<String> {
+    pub(crate) fn mix_keys(&self, mix: &MixCell, kind: &PrefetcherKind) -> Vec<String> {
         let traces: Vec<&str> = mix.specs.iter().map(|s| s.name.as_str()).collect();
         let fp = format!("{}|{}", self.fingerprint_input(kind), traces.join("+"));
         (0..mix.specs.len())
@@ -276,6 +278,15 @@ pub fn run_trace(spec: &TraceSpec, kind: &PrefetcherKind, cfg: &RunConfig) -> Ru
     }
 }
 
+/// Materialise a synthetic trace, through the grid's shared cache when
+/// one is in play.
+fn obtain_synthetic(spec: &TraceSpec, scale: TraceScale, cache: Option<&TraceCache>) -> Arc<Trace> {
+    match cache {
+        Some(cache) => cache.get_synthetic(spec, scale),
+        None => Arc::new(spec.build(scale)),
+    }
+}
+
 /// Run one catalog trace under one prefetcher behind the full
 /// robustness boundary: pre-flight validation, journal reuse, panic
 /// isolation, and the watchdog budget.
@@ -289,6 +300,17 @@ pub fn run_trace_checked(
     kind: &PrefetcherKind,
     cfg: &RunConfig,
 ) -> CellResult {
+    run_trace_cached(spec, kind, cfg, None)
+}
+
+/// [`run_trace_checked`] with an optional shared trace cache (the grid
+/// scheduler threads one through so each distinct trace builds once).
+pub(crate) fn run_trace_cached(
+    spec: &TraceSpec,
+    kind: &PrefetcherKind,
+    cfg: &RunConfig,
+    cache: Option<&TraceCache>,
+) -> CellResult {
     let start = Instant::now();
     let label = kind.label();
     let family = spec.archetype.tag();
@@ -297,6 +319,19 @@ pub fn run_trace_checked(
         telemetry::cell_finished(failure_span(&spec.name, &label, family, start, &error));
         Err(CellFailure { trace: spec.name.clone(), prefetcher: label.clone(), error })
     };
+    // Pre-flight validation comes before the journal: the cell key does
+    // not cover archetype parameters, so a journaled cell sharing a
+    // name with a now-invalid recipe must still be rejected instead of
+    // silently resumed.
+    if let Err(e) = cfg.system.validate() {
+        return fail(e);
+    }
+    if let Err(e) = kind.validate() {
+        return fail(e);
+    }
+    if let Err(e) = spec.validate() {
+        return fail(e);
+    }
     let key = cfg.cell_key(&spec.name, kind);
     if let Some(entry) = journal::global_lookup(&key) {
         telemetry::cell_finished(resumed_span(
@@ -310,18 +345,9 @@ pub fn run_trace_checked(
         ));
         return Ok(outcome_from_journal(entry, kind));
     }
-    if let Err(e) = cfg.system.validate() {
-        return fail(e);
-    }
-    if let Err(e) = kind.validate() {
-        return fail(e);
-    }
-    if let Err(e) = spec.validate() {
-        return fail(e);
-    }
     // The generator can panic on inputs validation cannot foresee —
     // keep it inside the isolation boundary too.
-    let trace = match catch_unwind(AssertUnwindSafe(|| spec.build(cfg.scale))) {
+    let trace = match catch_unwind(AssertUnwindSafe(|| obtain_synthetic(spec, cfg.scale, cache))) {
         Ok(trace) => trace,
         Err(payload) => {
             return fail(HarnessError::Panic { message: panic_message(payload) })
@@ -338,7 +364,7 @@ pub fn run_trace_checked(
                 result.cycles,
                 result.instructions,
             ));
-            Ok(complete_cell(&key, trace.name, trace.suite, kind, result, wall_ms))
+            Ok(complete_cell(&key, trace.name.clone(), trace.suite, kind, result, wall_ms))
         }
         Err(error) => fail(error),
     }
@@ -357,6 +383,17 @@ pub fn run_file_checked(
     kind: &PrefetcherKind,
     cfg: &RunConfig,
 ) -> CellResult {
+    run_file_cached(path, kind, cfg, None)
+}
+
+/// [`run_file_checked`] with an optional shared trace cache (each
+/// `.pmpt` file decodes once per grid).
+pub(crate) fn run_file_cached(
+    path: &std::path::Path,
+    kind: &PrefetcherKind,
+    cfg: &RunConfig,
+    cache: Option<&TraceCache>,
+) -> CellResult {
     let start = Instant::now();
     let name = path.display().to_string();
     let label = kind.label();
@@ -365,6 +402,13 @@ pub fn run_file_checked(
         telemetry::cell_finished(failure_span(&name, &label, "file", start, &error));
         Err(CellFailure { trace: name.clone(), prefetcher: label.clone(), error })
     };
+    // Validation precedes the journal lookup — see run_trace_cached.
+    if let Err(e) = cfg.system.validate() {
+        return fail(e);
+    }
+    if let Err(e) = kind.validate() {
+        return fail(e);
+    }
     let key = cfg.cell_key(&name, kind);
     if let Some(entry) = journal::global_lookup(&key) {
         telemetry::cell_finished(resumed_span(
@@ -378,13 +422,11 @@ pub fn run_file_checked(
         ));
         return Ok(outcome_from_journal(entry, kind));
     }
-    if let Err(e) = cfg.system.validate() {
-        return fail(e);
-    }
-    if let Err(e) = kind.validate() {
-        return fail(e);
-    }
-    let trace = match read_trace_file(path) {
+    let trace = match cache {
+        Some(cache) => cache.get_file(path),
+        None => read_trace_file(path).map(Arc::new),
+    };
+    let trace = match trace {
         Ok(trace) => trace,
         Err(e) => return fail(HarnessError::trace_io(&name, e)),
     };
@@ -399,7 +441,7 @@ pub fn run_file_checked(
                 result.cycles,
                 result.instructions,
             ));
-            Ok(complete_cell(&key, trace.name, trace.suite, kind, result, wall_ms))
+            Ok(complete_cell(&key, trace.name.clone(), trace.suite, kind, result, wall_ms))
         }
         Err(error) => fail(error),
     }
@@ -420,6 +462,18 @@ pub fn run_file_checked(
 /// Returns a [`CellFailure`] carrying the typed [`HarnessError`] when
 /// the mix cannot produce a result; the caller's sweep continues.
 pub fn run_mix_checked(mix: &MixCell, kind: &PrefetcherKind, cfg: &RunConfig) -> CellResult {
+    run_mix_cached(mix, kind, cfg, None)
+}
+
+/// [`run_mix_checked`] with an optional shared trace cache (each of the
+/// mix's per-core traces builds once per grid, shared with single-core
+/// cells over the same spec).
+pub(crate) fn run_mix_cached(
+    mix: &MixCell,
+    kind: &PrefetcherKind,
+    cfg: &RunConfig,
+    cache: Option<&TraceCache>,
+) -> CellResult {
     let start = Instant::now();
     let label = kind.label();
     telemetry::cell_started(&mix.name);
@@ -427,6 +481,18 @@ pub fn run_mix_checked(mix: &MixCell, kind: &PrefetcherKind, cfg: &RunConfig) ->
         telemetry::cell_finished(failure_span(&mix.name, &label, "mix", start, &error));
         Err(CellFailure { trace: mix.name.clone(), prefetcher: label.clone(), error })
     };
+    // Validation precedes the journal lookup — see run_trace_cached.
+    if let Err(e) = cfg.system.validate() {
+        return fail(e);
+    }
+    if let Err(e) = kind.validate() {
+        return fail(e);
+    }
+    for spec in &mix.specs {
+        if let Err(e) = spec.validate() {
+            return fail(e);
+        }
+    }
     let keys = cfg.mix_keys(mix, kind);
     if let Some(entries) = journal::global_lookup_all(&keys) {
         // Each core entry carries the whole cell's recorded wall; the
@@ -445,19 +511,8 @@ pub fn run_mix_checked(mix: &MixCell, kind: &PrefetcherKind, cfg: &RunConfig) ->
         ));
         return Ok(outcome);
     }
-    if let Err(e) = cfg.system.validate() {
-        return fail(e);
-    }
-    if let Err(e) = kind.validate() {
-        return fail(e);
-    }
-    for spec in &mix.specs {
-        if let Err(e) = spec.validate() {
-            return fail(e);
-        }
-    }
-    let traces = match catch_unwind(AssertUnwindSafe(|| {
-        mix.specs.clone().map(|spec| spec.build(cfg.scale))
+    let traces: [Arc<Trace>; 4] = match catch_unwind(AssertUnwindSafe(|| {
+        std::array::from_fn(|i| obtain_synthetic(&mix.specs[i], cfg.scale, cache))
     })) {
         Ok(traces) => traces,
         Err(payload) => return fail(HarnessError::Panic { message: panic_message(payload) }),
@@ -548,10 +603,21 @@ fn mix_outcome(mix: &MixCell, kind: &PrefetcherKind, per_core: Vec<SimStats>) ->
 /// Returns the cell's [`CellFailure`] — see [`run_trace_checked`],
 /// [`run_file_checked`] and [`run_mix_checked`].
 pub fn run_cell(cell: &CellSpec, kind: &PrefetcherKind, cfg: &RunConfig) -> CellResult {
+    run_cell_cached(cell, kind, cfg, None)
+}
+
+/// [`run_cell`] with an optional shared trace cache — the scheduler's
+/// per-work-item entry point.
+pub(crate) fn run_cell_cached(
+    cell: &CellSpec,
+    kind: &PrefetcherKind,
+    cfg: &RunConfig,
+    cache: Option<&TraceCache>,
+) -> CellResult {
     match cell {
-        CellSpec::Synthetic(spec) => run_trace_checked(spec, kind, cfg),
-        CellSpec::File(path) => run_file_checked(path, kind, cfg),
-        CellSpec::Mix(mix) => run_mix_checked(mix, kind, cfg),
+        CellSpec::Synthetic(spec) => run_trace_cached(spec, kind, cfg, cache),
+        CellSpec::File(path) => run_file_cached(path, kind, cfg, cache),
+        CellSpec::Mix(mix) => run_mix_cached(mix, kind, cfg, cache),
     }
 }
 
@@ -600,15 +666,18 @@ fn outcome_from_journal(entry: journal::JournalEntry, kind: &PrefetcherKind) -> 
     }
 }
 
-/// Run a set of traces under one prefetcher, parallelised across OS
-/// threads (each trace is independent), with per-cell isolation.
+/// Run a set of traces under one prefetcher through the grid scheduler
+/// (each trace is independent), with per-cell isolation and a shared
+/// trace cache.
 pub fn run_traces_checked(
     specs: &[TraceSpec],
     kind: &PrefetcherKind,
     cfg: &RunConfig,
 ) -> Vec<CellResult> {
     telemetry::expect_cells(specs.len());
-    parallel_map(specs, |spec| run_trace_checked(spec, kind, cfg))
+    let cells: Vec<CellSpec> = specs.iter().cloned().map(CellSpec::Synthetic).collect();
+    let cache = TraceCache::new();
+    scheduler::run_product(&cells, std::slice::from_ref(kind), cfg, &cache)
 }
 
 /// Run a set of traces under one prefetcher, parallelised across OS
@@ -633,27 +702,71 @@ pub fn run_traces(
         .collect()
 }
 
+/// Run the full `specs × kinds` product through one scheduler pool and
+/// return the outcomes grouped per kind (outer `Vec` in `kinds` order,
+/// inner in `specs` order) — the strict multi-kind counterpart of
+/// [`run_traces`] for report generators that compare several
+/// prefetchers over one trace set. One shared work pool means no
+/// per-kind barrier, and the shared trace cache builds each spec once
+/// for the whole product.
+///
+/// # Panics
+///
+/// Panics with the typed diagnosis of the first failed cell (a full
+/// grid is required to render a report).
+pub fn run_specs_grid(
+    specs: &[TraceSpec],
+    kinds: &[PrefetcherKind],
+    cfg: &RunConfig,
+) -> Vec<Vec<RunOutcome>> {
+    telemetry::expect_cells(specs.len() * kinds.len());
+    let cells: Vec<CellSpec> = specs.iter().cloned().map(CellSpec::Synthetic).collect();
+    let cache = TraceCache::new();
+    let mut results = scheduler::run_product(&cells, kinds, cfg, &cache).into_iter();
+    kinds
+        .iter()
+        .map(|_| {
+            results
+                .by_ref()
+                .take(specs.len())
+                .map(|r| r.unwrap_or_else(|f| panic!("sweep requires a full grid; {f}")))
+                .collect()
+        })
+        .collect()
+}
+
 /// Run a mixed grid of cells under several prefetchers, collecting
 /// every outcome and failure into a [`SweepSummary`].
+///
+/// The full `cells × kinds` product executes through one shared
+/// work-stealing pool ([`scheduler::run_product`]): cost-aware ordering
+/// (longest-expected-first from the observer's histograms, journaled
+/// cells last), no per-kind barrier, and a per-grid [`TraceCache`] so
+/// each distinct trace is generated or decoded exactly once. Outcomes
+/// come back in grid order (kind-major, matching the historical
+/// per-kind loop), and `resumed` is this grid's journal-hit delta, not
+/// the process-lifetime total.
 pub fn run_grid(
     cells: &[CellSpec],
     kinds: &[PrefetcherKind],
     cfg: &RunConfig,
 ) -> (Vec<RunOutcome>, SweepSummary) {
     telemetry::expect_cells(cells.len() * kinds.len());
+    let hits_before = journal::global_hits();
+    let cache = TraceCache::new();
+    let results = scheduler::run_product(cells, kinds, cfg, &cache);
     let mut outcomes = Vec::new();
     let mut summary = SweepSummary::default();
-    for kind in kinds {
-        let results = parallel_map(cells, |cell| run_cell(cell, kind, cfg));
-        for result in results {
-            match result {
-                Ok(outcome) => outcomes.push(outcome),
-                Err(failure) => summary.failures.push(failure),
-            }
+    for result in results {
+        match result {
+            Ok(outcome) => outcomes.push(outcome),
+            Err(failure) => summary.failures.push(failure),
         }
     }
     summary.completed = outcomes.len();
-    summary.resumed = journal::global_hits();
+    summary.resumed = journal::global_hits().saturating_sub(hits_before);
+    summary.trace_builds = cache.builds();
+    summary.trace_cache_hits = cache.hits();
     (outcomes, summary)
 }
 
@@ -663,10 +776,16 @@ pub fn run_grid(
 pub struct SweepSummary {
     /// Cells that produced an outcome (including journal-resumed ones).
     pub completed: usize,
-    /// Cells served from the journal instead of re-simulated.
+    /// Cells served from the journal instead of re-simulated, within
+    /// this sweep (a per-grid delta, not the process-lifetime total).
     pub resumed: u64,
     /// Isolated cell failures, in grid order.
     pub failures: Vec<CellFailure>,
+    /// Distinct traces generated/decoded for this grid.
+    pub trace_builds: usize,
+    /// Trace requests served from the grid's shared cache instead of
+    /// rebuilt.
+    pub trace_cache_hits: usize,
 }
 
 impl SweepSummary {
@@ -679,6 +798,13 @@ impl SweepSummary {
             self.resumed,
             self.failures.len()
         );
+        if self.trace_builds + self.trace_cache_hits > 0 {
+            let _ = writeln!(
+                out,
+                "  traces: {} built, {} served from cache",
+                self.trace_builds, self.trace_cache_hits
+            );
+        }
         for failure in &self.failures {
             let _ = writeln!(out, "  FAILED [{}] {failure}", failure.error.kind_tag());
         }

@@ -1,0 +1,175 @@
+//! Work-stealing grid scheduler: one shared pool over the full
+//! `cells × kinds` product.
+//!
+//! The historical `run_grid` ran one `parallel_map` barrier per
+//! prefetcher kind: the slowest cell of kind *k* idled every core
+//! before kind *k+1* could start, and each (cell, kind) pair rebuilt
+//! its trace from scratch. This module replaces that with a single
+//! work pool:
+//!
+//! * **One queue, no barriers.** Every (cell, kind) pair is a work
+//!   item. Workers pull items off a shared atomic cursor until the
+//!   queue drains, so a slow cell only ever occupies its own worker.
+//! * **Cost-aware ordering.** Items are sorted
+//!   longest-expected-first before the cursor opens: expected cost
+//!   comes from the installed [`crate::telemetry`] observer's
+//!   per-prefetcher and per-archetype wall-time histograms (mean of
+//!   the two, EWMA fallback), journaled cells cost ~0 (they resume in
+//!   microseconds, so they run last and never occupy a core while real
+//!   work waits), and with no history at all a flat prior applies —
+//!   with 4-core mixes weighted heavier. Longest-first minimises the
+//!   end-of-sweep straggler tail: the worst item starts first instead
+//!   of last.
+//! * **Shared trace cache.** Workers thread one [`TraceCache`] through
+//!   the runner's cache-aware cell entry point, so a 125-trace ×
+//!   19-kind grid builds 125 traces, not 2375.
+//! * **Grid-order results.** Results travel over an mpsc channel
+//!   tagged with their grid index (kind-major:
+//!   `kind_idx * cells.len() + cell_idx`, the same order the per-kind
+//!   loop produced) and are reassembled in order — execution order is
+//!   a scheduling detail, output order is part of the API.
+//!
+//! Determinism: every cell is an independent simulation of a
+//! deterministic trace, so results are bit-identical regardless of
+//! which worker runs a cell when (pinned by `tests/golden_stats.rs`
+//! and `tests/sweep_telemetry.rs`). Panic isolation is per-cell:
+//! the runner catches panics inside each cell, so a poisoned work
+//! item degrades to a [`crate::runner::CellFailure`] and the pool
+//! keeps draining.
+
+use crate::journal;
+use crate::prefetchers::PrefetcherKind;
+use crate::runner::{run_cell_cached, CellResult, CellSpec, RunConfig};
+use crate::telemetry;
+use pmp_traces::TraceCache;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Flat prior for a cell's wall cost when the observer has no history
+/// (or no observer is installed): ordering degrades to grid order,
+/// which is what the old per-kind loop did anyway.
+const DEFAULT_CELL_MS: f64 = 10.0;
+
+/// A 4-core mix simulates roughly four single-core cells of work;
+/// applied to the flat prior only (recorded mix history already
+/// reflects real mix cost).
+const MIX_COST_FACTOR: f64 = 4.0;
+
+/// Expected wall cost of one (cell, kind) work item, in milliseconds.
+fn expected_cost_ms(cell: &CellSpec, kind: &PrefetcherKind, cfg: &RunConfig) -> f64 {
+    // Journaled cells resume in microseconds — schedule them last.
+    // (Non-counting peek: the real lookup in the runner counts the
+    // resume; counting it here too would inflate the resumed tally.)
+    let journaled = match cell {
+        CellSpec::Mix(mix) => journal::global_contains_all(&cfg.mix_keys(mix, kind)),
+        _ => journal::global_contains(&cfg.cell_key(&cell.name(), kind)),
+    };
+    if journaled {
+        return 0.0;
+    }
+    let family = match cell {
+        CellSpec::Synthetic(spec) => spec.archetype.tag(),
+        CellSpec::File(_) => "file",
+        CellSpec::Mix(_) => "mix",
+    };
+    telemetry::expected_cell_ms(&kind.label(), family).unwrap_or(match cell {
+        CellSpec::Mix(_) => DEFAULT_CELL_MS * MIX_COST_FACTOR,
+        _ => DEFAULT_CELL_MS,
+    })
+}
+
+/// Run the full `cells × kinds` product through one shared work pool
+/// and return results in grid order (kind-major: all cells of
+/// `kinds[0]`, then `kinds[1]`, …).
+///
+/// Callers that want a [`crate::runner::SweepSummary`] use
+/// [`crate::runner::run_grid`]; this is the raw scheduling primitive
+/// it (and the strict grid helpers) share.
+pub fn run_product(
+    cells: &[CellSpec],
+    kinds: &[PrefetcherKind],
+    cfg: &RunConfig,
+    cache: &TraceCache,
+) -> Vec<CellResult> {
+    let n = cells.len() * kinds.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Longest-expected-first execution order; cost ties stay in grid
+    // order so scheduling is deterministic.
+    let costs: Vec<f64> = (0..n)
+        .map(|i| expected_cost_ms(&cells[i % cells.len()], &kinds[i / cells.len()], cfg))
+        .collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| costs[b].total_cmp(&costs[a]).then(a.cmp(&b)));
+
+    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4);
+    let threads = threads.min(n).max(1);
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, CellResult)>();
+    let mut out: Vec<Option<CellResult>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let (order, cursor) = (&order, &cursor);
+            s.spawn(move || loop {
+                let at = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&i) = order.get(at) else { break };
+                let kind = &kinds[i / cells.len()];
+                let cell = &cells[i % cells.len()];
+                let result = run_cell_cached(cell, kind, cfg, Some(cache));
+                if tx.send((i, result)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        // Reassemble in grid order on the calling thread while workers
+        // are still producing; ends when every sender is gone.
+        for (i, result) in rx {
+            out[i] = Some(result);
+        }
+    });
+    out.into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("scheduler worker for item {i} sent no result")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_traces::{catalog, TraceScale};
+
+    fn tiny_cfg() -> RunConfig {
+        RunConfig { scale: TraceScale::Tiny, ..RunConfig::default() }
+    }
+
+    #[test]
+    fn product_preserves_grid_order() {
+        let cells: Vec<CellSpec> =
+            catalog()[..3].iter().cloned().map(CellSpec::Synthetic).collect();
+        let kinds = [PrefetcherKind::None, PrefetcherKind::NextLine];
+        let cache = TraceCache::new();
+        let results = run_product(&cells, &kinds, &tiny_cfg(), &cache);
+        assert_eq!(results.len(), 6);
+        for (i, r) in results.iter().enumerate() {
+            let out = r.as_ref().expect("healthy cell");
+            assert_eq!(out.prefetcher, kinds[i / 3].label(), "kind-major order at {i}");
+            assert_eq!(out.trace, catalog()[i % 3].name, "cell order within a kind at {i}");
+        }
+        assert_eq!(cache.builds(), 3, "each distinct trace builds once for the product");
+        assert_eq!(cache.hits(), 3, "the second kind reuses every trace");
+    }
+
+    #[test]
+    fn cost_model_orders_journaled_cells_last() {
+        let cell = CellSpec::Synthetic(catalog()[0].clone());
+        let cfg = tiny_cfg();
+        journal::clear_global();
+        let unjournaled = expected_cost_ms(&cell, &PrefetcherKind::None, &cfg);
+        assert!(unjournaled > 0.0, "fresh cells carry the flat prior");
+        let mix = CellSpec::Mix(Box::new(crate::runner::MixCell::homogeneous(&catalog()[0])));
+        let mix_cost = expected_cost_ms(&mix, &PrefetcherKind::None, &cfg);
+        assert!(mix_cost > unjournaled, "mixes are weighted heavier under the prior");
+    }
+}

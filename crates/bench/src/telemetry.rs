@@ -74,6 +74,14 @@ pub fn expect_cells(n: usize) {
     }
 }
 
+/// Expected wall cost of a (prefetcher `group`, archetype `family`)
+/// cell from the installed observer's span history — the scheduler's
+/// cost model seeds its longest-expected-first ordering from this.
+/// `None` when no observer is installed or it has no usable history.
+pub fn expected_cell_ms(group: &str, family: &str) -> Option<f64> {
+    slot().as_ref().and_then(|obs| obs.expected_cost_ms(group, family))
+}
+
 // ---------------------------------------------------------------------
 // BENCH_sweep.json rendering (serde-free, BENCH_sim.json style).
 // ---------------------------------------------------------------------
@@ -194,7 +202,12 @@ pub fn summary_line(snap: &SweepSnapshot) -> String {
         let _ = write!(line, " | ETA {}", fmt_duration_ms(eta));
     }
     if let Some((name, ms)) = &snap.slowest_in_flight {
-        let _ = write!(line, " | slowest in flight: {name} ({})", fmt_duration_ms(*ms));
+        let _ = write!(
+            line,
+            " | {} in flight, slowest: {name} ({})",
+            snap.in_flight,
+            fmt_duration_ms(*ms)
+        );
     }
     line
 }

@@ -1,0 +1,237 @@
+//! Shared read-only trace cache for grid sweeps.
+//!
+//! A `cells × kinds` grid runs every cell once per prefetcher kind, and
+//! historically each (cell, kind) pair re-generated its synthetic trace
+//! (or re-decoded its `.pmpt` file) from scratch — a 125-trace ×
+//! 19-kind grid paid for 2375 trace builds to obtain 125 distinct
+//! traces. A [`TraceCache`] shares each materialised trace as an
+//! immutable [`Arc<Trace>`] across every kind that needs it, so a grid
+//! builds each distinct trace exactly once.
+//!
+//! ## Keys
+//!
+//! Synthetic traces are keyed by the full `Debug` rendering of their
+//! [`TraceSpec`] plus the [`TraceScale`] — the complete
+//! parameterisation, so two specs sharing a display name but not a
+//! recipe never alias. Files are keyed by path.
+//!
+//! ## Concurrency
+//!
+//! Synthetic entries use a per-key [`OnceLock`]: the cache's map lock
+//! is held only long enough to fetch or insert the slot, and the
+//! (possibly expensive) generator runs outside it via
+//! `OnceLock::get_or_init` — distinct traces build concurrently, the
+//! same trace builds exactly once, and threads requesting an
+//! in-progress trace block until it lands. A panicking generator leaves
+//! its slot uninitialised (no poisoning) and the panic propagates into
+//! the requesting cell's isolation boundary; a later request retries
+//! the build.
+//!
+//! ## Lifetime and memory bound
+//!
+//! A cache is scoped to one grid: the runner constructs it at the top
+//! of `run_grid`, every worker shares it by reference, and it drops
+//! with the grid — so peak memory is bounded by the distinct traces of
+//! a single grid (at paper scale, 125 Small traces ≈ tens of MiB), not
+//! by the lifetime of a multi-grid process. Callers wanting reuse
+//! across grids can hold the cache themselves.
+
+use crate::catalog::TraceSpec;
+use crate::io::read_trace_file;
+use crate::trace::{Trace, TraceScale};
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// Shares materialised traces across the cells of one grid. See the
+/// module docs for keying, concurrency, and lifetime.
+#[derive(Debug, Default)]
+pub struct TraceCache {
+    /// Synthetic traces: spec+scale key → build-once slot.
+    synth: Mutex<HashMap<String, Arc<OnceLock<Arc<Trace>>>>>,
+    /// Decoded `.pmpt` files by path (read errors are never cached —
+    /// a transient IO failure should not poison later cells).
+    files: Mutex<HashMap<PathBuf, Arc<Trace>>>,
+    /// Traces requested (every `get_*` call).
+    requests: AtomicUsize,
+    /// Traces actually generated or decoded.
+    builds: AtomicUsize,
+}
+
+impl TraceCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        TraceCache::default()
+    }
+
+    /// The materialised trace for `spec` at `scale`, building it on
+    /// first request and sharing the same [`Arc`] thereafter.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panicking generator to the caller (the slot stays
+    /// uninitialised, so a later request retries).
+    pub fn get_synthetic(&self, spec: &TraceSpec, scale: TraceScale) -> Arc<Trace> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let key = format!("{spec:?}|{scale:?}");
+        let slot = {
+            let mut map = self.synth.lock().unwrap_or_else(PoisonError::into_inner);
+            map.entry(key).or_default().clone()
+        };
+        slot.get_or_init(|| {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            Arc::new(spec.build(scale))
+        })
+        .clone()
+    }
+
+    /// The decoded trace for the file at `path`, reading it on first
+    /// request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`read_trace_file`] errors; failed reads are not
+    /// cached, so every requesting cell observes the error itself.
+    pub fn get_file(&self, path: &Path) -> io::Result<Arc<Trace>> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if let Some(trace) = self
+            .files
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(path)
+        {
+            return Ok(trace.clone());
+        }
+        // Decode outside the lock: concurrent first requests for the
+        // same path may both read (harmless — last insert wins and the
+        // build counter reflects the duplicate work honestly).
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        let trace = Arc::new(read_trace_file(path)?);
+        self.files
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(path.to_path_buf(), trace.clone());
+        Ok(trace)
+    }
+
+    /// Traces requested through the cache so far.
+    pub fn requests(&self) -> usize {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Traces actually generated or decoded (the cache's miss count).
+    pub fn builds(&self) -> usize {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Requests served without building — `requests() - builds()`.
+    pub fn hits(&self) -> usize {
+        self.requests().saturating_sub(self.builds())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::catalog;
+
+    #[test]
+    fn same_spec_builds_once_and_shares_the_arc() {
+        let cache = TraceCache::new();
+        let spec = &catalog()[0];
+        let a = cache.get_synthetic(spec, TraceScale::Tiny);
+        let b = cache.get_synthetic(spec, TraceScale::Tiny);
+        assert!(Arc::ptr_eq(&a, &b), "second request shares the first build");
+        assert_eq!(cache.requests(), 2);
+        assert_eq!(cache.builds(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(a.ops, spec.build(TraceScale::Tiny).ops, "cached trace is the real one");
+    }
+
+    #[test]
+    fn scale_is_part_of_the_key() {
+        let cache = TraceCache::new();
+        let spec = &catalog()[0];
+        let tiny = cache.get_synthetic(spec, TraceScale::Tiny);
+        let small = cache.get_synthetic(spec, TraceScale::Small);
+        assert_eq!(cache.builds(), 2, "different scales are different traces");
+        assert!(tiny.ops.len() < small.ops.len());
+    }
+
+    #[test]
+    fn same_name_different_recipe_never_aliases() {
+        let cache = TraceCache::new();
+        let a = catalog()[0].clone();
+        let mut b = catalog()[1].clone();
+        b.name = a.name.clone();
+        let ta = cache.get_synthetic(&a, TraceScale::Tiny);
+        let tb = cache.get_synthetic(&b, TraceScale::Tiny);
+        assert_eq!(cache.builds(), 2, "full parameterisation keys the cache, not the name");
+        assert_ne!(ta.ops, tb.ops);
+    }
+
+    #[test]
+    fn concurrent_requests_build_exactly_once() {
+        let cache = TraceCache::new();
+        let spec = catalog()[0].clone();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| cache.get_synthetic(&spec, TraceScale::Tiny));
+            }
+        });
+        assert_eq!(cache.requests(), 8);
+        assert_eq!(cache.builds(), 1, "racing requests coalesce onto one build");
+    }
+
+    #[test]
+    fn panicking_generator_is_retried_not_poisoned() {
+        let cache = TraceCache::new();
+        let mut bad = catalog()[0].clone();
+        // A graph with fewer than 1024 vertices trips the generator's
+        // own assert at build time (unlike most invalid recipes, which
+        // only pre-flight validation rejects).
+        bad.archetype = crate::archetypes::Archetype::Graph(crate::archetypes::GraphGen {
+            vertices: 10,
+            avg_degree: 1,
+            neighbor_prob: 0.1,
+            gap_mean: 20,
+            store_fraction: 0.1,
+        });
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_synthetic(&bad, TraceScale::Tiny)
+        }));
+        assert!(attempt.is_err(), "invalid recipe must panic through the cache");
+        // The slot is uninitialised, not poisoned: a healthy spec with
+        // the same cache still works, and retrying the bad one panics
+        // again instead of deadlocking.
+        let ok = cache.get_synthetic(&catalog()[0], TraceScale::Tiny);
+        assert!(!ok.ops.is_empty());
+        let retry = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_synthetic(&bad, TraceScale::Tiny)
+        }));
+        assert!(retry.is_err());
+    }
+
+    #[test]
+    fn file_reads_cache_successes_but_not_errors() {
+        let dir = std::env::temp_dir().join("pmp_trace_cache_file_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("t.pmpt");
+        let trace = catalog()[0].build(TraceScale::Tiny);
+        crate::io::write_trace_file(&trace, &path).expect("write");
+
+        let cache = TraceCache::new();
+        let missing = dir.join("missing.pmpt");
+        assert!(cache.get_file(&missing).is_err());
+        assert!(cache.get_file(&missing).is_err(), "errors are re-observed, not cached");
+
+        let a = cache.get_file(&path).expect("readable");
+        let b = cache.get_file(&path).expect("readable");
+        assert!(Arc::ptr_eq(&a, &b), "second read shares the first decode");
+        assert_eq!(a.ops, trace.ops);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

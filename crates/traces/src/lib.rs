@@ -40,12 +40,14 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod archetypes;
+pub mod cache;
 pub mod catalog;
 pub mod faults;
 pub mod io;
 pub mod mix;
 pub mod trace;
 
+pub use cache::TraceCache;
 pub use catalog::{catalog, catalog_for, representative_subset, TraceSpec};
 pub use faults::{Fault, FaultyReader, FaultyWriter};
 pub use mix::{MixSpec, MpkiClass};

@@ -18,8 +18,9 @@
 //!
 //! and say why in the PR description. A silent diff here is a bug.
 
+use pmp_bench::journal;
 use pmp_bench::prefetchers::PrefetcherKind;
-use pmp_bench::runner::{run_trace, RunConfig};
+use pmp_bench::runner::{run_grid, run_trace, CellSpec, RunConfig};
 use pmp_sim::SimStats;
 use pmp_traces::{catalog, TraceScale};
 
@@ -123,6 +124,36 @@ fn golden_stats_fixed_triples() {
          GOLDEN_PRINT=1 and explain the semantic change:\n{}",
         failures.join("\n")
     );
+}
+
+/// The work-stealing scheduler path must reproduce the same frozen
+/// fingerprints: `run_grid` returns kind-major order, so grid index `i`
+/// maps to `GOLDEN[i % TRACES][i / TRACES]`. This is the end-to-end
+/// guard that scheduling order and the shared trace cache are
+/// invisible to simulation semantics.
+#[test]
+fn golden_stats_via_grid_scheduler() {
+    if std::env::var_os("GOLDEN_PRINT").is_some() {
+        return; // regeneration runs the per-trace test only
+    }
+    journal::clear_global();
+    let cfg = RunConfig { scale: TraceScale::Small, ..RunConfig::default() };
+    let cells: Vec<CellSpec> =
+        catalog().iter().take(TRACES).cloned().map(CellSpec::Synthetic).collect();
+    let (outcomes, summary) = run_grid(&cells, &KINDS, &cfg);
+    assert!(summary.is_clean(), "{}", summary.report());
+    assert_eq!(outcomes.len(), TRACES * KINDS.len());
+    assert_eq!(summary.trace_builds, TRACES, "each trace built once for the whole grid");
+    for (i, out) in outcomes.iter().enumerate() {
+        let fp = fingerprint(&out.result.stats);
+        assert_eq!(
+            fp,
+            GOLDEN[i % TRACES][i / TRACES],
+            "{}/{} diverged through the scheduler path",
+            out.trace,
+            out.prefetcher
+        );
+    }
 }
 
 /// The fingerprint must be sensitive to every counter (guards against

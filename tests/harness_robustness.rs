@@ -130,6 +130,27 @@ fn watchdog_and_validation_fail_fast_with_typed_errors() {
 }
 
 #[test]
+fn validation_rejects_before_journal_resume() {
+    let _guard = journal_lock();
+    journal::install_global(Journal::in_memory());
+    let spec = &catalog()[0];
+    let cfg = tiny_cfg();
+    run_trace_checked(spec, &PrefetcherKind::NextLine, &cfg).expect("healthy cell journals");
+    // Same trace name, now-invalid recipe. The journal key fingerprints
+    // the name and run config but not the archetype parameters, so if
+    // the journal were consulted before validation this would silently
+    // resume the stale healthy result instead of rejecting the config.
+    let mut bad = spec.clone();
+    bad.archetype = pmp_traces::archetypes::presets::hash(8, 2.0);
+    let hits_before = journal::global_hits();
+    let err = run_trace_checked(&bad, &PrefetcherKind::NextLine, &cfg)
+        .expect_err("invalid recipe must be rejected, not resumed");
+    assert_eq!(err.error.kind_tag(), "invalid-config");
+    assert_eq!(journal::global_hits(), hits_before, "no resume for an invalid cell");
+    journal::clear_global();
+}
+
+#[test]
 fn journal_resume_skips_exactly_the_completed_cells() {
     let _guard = journal_lock();
     let dir = temp_dir("resume");
@@ -244,7 +265,9 @@ fn mix_journal_resume_replays_only_failed_mixes() {
     assert_eq!(info.loaded, 8, "2 healthy mixes x 4 per-core entries");
     assert_eq!(info.skipped, 0);
     let (second, summary2) = run_grid(&cells, &kinds, &cfg);
-    assert_eq!(summary2.resumed, 8, "every core of every healthy mix resumes");
+    // Resume accounting is per *cell*: two healthy mixes resumed, even
+    // though each loaded four per-core journal entries.
+    assert_eq!(summary2.resumed, 2, "one resumed cell per healthy mix");
     assert_eq!(summary2.failures.len(), 2, "failed mixes re-execute");
     assert_eq!(second.len(), 2);
     for (a, b) in first.iter().zip(&second) {

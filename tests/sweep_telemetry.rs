@@ -7,7 +7,7 @@
 use pmp_bench::benchdiff::BenchDiff;
 use pmp_bench::journal::{self, Journal};
 use pmp_bench::prefetchers::PrefetcherKind;
-use pmp_bench::runner::{run_grid, CellSpec, RunConfig};
+use pmp_bench::runner::{run_cell, run_grid, CellSpec, RunConfig};
 use pmp_bench::telemetry;
 use pmp_obs::{CellSpan, SpanOutcome, SweepObserver};
 use pmp_traces::{catalog, TraceScale};
@@ -115,6 +115,67 @@ fn observer_on_and_off_produce_identical_simulation_results() {
         assert_eq!(a.result.cycles, b.result.cycles, "{}/{}", a.trace, a.prefetcher);
         assert_eq!(a.result.stats, b.result.stats, "{}/{}", a.trace, a.prefetcher);
     }
+}
+
+#[test]
+fn scheduler_matches_per_cell_reference_in_grid_order() {
+    let _guard = telemetry_lock();
+    journal::clear_global();
+    telemetry::clear();
+    let cells = small_grid();
+    let kinds = [PrefetcherKind::None, PrefetcherKind::NextLine, PrefetcherKind::Pmp];
+    let (outcomes, summary) = run_grid(&cells, &kinds, &tiny_cfg());
+    assert!(summary.is_clean());
+    assert_eq!(outcomes.len(), 9);
+    // Reference: the naive per-(kind, cell) loop the scheduler
+    // replaced, in the kind-major order run_grid promises. Execution
+    // order is a scheduling detail; results must be bit-identical.
+    let mut i = 0;
+    for kind in &kinds {
+        for cell in &cells {
+            let r = run_cell(cell, kind, &tiny_cfg()).expect("healthy cell");
+            let o = &outcomes[i];
+            assert_eq!(o.trace, r.trace, "grid order at {i}");
+            assert_eq!(o.prefetcher, r.prefetcher, "grid order at {i}");
+            assert_eq!(o.result.cycles, r.result.cycles, "{}/{}", o.trace, o.prefetcher);
+            assert_eq!(o.result.stats, r.result.stats, "{}/{}", o.trace, o.prefetcher);
+            i += 1;
+        }
+    }
+}
+
+#[test]
+fn grid_builds_each_trace_once_and_shares_it() {
+    let _guard = telemetry_lock();
+    journal::clear_global();
+    telemetry::clear();
+    let cells = small_grid();
+    let kinds = [PrefetcherKind::None, PrefetcherKind::NextLine, PrefetcherKind::Pmp];
+    let (_, summary) = run_grid(&cells, &kinds, &tiny_cfg());
+    assert!(summary.is_clean());
+    assert_eq!(summary.trace_builds, 3, "one build per distinct trace in the grid");
+    assert_eq!(summary.trace_cache_hits, 6, "the other two kinds reuse every trace");
+    let report = summary.report();
+    assert!(report.contains("3 built"), "{report}");
+    assert!(report.contains("6 served from cache"), "{report}");
+}
+
+#[test]
+fn resumed_counts_are_per_grid_deltas() {
+    let _guard = telemetry_lock();
+    journal::install_global(Journal::in_memory());
+    telemetry::clear();
+    let cells = small_grid();
+    let kinds = [PrefetcherKind::None];
+    let (_, s1) = run_grid(&cells, &kinds, &tiny_cfg());
+    assert_eq!(s1.resumed, 0, "first grid executes everything");
+    let (_, s2) = run_grid(&cells, &kinds, &tiny_cfg());
+    assert_eq!(s2.resumed, 3, "second grid resumes its own three cells");
+    // The historical bug: `resumed` reported the process-lifetime
+    // journal-hit total, so a third identical grid claimed 6.
+    let (_, s3) = run_grid(&cells, &kinds, &tiny_cfg());
+    assert_eq!(s3.resumed, 3, "per-grid delta, not the cumulative total");
+    journal::clear_global();
 }
 
 #[test]
