@@ -21,8 +21,11 @@
 //! bandwidth.
 
 use pmp_core::capture::{CaptureConfig, CapturedPattern, PatternCapture};
-use pmp_prefetch::{AccessInfo, EvictInfo, FeedbackKind, Introspect, PrefetchRequest, Prefetcher, ReplayQueue};
-use pmp_types::{BitPattern, CacheLevel, LineAddr, Pc};
+use pmp_prefetch::{
+    AccessInfo, ByteReader, ByteWriter, EvictInfo, FeedbackKind, Introspect, PrefetchRequest,
+    Prefetcher, ReplayQueue, SnapshotError, StateImage,
+};
+use pmp_types::{config_fingerprint, BitPattern, CacheLevel, LineAddr, Pc};
 
 /// DSPatch configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -244,6 +247,185 @@ impl Prefetcher for DsPatch {
         let len = u64::from(self.capture.geometry().lines_per_region());
         self.cfg.capture.storage_bits() + self.cfg.spt_entries as u64 * (2 * len + 3)
     }
+
+    /// Serialize the capture framework, the dual-pattern SPT, the
+    /// pending replay queue, and the feedback window into named
+    /// sections.
+    fn save_state(&self) -> Result<StateImage, SnapshotError> {
+        let fp = config_fingerprint(&format!("{:?}", self.cfg));
+        let mut img = StateImage::new(self.name(), fp);
+
+        let mut w = ByteWriter::new();
+        self.capture.encode_state(&mut w);
+        img.push_section("capture", w.into_bytes());
+
+        let mut w = ByteWriter::new();
+        w.put_u32(self.spt.len() as u32);
+        for e in &self.spt {
+            w.put_u64(e.covp.bits());
+            w.put_u64(e.accp.bits());
+            w.put_bool(e.accp_valid);
+            w.put_u8(e.covp_measure);
+            w.put_bool(e.valid);
+        }
+        img.push_section("spt", w.into_bytes());
+
+        let mut w = ByteWriter::new();
+        w.put_u32(self.replay.capacity() as u32);
+        w.put_u32(self.replay.len() as u32);
+        for r in self.replay.iter() {
+            w.put_u64(r.line.0);
+            w.put_u8(match r.fill_level {
+                CacheLevel::L1D => 1,
+                CacheLevel::L2C => 2,
+                CacheLevel::Llc => 3,
+            });
+        }
+        img.push_section("replay", w.into_bytes());
+
+        let mut w = ByteWriter::new();
+        w.put_u32(self.useful);
+        w.put_u32(self.useless);
+        match self.measured_bw {
+            Some(bw) => {
+                w.put_bool(true);
+                w.put_f64(bw);
+            }
+            None => {
+                w.put_bool(false);
+                w.put_f64(0.0);
+            }
+        }
+        img.push_section("feedback", w.into_bytes());
+        Ok(img)
+    }
+
+    /// Restore state saved by an identically configured DSPatch. All
+    /// sections decode into temporaries first; pattern bits, measure
+    /// counters, queue sizes, and the bandwidth sample are all
+    /// bounds-checked against the configuration.
+    fn load_state(&mut self, image: &StateImage) -> Result<(), SnapshotError> {
+        if image.kind != self.name() {
+            return Err(SnapshotError::KindMismatch {
+                found: image.kind.clone(),
+                expected: self.name().to_string(),
+            });
+        }
+        let fp = config_fingerprint(&format!("{:?}", self.cfg));
+        if image.config_fingerprint != fp {
+            return Err(SnapshotError::ConfigMismatch {
+                found: image.config_fingerprint,
+                expected: fp,
+            });
+        }
+        let len = self.cfg.capture.geometry.lines_per_region();
+
+        let mut r = ByteReader::new(image.section("capture")?, "section capture");
+        let capture = PatternCapture::decode_state(&mut r, &self.cfg.capture, "section capture")?;
+        r.finish()?;
+
+        let ctx = "section spt";
+        let mut r = ByteReader::new(image.section("spt")?, ctx);
+        let count = r.take_u32()? as usize;
+        if count != self.cfg.spt_entries {
+            return Err(SnapshotError::corrupt(
+                ctx,
+                format!("SPT entry count {count}, expected {}", self.cfg.spt_entries),
+            ));
+        }
+        let mut spt = Vec::with_capacity(count);
+        for _ in 0..count {
+            let covp_bits = r.take_u64()?;
+            let accp_bits = r.take_u64()?;
+            for bits in [covp_bits, accp_bits] {
+                if len < 64 && bits >> len != 0 {
+                    return Err(SnapshotError::corrupt(
+                        ctx,
+                        format!("pattern bits {bits:#x} exceed length {len}"),
+                    ));
+                }
+            }
+            let accp_valid = r.take_bool()?;
+            let covp_measure = r.take_u8()?;
+            if covp_measure > 3 {
+                return Err(SnapshotError::corrupt(
+                    ctx,
+                    format!("CovP measure {covp_measure} exceeds 2-bit cap"),
+                ));
+            }
+            let valid = r.take_bool()?;
+            spt.push(SptEntry {
+                covp: BitPattern::from_bits(covp_bits, len),
+                accp: BitPattern::from_bits(accp_bits, len),
+                accp_valid,
+                covp_measure,
+                valid,
+            });
+        }
+        r.finish()?;
+
+        let ctx = "section replay";
+        let mut r = ByteReader::new(image.section("replay")?, ctx);
+        let capacity = r.take_u32()? as usize;
+        if capacity != self.replay.capacity() {
+            return Err(SnapshotError::corrupt(
+                ctx,
+                format!("replay capacity {capacity}, expected {}", self.replay.capacity()),
+            ));
+        }
+        let pending = r.take_u32()? as usize;
+        if pending > capacity {
+            return Err(SnapshotError::corrupt(
+                ctx,
+                format!("{pending} pending requests exceed capacity {capacity}"),
+            ));
+        }
+        let mut replay = ReplayQueue::new(capacity);
+        for _ in 0..pending {
+            let line = LineAddr(r.take_u64()?);
+            let level = match r.take_u8()? {
+                1 => CacheLevel::L1D,
+                2 => CacheLevel::L2C,
+                3 => CacheLevel::Llc,
+                t => {
+                    return Err(SnapshotError::corrupt(
+                        ctx,
+                        format!("unknown fill level tag {t}"),
+                    ))
+                }
+            };
+            replay.push_all([PrefetchRequest::new(line, level)]);
+        }
+        r.finish()?;
+
+        let ctx = "section feedback";
+        let mut r = ByteReader::new(image.section("feedback")?, ctx);
+        let useful = r.take_u32()?;
+        let useless = r.take_u32()?;
+        if u64::from(useful) + u64::from(useless) > 1024 {
+            return Err(SnapshotError::corrupt(
+                ctx,
+                format!("feedback window {useful}+{useless} exceeds the decay bound"),
+            ));
+        }
+        let has_bw = r.take_bool()?;
+        let bw = r.take_f64()?;
+        if has_bw && !(0.0..=1.0).contains(&bw) {
+            return Err(SnapshotError::corrupt(
+                ctx,
+                format!("bandwidth sample {bw} outside 0..=1"),
+            ));
+        }
+        r.finish()?;
+
+        self.capture = capture;
+        self.spt = spt;
+        self.replay = replay;
+        self.useful = useful;
+        self.useless = useless;
+        self.measured_bw = has_bw.then_some(bw);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -333,6 +515,64 @@ mod tests {
         // Samples are clamped into 0..=1.
         d.on_bandwidth(7.0);
         assert_eq!(d.pressure(), 1.0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_continues_bit_identically() {
+        let mut trained = DsPatch::default();
+        train_region(&mut trained, 0x400, 10 * 4096, &[0, 1, 2]);
+        train_region(&mut trained, 0x400, 11 * 4096, &[0, 2, 3]);
+        trained.on_bandwidth(0.3);
+        for _ in 0..10 {
+            trained.on_feedback(LineAddr(1), FeedbackKind::Useless);
+        }
+        // Leave requests pending in the replay queue mid-flight.
+        let mut parked = Vec::new();
+        trained.on_access(
+            &AccessInfo {
+                access: MemAccess::load(Pc(0x400), Addr(50 * 4096)),
+                hit: false,
+                cycle: 0,
+                pq_free: 1,
+            },
+            &mut parked,
+        );
+        let img = trained.save_state().expect("save");
+        let mut restored = DsPatch::default();
+        restored.load_state(&img).expect("load");
+        for i in 0..6u64 {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            trained.on_access(&access(0x400, (90 + i) * 4096), &mut a);
+            restored.on_access(&access(0x400, (90 + i) * 4096), &mut b);
+            assert_eq!(a, b, "restored DSPatch must continue bit-identically");
+        }
+        assert_eq!(restored.save_state().expect("resave"), trained.save_state().expect("resave"));
+    }
+
+    #[test]
+    fn load_state_rejects_hostile_images() {
+        let trained = DsPatch::default();
+        let img = trained.save_state().expect("save");
+        // Config mismatch.
+        let mut other =
+            DsPatch::new(DsPatchConfig { spt_entries: 64, ..DsPatchConfig::default() });
+        assert_eq!(other.load_state(&img).expect_err("cfg").kind_tag(), "config-mismatch");
+        // Forge an over-saturated CovP measure in SPT entry 0
+        // (layout: count u32, then covp u64 + accp u64 + accp_valid u8
+        // + measure u8 + valid u8 per entry).
+        let mut forged = img.clone();
+        let spt = forged.sections.iter_mut().find(|s| s.name == "spt").expect("spt");
+        spt.bytes[4 + 8 + 8 + 1] = 9;
+        let mut fresh = DsPatch::default();
+        let err = fresh.load_state(&forged).expect_err("measure bound");
+        assert_eq!(err.kind_tag(), "corrupt");
+        // Forge a pending-count larger than the queue capacity.
+        let mut forged = img.clone();
+        let replay = forged.sections.iter_mut().find(|s| s.name == "replay").expect("replay");
+        replay.bytes[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = fresh.load_state(&forged).expect_err("pending bound");
+        assert_eq!(err.kind_tag(), "corrupt");
     }
 
     #[test]

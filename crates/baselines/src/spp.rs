@@ -10,9 +10,10 @@
 //! program features, trained online from prefetch-outcome feedback.
 
 use pmp_prefetch::{
-    AccessInfo, EvictInfo, FeedbackKind, Gauge, Introspect, PrefetchRequest, Prefetcher,
+    AccessInfo, ByteReader, ByteWriter, EvictInfo, FeedbackKind, Gauge, Introspect,
+    PrefetchRequest, Prefetcher, SnapshotError, StateImage,
 };
-use pmp_types::{CacheLevel, LineAddr, Pc, PAGE_BYTES};
+use pmp_types::{config_fingerprint, CacheLevel, LineAddr, Pc, PAGE_BYTES};
 
 const LINES_PER_PAGE: u64 = PAGE_BYTES / 64;
 
@@ -334,6 +335,210 @@ impl Prefetcher for SppPpf {
         let issued = self.cfg.issued_entries as u64 * (32 + PPF_FEATURES as u64 * 10 + 1);
         st + pt + ppf + issued
     }
+
+    /// Serialize the signature table, pattern table, perceptron
+    /// weights, and in-flight issued records into named sections.
+    fn save_state(&self) -> Result<StateImage, SnapshotError> {
+        let fp = config_fingerprint(&format!("{:?}", self.cfg));
+        let mut img = StateImage::new(self.name(), fp);
+
+        let mut w = ByteWriter::new();
+        w.put_u32(self.st.len() as u32);
+        for e in &self.st {
+            w.put_u64(e.page);
+            w.put_u8(e.last_offset);
+            w.put_u16(e.signature);
+            w.put_bool(e.valid);
+        }
+        img.push_section("st", w.into_bytes());
+
+        let mut w = ByteWriter::new();
+        w.put_u32(self.pt.len() as u32);
+        for e in &self.pt {
+            w.put_u8(e.c_sig);
+            for s in &e.slots {
+                w.put_u8(s.delta as u8);
+                w.put_u8(s.c_delta);
+            }
+        }
+        img.push_section("pt", w.into_bytes());
+
+        let mut w = ByteWriter::new();
+        w.put_u32(self.weights.len() as u32);
+        for row in &self.weights {
+            for &v in row {
+                w.put_u8(v as u8);
+            }
+        }
+        img.push_section("weights", w.into_bytes());
+
+        let mut w = ByteWriter::new();
+        w.put_u32(self.issued.len() as u32);
+        w.put_u32(self.issued_next as u32);
+        for r in &self.issued {
+            w.put_u64(r.line);
+            for &f in &r.features {
+                w.put_u64(f as u64);
+            }
+            w.put_bool(r.valid);
+        }
+        img.push_section("issued", w.into_bytes());
+        Ok(img)
+    }
+
+    /// Restore state saved by an identically configured SPP+PPF. All
+    /// sections decode into temporaries first; every table index and
+    /// counter is bounds-checked so a hostile image cannot plant an
+    /// out-of-range perceptron feature or a signature wider than the
+    /// 12-bit path.
+    fn load_state(&mut self, image: &StateImage) -> Result<(), SnapshotError> {
+        if image.kind != self.name() {
+            return Err(SnapshotError::KindMismatch {
+                found: image.kind.clone(),
+                expected: self.name().to_string(),
+            });
+        }
+        let fp = config_fingerprint(&format!("{:?}", self.cfg));
+        if image.config_fingerprint != fp {
+            return Err(SnapshotError::ConfigMismatch {
+                found: image.config_fingerprint,
+                expected: fp,
+            });
+        }
+
+        let ctx = "section st";
+        let mut r = ByteReader::new(image.section("st")?, ctx);
+        let count = r.take_u32()? as usize;
+        if count != self.cfg.st_entries {
+            return Err(SnapshotError::corrupt(
+                ctx,
+                format!("ST entry count {count}, expected {}", self.cfg.st_entries),
+            ));
+        }
+        let mut st = Vec::with_capacity(count);
+        for _ in 0..count {
+            let e = StEntry {
+                page: r.take_u64()?,
+                last_offset: r.take_u8()?,
+                signature: r.take_u16()?,
+                valid: r.take_bool()?,
+            };
+            if e.valid && u64::from(e.last_offset) >= LINES_PER_PAGE {
+                return Err(SnapshotError::corrupt(
+                    ctx,
+                    format!("last offset {} outside the page", e.last_offset),
+                ));
+            }
+            if e.signature > 0xfff {
+                return Err(SnapshotError::corrupt(
+                    ctx,
+                    format!("signature {:#x} wider than 12 bits", e.signature),
+                ));
+            }
+            st.push(e);
+        }
+        r.finish()?;
+
+        let ctx = "section pt";
+        let mut r = ByteReader::new(image.section("pt")?, ctx);
+        let count = r.take_u32()? as usize;
+        if count != self.cfg.pt_entries {
+            return Err(SnapshotError::corrupt(
+                ctx,
+                format!("PT entry count {count}, expected {}", self.cfg.pt_entries),
+            ));
+        }
+        let mut pt = Vec::with_capacity(count);
+        for _ in 0..count {
+            let c_sig = r.take_u8()?;
+            let mut slots = [DeltaSlot::default(); 4];
+            for (i, s) in slots.iter_mut().enumerate() {
+                s.delta = r.take_u8()? as i8;
+                s.c_delta = r.take_u8()?;
+                if s.c_delta > c_sig {
+                    return Err(SnapshotError::corrupt(
+                        ctx,
+                        format!("delta confidence {} exceeds c_sig {c_sig}", s.c_delta),
+                    ));
+                }
+                if i >= self.cfg.deltas_per_entry && s.c_delta != 0 {
+                    return Err(SnapshotError::corrupt(
+                        ctx,
+                        format!("trained slot {i} beyond deltas_per_entry"),
+                    ));
+                }
+            }
+            pt.push(PtEntry { c_sig, slots });
+        }
+        r.finish()?;
+
+        let ctx = "section weights";
+        let mut r = ByteReader::new(image.section("weights")?, ctx);
+        let count = r.take_u32()? as usize;
+        if count != self.cfg.ppf_table_entries {
+            return Err(SnapshotError::corrupt(
+                ctx,
+                format!("weight rows {count}, expected {}", self.cfg.ppf_table_entries),
+            ));
+        }
+        let mut weights = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut row = [0i8; PPF_FEATURES];
+            for v in &mut row {
+                *v = r.take_u8()? as i8;
+                if *v < -32 || *v > 31 {
+                    return Err(SnapshotError::corrupt(
+                        ctx,
+                        format!("perceptron weight {v} outside [-32, 31]"),
+                    ));
+                }
+            }
+            weights.push(row);
+        }
+        r.finish()?;
+
+        let ctx = "section issued";
+        let mut r = ByteReader::new(image.section("issued")?, ctx);
+        let count = r.take_u32()? as usize;
+        if count != self.cfg.issued_entries {
+            return Err(SnapshotError::corrupt(
+                ctx,
+                format!("issued entries {count}, expected {}", self.cfg.issued_entries),
+            ));
+        }
+        let issued_next = r.take_u32()? as usize;
+        if issued_next >= count {
+            return Err(SnapshotError::corrupt(
+                ctx,
+                format!("issued cursor {issued_next} outside table of {count}"),
+            ));
+        }
+        let mut issued = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = r.take_u64()?;
+            let mut features = [0usize; PPF_FEATURES];
+            for f in &mut features {
+                let v = r.take_u64()?;
+                if v >= self.cfg.ppf_table_entries as u64 {
+                    return Err(SnapshotError::corrupt(
+                        ctx,
+                        format!("feature index {v} outside the weight table"),
+                    ));
+                }
+                *f = v as usize;
+            }
+            let valid = r.take_bool()?;
+            issued.push(IssuedRecord { line, features, valid });
+        }
+        r.finish()?;
+
+        self.st = st;
+        self.pt = pt;
+        self.weights = weights;
+        self.issued = issued;
+        self.issued_next = issued_next;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -443,6 +648,66 @@ mod tests {
             spp.on_feedback(r.line, FeedbackKind::Useless);
         }
         assert!(gauge(&spp, "ppf_nonzero_weights") > 0.0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_continues_bit_identically() {
+        let mut trained = SppPpf::default();
+        let mut out = Vec::new();
+        for p in 0..20u64 {
+            for i in 0..30u64 {
+                out.clear();
+                trained.on_access(&access(0x400, p * 4096 + (i * 2 % 64) * 64), &mut out);
+            }
+        }
+        for r in out.clone() {
+            trained.on_feedback(r.line, FeedbackKind::Useful);
+        }
+        let img = trained.save_state().expect("save");
+        let mut restored = SppPpf::default();
+        restored.load_state(&img).expect("load");
+        for i in 0..10u64 {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            trained.on_access(&access(0x400, 99 * 4096 + i * 2 * 64), &mut a);
+            restored.on_access(&access(0x400, 99 * 4096 + i * 2 * 64), &mut b);
+            assert_eq!(a, b, "restored SPP must continue bit-identically");
+        }
+        assert_eq!(restored.save_state().expect("resave"), trained.save_state().expect("resave"));
+    }
+
+    #[test]
+    fn load_state_rejects_hostile_images() {
+        let trained = SppPpf::default();
+        let img = trained.save_state().expect("save");
+
+        // Config mismatch.
+        let mut other = SppPpf::new(SppPpfConfig { max_depth: 4, ..SppPpfConfig::default() });
+        assert_eq!(other.load_state(&img).expect_err("cfg").kind_tag(), "config-mismatch");
+
+        // Kind mismatch.
+        let mut wrong_kind = img.clone();
+        wrong_kind.kind = "pmp".to_string();
+        let mut fresh = SppPpf::default();
+        assert_eq!(
+            fresh.load_state(&wrong_kind).expect_err("kind").kind_tag(),
+            "kind-mismatch"
+        );
+
+        // Forge an out-of-range perceptron feature index: decoding must
+        // reject it before any weight lookup could index out of bounds.
+        let mut forged = img.clone();
+        let issued = forged
+            .sections
+            .iter_mut()
+            .find(|s| s.name == "issued")
+            .expect("issued section");
+        // Layout: count u32 + cursor u32, then per record line u64 +
+        // features. Overwrite record 0's feature 0 with u64::MAX.
+        issued.bytes[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = fresh.load_state(&forged).expect_err("feature bounds");
+        assert_eq!(err.kind_tag(), "corrupt");
+        assert!(err.to_string().contains("feature index"), "{err}");
     }
 
     #[test]

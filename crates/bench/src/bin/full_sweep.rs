@@ -13,6 +13,11 @@
 //!   crashing.
 //! * `--no-progress` — suppress the live progress/ETA reporter (also
 //!   `PMP_NO_PROGRESS=1`).
+//! * `--snapshot-dir <dir>` — snapshot each cell's learned prefetcher
+//!   state into `<dir>` after the cell completes (crash-safe writes).
+//! * `--warm-start <dir>` — restore learned state from matching
+//!   snapshots in `<dir>` before each cell runs; missing or invalid
+//!   snapshots degrade to the usual cold start.
 //!
 //! The sweep runs with telemetry on: per-cell spans aggregate into
 //! `results/BENCH_sweep.json` (wall-clock, ops/sec, per-prefetcher
@@ -42,13 +47,34 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let resume = args.iter().any(|a| a == "--resume");
     let inject = args.iter().any(|a| a == "--inject-faults");
-    for a in &args {
-        if a != "--resume" && a != "--fresh" && a != "--inject-faults" && a != "--no-progress" {
-            eprintln!(
-                "unknown flag {a}; expected --resume, --fresh, --inject-faults or --no-progress"
-            );
-            std::process::exit(2);
+    let mut snapshot_dir: Option<PathBuf> = None;
+    let mut warm_start: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        match a.as_str() {
+            "--resume" | "--fresh" | "--inject-faults" | "--no-progress" => {}
+            "--snapshot-dir" | "--warm-start" => {
+                let Some(dir) = args.get(i + 1) else {
+                    eprintln!("{a} requires a directory argument");
+                    std::process::exit(2);
+                };
+                if a == "--snapshot-dir" {
+                    snapshot_dir = Some(PathBuf::from(dir));
+                } else {
+                    warm_start = Some(PathBuf::from(dir));
+                }
+                i += 1;
+            }
+            _ => {
+                eprintln!(
+                    "unknown flag {a}; expected --resume, --fresh, --inject-faults, \
+                     --no-progress, --snapshot-dir <dir> or --warm-start <dir>"
+                );
+                std::process::exit(2);
+            }
         }
+        i += 1;
     }
     std::fs::create_dir_all("results").expect("create results dir");
     match journal::init_global(Path::new("results/journal.jsonl"), resume) {
@@ -66,6 +92,8 @@ fn main() {
     let cfg = RunConfig {
         scale: TraceScale::Small,
         max_cycles: Some(CELL_CYCLE_BUDGET),
+        snapshot_dir,
+        warm_start,
         ..RunConfig::default()
     };
 
@@ -161,6 +189,9 @@ fn main() {
     // `summary.resumed` is already the grid's own journal-hit delta;
     // the injected cells above fail, so they never add resumes.
     eprint!("{}", summary.report());
+    if let Some(warning) = journal::global_write_warning() {
+        eprintln!("WARNING: {warning}");
+    }
     if telemetry::write_sweep_json(
         Path::new("results/BENCH_sweep.json"),
         "full_sweep",

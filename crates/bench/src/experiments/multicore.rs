@@ -129,7 +129,7 @@ pub fn fig13(scale: TraceScale) -> String {
     kinds.extend(PrefetcherKind::paper_five());
     kinds.push(PrefetcherKind::PmpLimit);
 
-    let cfg = RunConfig { scale, system: SystemConfig::quad_core(), max_cycles: None };
+    let cfg = RunConfig { scale, system: SystemConfig::quad_core(), ..RunConfig::default() };
     let (outs, summary) = run_grid(&cells, &kinds, &cfg);
     let by_cell: HashMap<(&str, &str), &RunOutcome> =
         outs.iter().map(|o| ((o.prefetcher.as_str(), o.trace.as_str()), o)).collect();
@@ -189,7 +189,7 @@ mod tests {
         let cfg = RunConfig {
             scale: TraceScale::Tiny,
             system: SystemConfig::quad_core(),
-            max_cycles: None,
+            ..RunConfig::default()
         };
         let base = crate::runner::run_mix_checked(&mix, &PrefetcherKind::None, &cfg)
             .expect("baseline mix");

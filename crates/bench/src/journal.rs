@@ -79,11 +79,31 @@ pub struct ResumeInfo {
 }
 
 /// An append-only journal of completed cells, keyed by cell key.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct Journal {
     entries: HashMap<String, JournalEntry>,
-    writer: Option<BufWriter<std::fs::File>>,
+    /// `wall_ms` of every record found on disk at open time — harvested
+    /// even on a fresh (truncating) open, so the scheduler's cost model
+    /// can seed from a prior run's measured cell costs.
+    wall_hints: HashMap<String, u64>,
+    writer: Option<Box<dyn Write + Send>>,
     hits: u64,
+    /// Appends that never reached the writer (disk full, IO error).
+    dropped: u64,
+    /// The last append error, for the end-of-sweep warning.
+    last_error: Option<String>,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("entries", &self.entries.len())
+            .field("wall_hints", &self.wall_hints.len())
+            .field("writer", &self.writer.is_some())
+            .field("hits", &self.hits)
+            .field("dropped", &self.dropped)
+            .finish()
+    }
 }
 
 impl Journal {
@@ -92,9 +112,17 @@ impl Journal {
         Journal::default()
     }
 
+    /// An in-memory journal appending through `writer` — the test seam
+    /// for exercising append failures without a real full disk.
+    pub fn with_writer(writer: Box<dyn Write + Send>) -> Self {
+        Journal { writer: Some(writer), ..Journal::default() }
+    }
+
     /// Open (append mode) the journal at `path`. With `resume` the
     /// existing records are loaded for reuse; without it the file is
-    /// truncated and the sweep starts fresh.
+    /// truncated and the sweep starts fresh. Either way, the `wall_ms`
+    /// of every parseable existing record is harvested first as a
+    /// [`Journal::cost_hint_ms`] for the scheduler's cost model.
     ///
     /// # Errors
     ///
@@ -108,22 +136,27 @@ impl Journal {
         }
         let mut journal = Journal::default();
         let mut info = ResumeInfo::default();
-        if resume {
-            match std::fs::read_to_string(path) {
-                Ok(body) => {
-                    for line in body.lines().filter(|l| !l.trim().is_empty()) {
-                        match parse_record(line) {
-                            Some((key, entry)) => {
+        match std::fs::read_to_string(path) {
+            Ok(body) => {
+                for line in body.lines().filter(|l| !l.trim().is_empty()) {
+                    match parse_record(line) {
+                        Some((key, entry)) => {
+                            journal.wall_hints.insert(key.clone(), entry.wall_ms);
+                            if resume {
                                 journal.entries.insert(key, entry);
                             }
-                            None => info.skipped += 1,
                         }
+                        None if resume => info.skipped += 1,
+                        None => {}
                     }
-                    info.loaded = journal.entries.len();
                 }
-                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-                Err(e) => return Err(e),
+                info.loaded = journal.entries.len();
             }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) if resume => return Err(e),
+            // A fresh open truncates anyway: unreadable old content
+            // only costs the cost hints.
+            Err(_) => {}
         }
         let file = OpenOptions::new()
             .create(true)
@@ -131,7 +164,7 @@ impl Journal {
             .write(true)
             .truncate(!resume)
             .open(path)?;
-        journal.writer = Some(BufWriter::new(file));
+        journal.writer = Some(Box::new(BufWriter::new(file)));
         Ok((journal, info))
     }
 
@@ -170,15 +203,47 @@ impl Journal {
 
     /// Record a completed cell and flush it to disk immediately (a
     /// crash right after must not lose the cell).
+    ///
+    /// Durability is best-effort — a full disk must not kill a sweep
+    /// still holding healthy in-memory results — but append failures
+    /// are counted and surfaced via [`Journal::write_warning`] instead
+    /// of vanishing: the operator learns the checkpoint is incomplete.
     pub fn record(&mut self, key: &str, entry: JournalEntry) {
         let line = render_record(key, &entry);
         if let Some(w) = &mut self.writer {
-            // Best-effort durability: a full disk must not kill the
-            // sweep that still has healthy in-memory results to report.
-            let _ = writeln!(w, "{line}");
-            let _ = w.flush();
+            if let Err(e) = writeln!(w, "{line}").and_then(|()| w.flush()) {
+                self.dropped += 1;
+                self.last_error = Some(e.to_string());
+            }
         }
         self.entries.insert(key.to_string(), entry);
+    }
+
+    /// Appends that failed to persist since the journal was opened.
+    pub fn dropped_appends(&self) -> u64 {
+        self.dropped
+    }
+
+    /// A human-readable warning when any append failed to persist, or
+    /// `None` when the on-disk checkpoint is complete.
+    pub fn write_warning(&self) -> Option<String> {
+        (self.dropped > 0).then(|| {
+            format!(
+                "journal: {} append(s) failed to persist ({}); \
+                 the checkpoint is incomplete and a --resume will re-run those cells",
+                self.dropped,
+                self.last_error.as_deref().unwrap_or("unknown error"),
+            )
+        })
+    }
+
+    /// The wall-clock cost (`wall_ms`) recorded for `key` by a prior
+    /// run's journal, if any — `None` for unknown keys and for
+    /// pre-telemetry records whose cost was never measured. The
+    /// scheduler prefers these measured costs over histogram estimates
+    /// when ordering a fresh sweep.
+    pub fn cost_hint_ms(&self, key: &str) -> Option<u64> {
+        self.wall_hints.get(key).copied().filter(|&ms| ms > 0)
     }
 
     /// Completed cells currently known.
@@ -270,6 +335,19 @@ pub fn global_record(key: &str, entry: JournalEntry) {
 /// Lookups served from the global journal so far (resume hit count).
 pub fn global_hits() -> u64 {
     global_slot().as_ref().map_or(0, Journal::hits)
+}
+
+/// Prior-run cost hint for a cell key (None when inactive or unknown).
+/// See [`Journal::cost_hint_ms`].
+pub fn global_cost_hint_ms(key: &str) -> Option<u64> {
+    global_slot().as_ref().and_then(|j| j.cost_hint_ms(key))
+}
+
+/// End-of-sweep warning when any journal append failed to persist
+/// (None when inactive or when the checkpoint is complete). See
+/// [`Journal::write_warning`].
+pub fn global_write_warning() -> Option<String> {
+    global_slot().as_ref().and_then(Journal::write_warning)
 }
 
 // ---------------------------------------------------------------------
@@ -589,6 +667,59 @@ mod tests {
         assert_eq!(journal.hits(), 0, "peeks must not count as resumes");
         assert!(journal.lookup("cell-x").is_some());
         assert_eq!(journal.hits(), 1);
+    }
+
+    /// A writer that fails every write, like a full disk that stays
+    /// full.
+    struct BrokenWriter;
+    impl Write for BrokenWriter {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::Error::new(io::ErrorKind::StorageFull, "disk full"))
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn failed_appends_warn_but_do_not_abort() {
+        let mut journal = Journal::with_writer(Box::new(BrokenWriter));
+        assert!(journal.write_warning().is_none(), "clean journal has no warning");
+        journal.record("cell-a", sample_entry());
+        journal.record("cell-b", sample_entry());
+        // Both cells are still served from memory: the sweep continues.
+        assert!(journal.lookup("cell-a").is_some());
+        assert!(journal.lookup("cell-b").is_some());
+        assert_eq!(journal.dropped_appends(), 2);
+        let warning = journal.write_warning().expect("failures must surface");
+        assert!(warning.contains("2 append(s)"), "{warning}");
+        assert!(warning.contains("disk full"), "{warning}");
+    }
+
+    #[test]
+    fn fresh_open_harvests_cost_hints_before_truncating() {
+        let dir = std::env::temp_dir().join("pmp_journal_hints_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("journal.jsonl");
+        {
+            let (mut journal, _) = Journal::open(&path, false).expect("open");
+            journal.record("cell-a", sample_entry()); // wall_ms 137
+            let mut zero = sample_entry();
+            zero.wall_ms = 0; // pre-telemetry record: no usable hint
+            journal.record("cell-z", zero);
+        }
+        let (journal, info) = Journal::open(&path, false).expect("fresh reopen");
+        assert_eq!(info.loaded, 0, "fresh open must not resume entries");
+        assert!(journal.is_empty());
+        assert_eq!(journal.cost_hint_ms("cell-a"), Some(137), "hint survives truncation");
+        assert_eq!(journal.cost_hint_ms("cell-z"), None, "zero-cost records hint nothing");
+        assert_eq!(journal.cost_hint_ms("cell-missing"), None);
+        assert_eq!(
+            std::fs::read_to_string(&path).expect("read").len(),
+            0,
+            "the file itself is still truncated"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

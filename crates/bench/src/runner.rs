@@ -39,6 +39,18 @@ pub struct RunConfig {
     /// it is aborted with [`HarnessError::Timeout`]. `None` disables
     /// the guard (the historical behaviour).
     pub max_cycles: Option<u64>,
+    /// When set, each executed cell snapshots its learned prefetcher
+    /// state into this directory after completing (crash-safe writes;
+    /// one file per cell, per core for mixes). Failures to snapshot
+    /// never fail a completed cell. Not part of the journal
+    /// fingerprint: snapshotting does not change results.
+    pub snapshot_dir: Option<PathBuf>,
+    /// When set, each cell tries to restore learned prefetcher state
+    /// from a matching snapshot in this directory before running; a
+    /// missing or invalid snapshot degrades to the usual cold start.
+    /// Part of the journal fingerprint (a warm-started cell's result
+    /// is not the cold cell's result).
+    pub warm_start: Option<PathBuf>,
 }
 
 impl Default for RunConfig {
@@ -47,15 +59,24 @@ impl Default for RunConfig {
             scale: TraceScale::Standard,
             system: SystemConfig::single_core(),
             max_cycles: None,
+            snapshot_dir: None,
+            warm_start: None,
         }
     }
 }
 
 impl RunConfig {
     /// The fingerprint input for journal cell keys: everything that
-    /// affects a cell's result beyond trace name and scale.
+    /// affects a cell's result beyond trace name and scale. The warm
+    /// start source is included only when set, so cold-run keys are
+    /// unchanged from historical journals.
     fn fingerprint_input(&self, kind: &PrefetcherKind) -> String {
-        format!("{:?}|{:?}|{:?}", kind, self.system, self.max_cycles)
+        let mut fp = format!("{:?}|{:?}|{:?}", kind, self.system, self.max_cycles);
+        if let Some(dir) = &self.warm_start {
+            use std::fmt::Write as _;
+            let _ = write!(fp, "|warm:{}", dir.display());
+        }
+        fp
     }
 
     pub(crate) fn cell_key(&self, trace: &str, kind: &PrefetcherKind) -> String {
@@ -245,15 +266,49 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// The deterministic snapshot file name for one cell (one core of a
+/// mix uses the `name#cN` form): trace/mix name and prefetcher label,
+/// sanitized to a flat filename.
+pub(crate) fn snapshot_file_name(cell: &str, label: &str) -> String {
+    let sanitize = |s: &str| {
+        s.chars()
+            .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '-' | '.') { c } else { '_' })
+            .collect::<String>()
+    };
+    format!("{}__{}.pmps", sanitize(cell), sanitize(label))
+}
+
 /// Run one materialised trace under one prefetcher inside the
-/// robustness boundary (panic isolation + optional watchdog).
-fn run_isolated(trace: &Trace, kind: &PrefetcherKind, cfg: &RunConfig) -> Result<SimResult, HarnessError> {
+/// robustness boundary (panic isolation + optional watchdog), with the
+/// warm-start restore before and the snapshot write after when the
+/// config asks for them.
+fn run_isolated(
+    trace: &Trace,
+    kind: &PrefetcherKind,
+    cfg: &RunConfig,
+    cell_name: &str,
+) -> Result<SimResult, HarnessError> {
     let attempt = catch_unwind(AssertUnwindSafe(|| {
         let mut sys = System::new(cfg.system.clone(), kind.build());
-        match cfg.max_cycles {
+        if let Some(dir) = &cfg.warm_start {
+            // A missing, foreign, or corrupt snapshot degrades to the
+            // usual cold start: restore_from validates everything and
+            // leaves the fresh prefetcher untouched on any error.
+            let _ = sys.restore_from(&dir.join(snapshot_file_name(cell_name, &kind.label())));
+        }
+        let result = match cfg.max_cycles {
             Some(budget) => sys.run_bounded(&trace.ops, cfg.scale.warmup_instructions(), budget),
             None => Ok(sys.run(&trace.ops, cfg.scale.warmup_instructions())),
+        };
+        if result.is_ok() {
+            if let Some(dir) = &cfg.snapshot_dir {
+                // A failed snapshot (disk full, unsupported prefetcher)
+                // must not fail the completed cell; the crash-safe
+                // writer guarantees no torn file either way.
+                let _ = sys.snapshot_to(&dir.join(snapshot_file_name(cell_name, &kind.label())));
+            }
         }
+        result
     }));
     match attempt {
         Ok(result) => result,
@@ -353,7 +408,7 @@ pub(crate) fn run_trace_cached(
             return fail(HarnessError::Panic { message: panic_message(payload) })
         }
     };
-    match run_isolated(&trace, kind, cfg) {
+    match run_isolated(&trace, kind, cfg, &spec.name) {
         Ok(result) => {
             let wall_ms = start.elapsed().as_millis() as u64;
             telemetry::cell_finished(ok_span(
@@ -430,7 +485,7 @@ pub(crate) fn run_file_cached(
         Ok(trace) => trace,
         Err(e) => return fail(HarnessError::trace_io(&name, e)),
     };
-    match run_isolated(&trace, kind, cfg) {
+    match run_isolated(&trace, kind, cfg, &name) {
         Ok(result) => {
             let wall_ms = start.elapsed().as_millis() as u64;
             telemetry::cell_finished(ok_span(
@@ -523,12 +578,32 @@ pub(crate) fn run_mix_cached(
     let attempt = catch_unwind(AssertUnwindSafe(|| {
         let prefetchers = (0..mix.specs.len()).map(|_| kind.build()).collect();
         let mut sys = MultiCoreSystem::new(cfg.system.clone(), prefetchers);
+        if let Some(dir) = &cfg.warm_start {
+            for i in 0..mix.specs.len() {
+                // Per-core restore; any miss degrades that core to cold.
+                let _ = sys.restore_core_from(
+                    i,
+                    &dir.join(snapshot_file_name(&format!("{}#c{i}", mix.name), &label)),
+                );
+            }
+        }
         let refs: Vec<_> = traces.iter().map(|t| t.ops.as_slice()).collect();
         let warmup = cfg.scale.warmup_instructions();
-        match cfg.max_cycles {
+        let result = match cfg.max_cycles {
             Some(budget) => sys.run_bounded(&refs, warmup, measure, budget),
             None => Ok(sys.run(&refs, warmup, measure)),
+        };
+        if result.is_ok() {
+            if let Some(dir) = &cfg.snapshot_dir {
+                for i in 0..mix.specs.len() {
+                    let _ = sys.snapshot_core_to(
+                        i,
+                        &dir.join(snapshot_file_name(&format!("{}#c{i}", mix.name), &label)),
+                    );
+                }
+            }
         }
+        result
     }));
     let result = match attempt {
         Ok(Ok(result)) => result,
@@ -1006,7 +1081,7 @@ mod tests {
         let cfg = RunConfig {
             scale: TraceScale::Tiny,
             system: SystemConfig::quad_core(),
-            max_cycles: None,
+            ..RunConfig::default()
         };
         let out = run_mix_checked(&mix, &PrefetcherKind::None, &cfg).expect("healthy mix");
         assert_eq!(out.trace, "test-mix");
@@ -1027,6 +1102,7 @@ mod tests {
             scale: TraceScale::Tiny,
             system: SystemConfig::quad_core(),
             max_cycles: Some(50),
+            ..RunConfig::default()
         };
         let failure = run_mix_checked(&mix, &PrefetcherKind::None, &cfg)
             .expect_err("50 cycles cannot finish a mix");

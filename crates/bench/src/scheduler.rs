@@ -66,6 +66,21 @@ fn expected_cost_ms(cell: &CellSpec, kind: &PrefetcherKind, cfg: &RunConfig) -> 
     if journaled {
         return 0.0;
     }
+    // A prior run's journal measured this exact cell (same key, so the
+    // same trace, prefetcher parameterisation, and system config):
+    // that beats any histogram estimate. Mix cells record the whole
+    // cell's wall once per core key — take the max.
+    let hint = match cell {
+        CellSpec::Mix(mix) => cfg
+            .mix_keys(mix, kind)
+            .iter()
+            .filter_map(|k| journal::global_cost_hint_ms(k))
+            .max(),
+        _ => journal::global_cost_hint_ms(&cfg.cell_key(&cell.name(), kind)),
+    };
+    if let Some(ms) = hint {
+        return ms as f64;
+    }
     let family = match cell {
         CellSpec::Synthetic(spec) => spec.archetype.tag(),
         CellSpec::File(_) => "file",
@@ -139,10 +154,15 @@ pub fn run_product(
 mod tests {
     use super::*;
     use pmp_traces::{catalog, TraceScale};
+    use std::sync::Mutex;
 
     fn tiny_cfg() -> RunConfig {
         RunConfig { scale: TraceScale::Tiny, ..RunConfig::default() }
     }
+
+    /// Tests that install or clear the process-wide journal serialise
+    /// on this lock so they cannot see each other's state.
+    static GLOBAL_JOURNAL_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn product_preserves_grid_order() {
@@ -163,6 +183,7 @@ mod tests {
 
     #[test]
     fn cost_model_orders_journaled_cells_last() {
+        let _guard = GLOBAL_JOURNAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let cell = CellSpec::Synthetic(catalog()[0].clone());
         let cfg = tiny_cfg();
         journal::clear_global();
@@ -171,5 +192,57 @@ mod tests {
         let mix = CellSpec::Mix(Box::new(crate::runner::MixCell::homogeneous(&catalog()[0])));
         let mix_cost = expected_cost_ms(&mix, &PrefetcherKind::None, &cfg);
         assert!(mix_cost > unjournaled, "mixes are weighted heavier under the prior");
+    }
+
+    #[test]
+    fn cost_model_prefers_journaled_wall_hints() {
+        let _guard = GLOBAL_JOURNAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let spec = catalog()[2].clone();
+        let cfg = tiny_cfg();
+        let kind = PrefetcherKind::NextLine;
+        let key = cfg.cell_key(&spec.name, &kind);
+        let cell = CellSpec::Synthetic(spec);
+
+        // Seed an on-disk journal with a measured cost for this exact
+        // cell, then reopen FRESH: the entry must not resume, but its
+        // wall_ms must still steer the cost model.
+        let dir = std::env::temp_dir().join(format!("pmp_sched_hints_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("journal.jsonl");
+        {
+            let (mut j, _) = journal::Journal::open(&path, false).expect("seed journal");
+            j.record(
+                &key,
+                journal::JournalEntry {
+                    trace: cell.name(),
+                    suite: pmp_traces::Suite::Spec06,
+                    prefetcher: kind.label(),
+                    instructions: 1,
+                    cycles: 1,
+                    wall_ms: 5_000,
+                    outcome: "ok".into(),
+                    stats: Default::default(),
+                },
+            );
+        }
+        let (fresh, info) = journal::Journal::open(&path, false).expect("fresh reopen");
+        assert_eq!(info.loaded, 0);
+        journal::install_global(fresh);
+        let hinted = expected_cost_ms(&cell, &kind, &cfg);
+        assert!(
+            (hinted - 5_000.0).abs() < f64::EPSILON,
+            "measured prior-run cost must win over the {DEFAULT_CELL_MS}ms prior, got {hinted}"
+        );
+        // A cell the old journal never saw still gets the flat prior.
+        let unknown = expected_cost_ms(
+            &CellSpec::Synthetic(catalog()[3].clone()),
+            &PrefetcherKind::None,
+            &cfg,
+        );
+        assert!((unknown - DEFAULT_CELL_MS).abs() < f64::EPSILON, "got {unknown}");
+        // The hinted cell therefore sorts ahead of unhinted ones.
+        assert!(hinted > unknown);
+        journal::clear_global();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -9,6 +9,8 @@
 //! coverage. This is the classic feedback-directed-prefetching idea
 //! applied to PMP's frequency thresholds.
 
+use pmp_types::{ByteReader, ByteWriter, SnapshotError};
+
 /// Hysteresis controller for the AFE L1D threshold.
 #[derive(Debug, Clone)]
 pub struct ThresholdController {
@@ -67,6 +69,59 @@ impl ThresholdController {
         }
         (self.t_l1d - old).abs() > 1e-12
     }
+
+    /// Append the controller's full state to a snapshot section.
+    pub(crate) fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_u32(self.useful);
+        w.put_u32(self.useless);
+        w.put_u32(self.window);
+        w.put_f64(self.t_l1d);
+        w.put_f64(self.floor);
+        w.put_f64(self.ceiling);
+        w.put_f64(self.low_watermark);
+        w.put_f64(self.high_watermark);
+    }
+
+    /// Rebuild a controller from snapshot bytes, validating the window
+    /// accounting and that the threshold sits inside its band.
+    pub(crate) fn decode_state(
+        r: &mut ByteReader<'_>,
+        context: &str,
+    ) -> Result<ThresholdController, SnapshotError> {
+        let useful = r.take_u32()?;
+        let useless = r.take_u32()?;
+        let window = r.take_u32()?;
+        let t_l1d = r.take_f64()?;
+        let floor = r.take_f64()?;
+        let ceiling = r.take_f64()?;
+        let low_watermark = r.take_f64()?;
+        let high_watermark = r.take_f64()?;
+        if window == 0 || u64::from(useful) + u64::from(useless) >= u64::from(window) {
+            return Err(SnapshotError::corrupt(
+                context,
+                format!("outcome counts {useful}+{useless} overflow window {window}"),
+            ));
+        }
+        if !(t_l1d.is_finite() && floor.is_finite() && ceiling.is_finite()) {
+            return Err(SnapshotError::corrupt(context, "non-finite threshold".to_string()));
+        }
+        if t_l1d < floor - 1e-12 || t_l1d > ceiling + 1e-12 {
+            return Err(SnapshotError::corrupt(
+                context,
+                format!("threshold {t_l1d} outside band [{floor}, {ceiling}]"),
+            ));
+        }
+        Ok(ThresholdController {
+            useful,
+            useless,
+            window,
+            t_l1d,
+            floor,
+            ceiling,
+            low_watermark,
+            high_watermark,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -104,6 +159,38 @@ mod tests {
             c.record(true);
         }
         assert!((c.t_l1d() - 0.3).abs() < 1e-12, "floor respected");
+    }
+
+    #[test]
+    fn state_round_trips_and_rejects_out_of_band_threshold() {
+        let mut c = ThresholdController::default();
+        for i in 0..700 {
+            c.record(i % 4 == 0);
+        }
+        let mut w = ByteWriter::new();
+        c.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "tc");
+        let back = ThresholdController::decode_state(&mut r, "tc").expect("decode");
+        r.finish().expect("exact consumption");
+        let mut w2 = ByteWriter::new();
+        back.encode_state(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes, "re-encode must be byte-identical");
+        assert_eq!(back.t_l1d(), c.t_l1d());
+        // Forge a threshold above the ceiling.
+        let mut w = ByteWriter::new();
+        w.put_u32(0);
+        w.put_u32(0);
+        w.put_u32(512);
+        w.put_f64(0.95);
+        w.put_f64(0.3);
+        w.put_f64(0.8);
+        w.put_f64(0.55);
+        w.put_f64(0.75);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "tc");
+        let err = ThresholdController::decode_state(&mut r, "tc").expect_err("out of band");
+        assert_eq!(err.kind_tag(), "corrupt");
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! relative to the triggering line, and resumes from the buffer when a
 //! later load touches the same region.
 
-use pmp_types::{CacheLevel, PrefetchPattern, RegionAddr};
+use pmp_types::{
+    ByteReader, ByteWriter, CacheLevel, PrefetchPattern, RegionAddr, SnapshotError,
+};
 
 #[derive(Debug, Clone)]
 struct PbEntry {
@@ -175,6 +177,91 @@ impl PrefetchBuffer {
         let per = tag + 2 * (u64::from(self.pattern_len) - 1) + 4;
         self.entries.len() as u64 * per
     }
+
+    /// Append the buffer's full state to a snapshot section. Per-offset
+    /// targets encode as one byte: 0 = none, 1 = L1D, 2 = L2C, 3 = LLC.
+    pub(crate) fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_u32(self.entries.len() as u32);
+        w.put_u32(self.pattern_len);
+        w.put_u64(self.clock);
+        for e in &self.entries {
+            w.put_u64(e.region.0);
+            w.put_u8(e.trigger_offset);
+            w.put_u64(e.low_level_issued as u64);
+            w.put_u64(e.lru);
+            w.put_bool(e.valid);
+            for off in 0..self.pattern_len {
+                w.put_u8(match e.pattern.target(off as u8).level() {
+                    None => 0,
+                    Some(CacheLevel::L1D) => 1,
+                    Some(CacheLevel::L2C) => 2,
+                    Some(CacheLevel::Llc) => 3,
+                });
+            }
+        }
+    }
+
+    /// Rebuild a buffer from snapshot bytes, validating geometry and
+    /// every per-entry invariant against the expected configuration.
+    pub(crate) fn decode_state(
+        r: &mut ByteReader<'_>,
+        expected_capacity: usize,
+        expected_len: u32,
+        context: &str,
+    ) -> Result<PrefetchBuffer, SnapshotError> {
+        let capacity = r.take_u32()? as usize;
+        if capacity != expected_capacity {
+            return Err(SnapshotError::corrupt(
+                context,
+                format!("buffer capacity {capacity}, expected {expected_capacity}"),
+            ));
+        }
+        let pattern_len = r.take_u32()?;
+        if pattern_len != expected_len {
+            return Err(SnapshotError::corrupt(
+                context,
+                format!("buffer pattern length {pattern_len}, expected {expected_len}"),
+            ));
+        }
+        let clock = r.take_u64()?;
+        let mut entries = Vec::with_capacity(capacity);
+        for _ in 0..capacity {
+            let region = RegionAddr(r.take_u64()?);
+            let trigger_offset = r.take_u8()?;
+            let low_level_issued = r.take_u64()? as usize;
+            let lru = r.take_u64()?;
+            let valid = r.take_bool()?;
+            if valid && u32::from(trigger_offset) >= pattern_len {
+                return Err(SnapshotError::corrupt(
+                    context,
+                    format!("trigger offset {trigger_offset} out of pattern {pattern_len}"),
+                ));
+            }
+            if lru > clock {
+                return Err(SnapshotError::corrupt(
+                    context,
+                    format!("entry LRU stamp {lru} ahead of clock {clock}"),
+                ));
+            }
+            let mut pattern = PrefetchPattern::new(pattern_len);
+            for off in 0..pattern_len {
+                match r.take_u8()? {
+                    0 => {}
+                    1 => pattern.set(off as u8, CacheLevel::L1D),
+                    2 => pattern.set(off as u8, CacheLevel::L2C),
+                    3 => pattern.set(off as u8, CacheLevel::Llc),
+                    t => {
+                        return Err(SnapshotError::corrupt(
+                            context,
+                            format!("unknown prefetch target tag {t}"),
+                        ))
+                    }
+                }
+            }
+            entries.push(PbEntry { region, trigger_offset, pattern, low_level_issued, lru, valid });
+        }
+        Ok(PrefetchBuffer { entries, clock, pattern_len })
+    }
 }
 
 #[cfg(test)]
@@ -280,5 +367,44 @@ mod tests {
         let pb = PrefetchBuffer::new(16, 64);
         // 16 × (36 + 126 + 4) = 2656 bits = 332 bytes.
         assert_eq!(pb.storage_bits(), 332 * 8);
+    }
+
+    #[test]
+    fn state_round_trips_bit_identically() {
+        let mut pb = PrefetchBuffer::new(4, 8);
+        pb.insert(RegionAddr(3), 2, pattern(8, &[(1, CacheLevel::L1D), (5, CacheLevel::L2C)]));
+        pb.insert(RegionAddr(9), 7, pattern(8, &[(3, CacheLevel::Llc)]));
+        pb.pop_targets(RegionAddr(3), 2, 1, Some(1));
+        let mut w = ByteWriter::new();
+        pb.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "pb");
+        let back = PrefetchBuffer::decode_state(&mut r, 4, 8, "pb").expect("decode");
+        r.finish().expect("exact consumption");
+        let mut w2 = ByteWriter::new();
+        back.encode_state(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes, "re-encode must be byte-identical");
+        assert!(back.contains(RegionAddr(3)));
+        assert!(back.contains(RegionAddr(9)));
+    }
+
+    #[test]
+    fn decode_rejects_forged_payloads() {
+        let pb = PrefetchBuffer::new(2, 8);
+        let mut w = ByteWriter::new();
+        pb.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        // Wrong expected capacity and wrong expected pattern length.
+        let mut r = ByteReader::new(&bytes, "pb");
+        assert!(PrefetchBuffer::decode_state(&mut r, 4, 8, "pb").is_err());
+        let mut r = ByteReader::new(&bytes, "pb");
+        assert!(PrefetchBuffer::decode_state(&mut r, 2, 16, "pb").is_err());
+        // Forge an out-of-range target tag in the first entry's pattern.
+        let mut forged = bytes.clone();
+        let first_pattern_at = 4 + 4 + 8 + (8 + 1 + 8 + 8 + 1);
+        forged[first_pattern_at] = 9;
+        let mut r = ByteReader::new(&forged, "pb");
+        let err = PrefetchBuffer::decode_state(&mut r, 2, 8, "pb").expect_err("bad tag");
+        assert_eq!(err.kind_tag(), "corrupt");
     }
 }

@@ -7,7 +7,9 @@
 //! PMP, Bingo, DSPatch, and Design B all train on patterns produced by
 //! this framework, so it lives here as a reusable component.
 
-use pmp_types::{BitPattern, LineAddr, Pc, RegionAddr, RegionGeometry};
+use pmp_types::{
+    BitPattern, ByteReader, ByteWriter, LineAddr, Pc, RegionAddr, RegionGeometry, SnapshotError,
+};
 
 /// Capture-framework geometry and table sizes (defaults from the
 /// paper's Table III: FT 8×8, AT 2×16).
@@ -282,6 +284,130 @@ impl PatternCapture {
         None
     }
 
+    /// Append the engine's complete state — clock, every FT and AT
+    /// entry including LRU stamps (victim selection depends on them) —
+    /// to a snapshot section. Public because DSPatch (in
+    /// `pmp-baselines`) snapshots its capture engine through this too.
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_u64(self.clock);
+        w.put_u32(self.cfg.ft_sets as u32);
+        w.put_u32(self.cfg.ft_ways as u32);
+        for set in &self.ft {
+            for e in set {
+                w.put_u64(e.region.0);
+                w.put_u64(e.pc.0);
+                w.put_u8(e.offset);
+                w.put_u64(e.lru);
+                w.put_bool(e.valid);
+            }
+        }
+        w.put_u32(self.cfg.at_sets as u32);
+        w.put_u32(self.cfg.at_ways as u32);
+        for set in &self.at {
+            for e in set {
+                w.put_u64(e.region.0);
+                w.put_u64(e.pc.0);
+                w.put_u8(e.offset);
+                w.put_u64(e.pattern.bits());
+                w.put_u64(e.lru);
+                w.put_bool(e.valid);
+            }
+        }
+    }
+
+    /// Rebuild a capture engine from snapshot bytes under `cfg`,
+    /// validating geometry (set/way counts must match the restoring
+    /// configuration) and bounds-checking every offset against the
+    /// region size.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Corrupt`] on truncation, geometry mismatch, or
+    /// an out-of-range offset.
+    pub fn decode_state(
+        r: &mut ByteReader<'_>,
+        cfg: &CaptureConfig,
+        context: &str,
+    ) -> Result<PatternCapture, SnapshotError> {
+        let len = cfg.geometry.lines_per_region();
+        let clock = r.take_u64()?;
+        let ft_sets = r.take_u32()? as usize;
+        let ft_ways = r.take_u32()? as usize;
+        if ft_sets != cfg.ft_sets || ft_ways != cfg.ft_ways {
+            return Err(SnapshotError::corrupt(
+                context,
+                format!(
+                    "FT geometry {ft_sets}x{ft_ways}, expected {}x{}",
+                    cfg.ft_sets, cfg.ft_ways
+                ),
+            ));
+        }
+        let mut ft = Vec::with_capacity(ft_sets);
+        for _ in 0..ft_sets {
+            let mut set = Vec::with_capacity(ft_ways);
+            for _ in 0..ft_ways {
+                let region = RegionAddr(r.take_u64()?);
+                let pc = Pc(r.take_u64()?);
+                let offset = r.take_u8()?;
+                let lru = r.take_u64()?;
+                let valid = r.take_bool()?;
+                if valid && u32::from(offset) >= len {
+                    return Err(SnapshotError::corrupt(
+                        context,
+                        format!("FT trigger offset {offset} outside {len}-line region"),
+                    ));
+                }
+                set.push(FtEntry { region, pc, offset, lru, valid });
+            }
+            ft.push(set);
+        }
+        let at_sets = r.take_u32()? as usize;
+        let at_ways = r.take_u32()? as usize;
+        if at_sets != cfg.at_sets || at_ways != cfg.at_ways {
+            return Err(SnapshotError::corrupt(
+                context,
+                format!(
+                    "AT geometry {at_sets}x{at_ways}, expected {}x{}",
+                    cfg.at_sets, cfg.at_ways
+                ),
+            ));
+        }
+        let mut at = Vec::with_capacity(at_sets);
+        for _ in 0..at_sets {
+            let mut set = Vec::with_capacity(at_ways);
+            for _ in 0..at_ways {
+                let region = RegionAddr(r.take_u64()?);
+                let pc = Pc(r.take_u64()?);
+                let offset = r.take_u8()?;
+                let bits = r.take_u64()?;
+                let lru = r.take_u64()?;
+                let valid = r.take_bool()?;
+                if valid && u32::from(offset) >= len {
+                    return Err(SnapshotError::corrupt(
+                        context,
+                        format!("AT trigger offset {offset} outside {len}-line region"),
+                    ));
+                }
+                if len < 64 && bits >> len != 0 {
+                    return Err(SnapshotError::corrupt(
+                        context,
+                        format!("AT pattern bits beyond the {len}-line region"),
+                    ));
+                }
+                set.push(AtEntry {
+                    region,
+                    pc,
+                    offset,
+                    pattern: BitPattern::from_bits(bits, len),
+                    lru,
+                    valid,
+                });
+            }
+            at.push(set);
+        }
+        Ok(PatternCapture { cfg: cfg.clone(), ft, at, clock })
+    }
+
     /// Drain every accumulated pattern (end-of-simulation flush, used
     /// by the analysis tooling to avoid losing in-flight patterns).
     pub fn drain(&mut self) -> Vec<CapturedPattern> {
@@ -401,5 +527,44 @@ mod tests {
         let cfg = CaptureConfig::default();
         // FT 376 bytes + AT 456 bytes.
         assert_eq!(cfg.storage_bits(), (376 + 456) * 8);
+    }
+
+    #[test]
+    fn state_round_trips_bit_identically() {
+        let mut c = PatternCapture::new(CaptureConfig::default());
+        for r in 0..20u64 {
+            c.on_load(Pc(0x400 + r), line(r, r % 8));
+            c.on_load(Pc(0x400 + r), line(r, (r + 3) % 8));
+        }
+        let mut w = ByteWriter::new();
+        c.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "capture");
+        let back = PatternCapture::decode_state(&mut r, &CaptureConfig::default(), "capture")
+            .expect("decode");
+        r.finish().expect("exact consumption");
+        // Re-encoding the restored engine must reproduce the bytes
+        // exactly — clock, LRU stamps, and all.
+        let mut w2 = ByteWriter::new();
+        back.encode_state(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes, "capture state must round-trip bit-identically");
+    }
+
+    #[test]
+    fn decode_rejects_geometry_mismatch_and_bad_offsets() {
+        let c = PatternCapture::new(CaptureConfig::default());
+        let mut w = ByteWriter::new();
+        c.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        // Restoring under different table geometry is corruption.
+        let other = CaptureConfig { ft_sets: 4, ..CaptureConfig::default() };
+        let mut r = ByteReader::new(&bytes, "capture");
+        let err = PatternCapture::decode_state(&mut r, &other, "capture")
+            .expect_err("geometry mismatch");
+        assert_eq!(err.kind_tag(), "corrupt");
+        // Truncation is a typed error, not a panic.
+        let mut r = ByteReader::new(&bytes[..bytes.len() / 2], "capture");
+        assert!(PatternCapture::decode_state(&mut r, &CaptureConfig::default(), "capture")
+            .is_err());
     }
 }

@@ -8,7 +8,7 @@
 //! saturates, every counter is halved, aging old history while keeping
 //! the offsets' access *frequencies* (counter / time) stable.
 
-use pmp_types::BitPattern;
+use pmp_types::{BitPattern, ByteReader, ByteWriter, SnapshotError};
 
 /// A vector of saturating counters merging anchored bit patterns.
 ///
@@ -140,6 +140,59 @@ impl CounterVector {
     pub fn clear(&mut self) {
         self.counters.fill(0);
     }
+
+    /// Append the vector's raw state to a snapshot section.
+    pub(crate) fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_u32(self.len());
+        w.put_u16(self.cap);
+        for &c in &self.counters {
+            w.put_u16(c);
+        }
+    }
+
+    /// Rebuild a vector from snapshot bytes, validating every invariant
+    /// against the expected configuration: length and cap must match
+    /// the restoring table's geometry, and no counter may exceed the
+    /// time counter or the cap (the merge/halving invariants).
+    pub(crate) fn decode_state(
+        r: &mut ByteReader<'_>,
+        expected_len: u32,
+        expected_cap: u16,
+        context: &str,
+    ) -> Result<CounterVector, SnapshotError> {
+        let len = r.take_u32()?;
+        if len != expected_len {
+            return Err(SnapshotError::corrupt(
+                context,
+                format!("counter vector length {len}, expected {expected_len}"),
+            ));
+        }
+        let cap = r.take_u16()?;
+        if cap != expected_cap {
+            return Err(SnapshotError::corrupt(
+                context,
+                format!("counter cap {cap}, expected {expected_cap}"),
+            ));
+        }
+        let mut counters = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            counters.push(r.take_u16()?);
+        }
+        let time = counters[0];
+        if time > cap {
+            return Err(SnapshotError::corrupt(
+                context,
+                format!("time counter {time} exceeds cap {cap}"),
+            ));
+        }
+        if let Some(bad) = counters.iter().find(|&&c| c > time) {
+            return Err(SnapshotError::corrupt(
+                context,
+                format!("counter {bad} exceeds time counter {time}"),
+            ));
+        }
+        Ok(CounterVector { counters, cap })
+    }
 }
 
 #[cfg(test)]
@@ -243,5 +296,44 @@ mod tests {
     fn merge_rejects_length_mismatch() {
         let mut cv = CounterVector::new(8, 5);
         cv.merge(pat(0b1, 16));
+    }
+
+    #[test]
+    fn state_round_trips_bit_identically() {
+        let mut cv = CounterVector::new(8, 3);
+        for i in 0..11u64 {
+            cv.merge(pat(1 | ((i % 13) << 1), 8));
+        }
+        let mut w = ByteWriter::new();
+        cv.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "cv");
+        let back = CounterVector::decode_state(&mut r, 8, cv.cap(), "cv").expect("decode");
+        r.finish().expect("exact consumption");
+        assert_eq!(back, cv);
+    }
+
+    #[test]
+    fn decode_rejects_geometry_and_invariant_violations() {
+        let cv = CounterVector::new(8, 3);
+        let mut w = ByteWriter::new();
+        cv.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        // Wrong expected length.
+        let mut r = ByteReader::new(&bytes, "cv");
+        assert!(CounterVector::decode_state(&mut r, 16, cv.cap(), "cv").is_err());
+        // Wrong expected cap.
+        let mut r = ByteReader::new(&bytes, "cv");
+        assert!(CounterVector::decode_state(&mut r, 8, 31, "cv").is_err());
+        // Counter above the time counter (forged payload).
+        let mut w = ByteWriter::new();
+        w.put_u32(2);
+        w.put_u16(7);
+        w.put_u16(1); // time
+        w.put_u16(5); // > time
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "cv");
+        let err = CounterVector::decode_state(&mut r, 2, 7, "cv").expect_err("invariant");
+        assert_eq!(err.kind_tag(), "corrupt");
     }
 }

@@ -11,7 +11,7 @@
 //! its Prefetch Buffer, so the first accesses there hit instead of
 //! restarting the pipeline.
 
-use pmp_types::RegionAddr;
+use pmp_types::{ByteReader, ByteWriter, RegionAddr, SnapshotError};
 
 /// Confidence-tracked next-region predictor.
 ///
@@ -73,6 +73,62 @@ impl NextRegionPredictor {
             (RegionAddr(next.max(0) as u64), best.1)
         })
     }
+
+    /// Append the predictor's full state to a snapshot section.
+    pub(crate) fn encode_state(&self, w: &mut ByteWriter) {
+        match self.last {
+            Some((region, offset)) => {
+                w.put_bool(true);
+                w.put_u64(region.0);
+                w.put_u8(offset);
+            }
+            None => {
+                w.put_bool(false);
+                w.put_u64(0);
+                w.put_u8(0);
+            }
+        }
+        for &(stride, offset, conf) in &self.ways {
+            w.put_i64(stride);
+            w.put_u8(offset);
+            w.put_u8(conf);
+        }
+        w.put_u8(self.confidence_threshold);
+    }
+
+    /// Rebuild a predictor from snapshot bytes, validating the learned
+    /// strides against the trainable range (non-zero, |stride| ≤ 4) and
+    /// confidences against the 2-bit saturation cap.
+    pub(crate) fn decode_state(
+        r: &mut ByteReader<'_>,
+        context: &str,
+    ) -> Result<NextRegionPredictor, SnapshotError> {
+        let has_last = r.take_bool()?;
+        let region = r.take_u64()?;
+        let offset = r.take_u8()?;
+        let last = has_last.then_some((RegionAddr(region), offset));
+        let mut ways = [(0i64, 0u8, 0u8); 2];
+        for way in &mut ways {
+            let stride = r.take_i64()?;
+            let offset = r.take_u8()?;
+            let conf = r.take_u8()?;
+            if conf > 3 {
+                return Err(SnapshotError::corrupt(
+                    context,
+                    format!("way confidence {conf} exceeds saturation cap 3"),
+                ));
+            }
+            if conf > 0 && (stride == 0 || stride.abs() > 4) {
+                return Err(SnapshotError::corrupt(
+                    context,
+                    format!("trained way has untrainable stride {stride}"),
+                ));
+            }
+            *way = (stride, offset, conf);
+        }
+        let confidence_threshold = r.take_u8()?;
+        Ok(NextRegionPredictor { last, ways, confidence_threshold })
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +177,38 @@ mod tests {
                 panic!("no confident prediction expected under churn");
             }
         }
+    }
+
+    #[test]
+    fn state_round_trips_and_rejects_forgeries() {
+        let mut p = NextRegionPredictor::default();
+        p.observe(RegionAddr(10), 4);
+        p.observe(RegionAddr(11), 4);
+        let mut w = pmp_types::ByteWriter::new();
+        p.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = pmp_types::ByteReader::new(&bytes, "nrp");
+        let mut back = NextRegionPredictor::decode_state(&mut r, "nrp").expect("decode");
+        r.finish().expect("exact consumption");
+        // The restored predictor continues exactly where the original
+        // would: one more confirmation reaches confidence.
+        assert_eq!(back.observe(RegionAddr(12), 4), Some((RegionAddr(13), 4)));
+        // A trained way with an untrainable stride is rejected.
+        let mut w = pmp_types::ByteWriter::new();
+        w.put_bool(false);
+        w.put_u64(0);
+        w.put_u8(0);
+        w.put_i64(99); // |stride| > 4 with conf > 0
+        w.put_u8(0);
+        w.put_u8(2);
+        w.put_i64(0);
+        w.put_u8(0);
+        w.put_u8(0);
+        w.put_u8(2);
+        let bytes = w.into_bytes();
+        let mut r = pmp_types::ByteReader::new(&bytes, "nrp");
+        let err = NextRegionPredictor::decode_state(&mut r, "nrp").expect_err("forged stride");
+        assert_eq!(err.kind_tag(), "corrupt");
     }
 
     #[test]

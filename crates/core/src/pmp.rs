@@ -23,7 +23,10 @@ use crate::counter_vec::CounterVector;
 use crate::extract::ExtractionScheme;
 use crate::tables::{OffsetPatternTable, PcPatternTable};
 use pmp_prefetch::{AccessInfo, EvictInfo, Gauge, Introspect, PrefetchRequest, Prefetcher};
-use pmp_types::{LineAddr, Pc, PrefetchPattern, RegionGeometry};
+use pmp_types::{
+    config_fingerprint, ByteReader, ByteWriter, LineAddr, Pc, PrefetchPattern, RegionGeometry,
+    SnapshotError, StateImage,
+};
 
 /// Which pattern-table organisation to use (Section V-E3 ablations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -272,6 +275,114 @@ impl Tables {
             }
         }
     }
+
+    /// Stable variant tag for the snapshot encoding.
+    fn mode_tag(&self) -> u8 {
+        match self {
+            Tables::Dual { .. } => 0,
+            Tables::OptOnly { .. } => 1,
+            Tables::PptOnly { .. } => 2,
+            Tables::Combined { .. } => 3,
+        }
+    }
+
+    /// Append the active organisation's full state to a snapshot
+    /// section: a variant tag, then the tables in declaration order.
+    fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_u8(self.mode_tag());
+        match self {
+            Tables::Dual { opt, ppt } => {
+                opt.encode_state(w);
+                ppt.encode_state(w);
+            }
+            Tables::OptOnly { opt } => opt.encode_state(w),
+            Tables::PptOnly { table, .. } | Tables::Combined { table, .. } => {
+                w.put_u32(table.len() as u32);
+                for cv in table {
+                    cv.encode_state(w);
+                }
+            }
+        }
+    }
+
+    /// Rebuild the tables from snapshot bytes; the variant tag must
+    /// match the restoring configuration's [`TableMode`], and every
+    /// counter vector must match the configured geometry.
+    fn decode_state(
+        r: &mut ByteReader<'_>,
+        cfg: &PmpConfig,
+        context: &str,
+    ) -> Result<Tables, SnapshotError> {
+        let len = cfg.geometry().lines_per_region();
+        let tag = r.take_u8()?;
+        let expected_tag = match cfg.table_mode {
+            TableMode::Dual => 0,
+            TableMode::OptOnly => 1,
+            TableMode::PptOnly => 2,
+            TableMode::Combined => 3,
+        };
+        if tag != expected_tag {
+            return Err(SnapshotError::corrupt(
+                context,
+                format!("table mode tag {tag}, expected {expected_tag}"),
+            ));
+        }
+        let decode_vec = |r: &mut ByteReader<'_>,
+                          index_bits: u32|
+         -> Result<Vec<CounterVector>, SnapshotError> {
+            let expected = 1u32 << index_bits;
+            let count = r.take_u32()?;
+            if count != expected {
+                return Err(SnapshotError::corrupt(
+                    context,
+                    format!("table entry count {count}, expected {expected}"),
+                ));
+            }
+            let cap = (1u16 << cfg.opt_counter_bits) - 1;
+            let mut table = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                table.push(CounterVector::decode_state(r, len, cap, context)?);
+            }
+            Ok(table)
+        };
+        Ok(match cfg.table_mode {
+            TableMode::Dual => Tables::Dual {
+                opt: OffsetPatternTable::decode_state(
+                    r,
+                    cfg.trigger_offset_bits,
+                    len,
+                    cfg.opt_counter_bits,
+                    context,
+                )?,
+                ppt: PcPatternTable::decode_state(
+                    r,
+                    cfg.pc_index_bits,
+                    len,
+                    cfg.monitoring_range,
+                    cfg.ppt_counter_bits,
+                    context,
+                )?,
+            },
+            TableMode::OptOnly => Tables::OptOnly {
+                opt: OffsetPatternTable::decode_state(
+                    r,
+                    cfg.trigger_offset_bits,
+                    len,
+                    cfg.opt_counter_bits,
+                    context,
+                )?,
+            },
+            TableMode::PptOnly => Tables::PptOnly {
+                table: decode_vec(r, cfg.trigger_offset_bits)?,
+                bits: cfg.trigger_offset_bits,
+            },
+            TableMode::Combined => Tables::Combined {
+                table: decode_vec(r, cfg.trigger_offset_bits + cfg.pc_index_bits)?,
+                off_bits: cfg.trigger_offset_bits,
+                pc_bits: cfg.pc_index_bits,
+            },
+        })
+    }
 }
 
 /// Lifetime event counters backing [`Introspect`] — pure observability,
@@ -288,6 +399,33 @@ struct ObsCounters {
     pattern_hits: u64,
     /// Total prefetch targets extracted across all hits.
     extracted_targets: u64,
+}
+
+impl ObsCounters {
+    fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_u64(self.trains);
+        w.put_u64(self.halvings);
+        w.put_u64(self.lookups);
+        w.put_u64(self.pattern_hits);
+        w.put_u64(self.extracted_targets);
+    }
+
+    fn decode_state(r: &mut ByteReader<'_>, context: &str) -> Result<ObsCounters, SnapshotError> {
+        let obs = ObsCounters {
+            trains: r.take_u64()?,
+            halvings: r.take_u64()?,
+            lookups: r.take_u64()?,
+            pattern_hits: r.take_u64()?,
+            extracted_targets: r.take_u64()?,
+        };
+        if obs.pattern_hits > obs.lookups {
+            return Err(SnapshotError::corrupt(
+                context,
+                format!("pattern hits {} exceed lookups {}", obs.pattern_hits, obs.lookups),
+            ));
+        }
+        Ok(obs)
+    }
 }
 
 /// The Pattern Merging Prefetcher.
@@ -485,6 +623,83 @@ impl Prefetcher for Pmp {
     /// prefetch buffer. The default configuration totals ≈4.3KB.
     fn storage_bits(&self) -> u64 {
         self.cfg.capture.storage_bits() + self.tables.storage_bits() + self.buffer.storage_bits()
+    }
+
+    /// Serialize every learned structure — capture framework, pattern
+    /// tables, prefetch buffer, next-region predictor, threshold
+    /// controller, and observability counters — into named sections.
+    fn save_state(&self) -> Result<StateImage, SnapshotError> {
+        let fp = config_fingerprint(&format!("{:?}", self.cfg));
+        let mut img = StateImage::new(self.name(), fp);
+        let mut w = ByteWriter::new();
+        self.capture.encode_state(&mut w);
+        img.push_section("capture", w.into_bytes());
+        let mut w = ByteWriter::new();
+        self.tables.encode_state(&mut w);
+        img.push_section("tables", w.into_bytes());
+        let mut w = ByteWriter::new();
+        self.buffer.encode_state(&mut w);
+        img.push_section("buffer", w.into_bytes());
+        let mut w = ByteWriter::new();
+        self.next_region.encode_state(&mut w);
+        img.push_section("next_region", w.into_bytes());
+        let mut w = ByteWriter::new();
+        self.controller.encode_state(&mut w);
+        img.push_section("controller", w.into_bytes());
+        let mut w = ByteWriter::new();
+        self.obs.encode_state(&mut w);
+        img.push_section("obs", w.into_bytes());
+        Ok(img)
+    }
+
+    /// Restore state saved by an identically configured PMP. Every
+    /// section is decoded and validated into temporaries before any
+    /// live structure is replaced, so a corrupt image can never leave
+    /// the prefetcher half-restored.
+    fn load_state(&mut self, image: &StateImage) -> Result<(), SnapshotError> {
+        if image.kind != self.name() {
+            return Err(SnapshotError::KindMismatch {
+                found: image.kind.clone(),
+                expected: self.name().to_string(),
+            });
+        }
+        let fp = config_fingerprint(&format!("{:?}", self.cfg));
+        if image.config_fingerprint != fp {
+            return Err(SnapshotError::ConfigMismatch {
+                found: image.config_fingerprint,
+                expected: fp,
+            });
+        }
+        let mut r = ByteReader::new(image.section("capture")?, "section capture");
+        let capture = PatternCapture::decode_state(&mut r, &self.cfg.capture, "section capture")?;
+        r.finish()?;
+        let mut r = ByteReader::new(image.section("tables")?, "section tables");
+        let tables = Tables::decode_state(&mut r, &self.cfg, "section tables")?;
+        r.finish()?;
+        let mut r = ByteReader::new(image.section("buffer")?, "section buffer");
+        let buffer = PrefetchBuffer::decode_state(
+            &mut r,
+            self.cfg.pb_entries,
+            self.cfg.geometry().lines_per_region(),
+            "section buffer",
+        )?;
+        r.finish()?;
+        let mut r = ByteReader::new(image.section("next_region")?, "section next_region");
+        let next_region = NextRegionPredictor::decode_state(&mut r, "section next_region")?;
+        r.finish()?;
+        let mut r = ByteReader::new(image.section("controller")?, "section controller");
+        let controller = ThresholdController::decode_state(&mut r, "section controller")?;
+        r.finish()?;
+        let mut r = ByteReader::new(image.section("obs")?, "section obs");
+        let obs = ObsCounters::decode_state(&mut r, "section obs")?;
+        r.finish()?;
+        self.capture = capture;
+        self.tables = tables;
+        self.buffer = buffer;
+        self.next_region = next_region;
+        self.controller = controller;
+        self.obs = obs;
+        Ok(())
     }
 }
 
@@ -716,6 +931,86 @@ mod tests {
             pmp.gauges(&mut g);
             assert!(g.iter().any(|x| x.name == name), "{name} missing: {g:?}");
         }
+    }
+
+    #[test]
+    fn snapshot_round_trip_continues_bit_identically() {
+        for cfg in [
+            PmpConfig::default(),
+            PmpConfig::pmp_limit(),
+            PmpConfig::cross_page(),
+            PmpConfig::adaptive(),
+            PmpConfig { table_mode: TableMode::OptOnly, ..PmpConfig::default() },
+            PmpConfig { table_mode: TableMode::PptOnly, ..PmpConfig::default() },
+            PmpConfig { table_mode: TableMode::Combined, ..PmpConfig::default() },
+        ] {
+            let mut trained = Pmp::new(cfg.clone());
+            train_regions(&mut trained, 0x400, 4, &[5, 6, 9], 12);
+            let img = trained.save_state().expect("save");
+            let mut restored = Pmp::new(cfg.clone());
+            restored.load_state(&img).expect("load");
+            // Drive both over the same follow-on accesses: behaviour and
+            // introspection must match exactly.
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            for r in 0..4u64 {
+                let base = (900 + r) * 4096;
+                trained.on_access(&access(0x400, base + 4 * 64, 8), &mut a);
+                restored.on_access(&access(0x400, base + 4 * 64, 8), &mut b);
+            }
+            assert_eq!(a, b, "restored PMP must continue bit-identically ({cfg:?})");
+            let mut ga = Vec::new();
+            let mut gb = Vec::new();
+            trained.gauges(&mut ga);
+            restored.gauges(&mut gb);
+            assert_eq!(format!("{ga:?}"), format!("{gb:?}"));
+            // And after identical continuations the two instances
+            // re-serialize byte-identically.
+            assert_eq!(
+                restored.save_state().expect("resave"),
+                trained.save_state().expect("resave")
+            );
+        }
+    }
+
+    #[test]
+    fn load_state_rejects_mismatches_atomically() {
+        let mut trained = Pmp::new(PmpConfig::default());
+        train_regions(&mut trained, 0x400, 4, &[5, 6], 12);
+        let img = trained.save_state().expect("save");
+
+        // Kind mismatch: a PMP-Limit instance refuses a plain-PMP image.
+        let mut other = Pmp::new(PmpConfig::pmp_limit());
+        let err = other.load_state(&img).expect_err("kind");
+        assert_eq!(err.kind_tag(), "kind-mismatch");
+
+        // Config mismatch with identical kind: wider OPT index.
+        let mut wider =
+            Pmp::new(PmpConfig { trigger_offset_bits: 8, ..PmpConfig::default() });
+        let err = wider.load_state(&img).expect_err("config");
+        assert_eq!(err.kind_tag(), "config-mismatch");
+
+        // Corrupt section: truncate the tables payload. The target must
+        // be left untouched (still predicts nothing — cold).
+        let mut broken = img.clone();
+        let tables = broken
+            .sections
+            .iter_mut()
+            .find(|s| s.name == "tables")
+            .expect("tables section");
+        tables.bytes.truncate(tables.bytes.len() / 2);
+        let mut fresh = Pmp::new(PmpConfig::default());
+        let err = fresh.load_state(&broken).expect_err("corrupt");
+        assert_eq!(err.kind_tag(), "corrupt");
+        let mut out = Vec::new();
+        fresh.on_access(&access(0x400, 999 * 4096 + 4 * 64, 8), &mut out);
+        assert!(out.is_empty(), "failed restore must leave the prefetcher cold");
+
+        // Missing section is corruption too.
+        let mut missing = img.clone();
+        missing.sections.retain(|s| s.name != "obs");
+        let err = fresh.load_state(&missing).expect_err("missing section");
+        assert_eq!(err.kind_tag(), "corrupt");
     }
 
     #[test]

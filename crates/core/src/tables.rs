@@ -14,7 +14,7 @@
 
 use crate::counter_vec::CounterVector;
 use crate::extract::ExtractionScheme;
-use pmp_types::{BitPattern, LineAddr, Pc, PrefetchPattern};
+use pmp_types::{BitPattern, ByteReader, ByteWriter, LineAddr, Pc, PrefetchPattern, SnapshotError};
 
 /// The trigger-offset-indexed primary table.
 #[derive(Debug, Clone)]
@@ -86,6 +86,39 @@ impl OffsetPatternTable {
     /// Storage in bits: entries × pattern length × counter width.
     pub fn storage_bits(&self) -> u64 {
         self.entries.len() as u64 * u64::from(self.pattern_len) * u64::from(self.counter_bits)
+    }
+
+    /// Append the table's full state to a snapshot section.
+    pub(crate) fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_u32(self.entries.len() as u32);
+        for e in &self.entries {
+            e.encode_state(w);
+        }
+    }
+
+    /// Rebuild a table from snapshot bytes under the given geometry,
+    /// rejecting any mismatch in entry count, vector length, or cap.
+    pub(crate) fn decode_state(
+        r: &mut ByteReader<'_>,
+        index_bits: u32,
+        pattern_len: u32,
+        counter_bits: u32,
+        context: &str,
+    ) -> Result<OffsetPatternTable, SnapshotError> {
+        let expected = 1u32 << index_bits;
+        let count = r.take_u32()?;
+        if count != expected {
+            return Err(SnapshotError::corrupt(
+                context,
+                format!("OPT entry count {count}, expected {expected}"),
+            ));
+        }
+        let cap = (1u16 << counter_bits) - 1;
+        let mut entries = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            entries.push(CounterVector::decode_state(r, pattern_len, cap, context)?);
+        }
+        Ok(OffsetPatternTable { entries, index_bits, pattern_len, counter_bits })
     }
 }
 
@@ -183,6 +216,41 @@ impl PcPatternTable {
     pub fn storage_bits(&self) -> u64 {
         self.entries.len() as u64 * u64::from(self.coarse_len) * u64::from(self.counter_bits)
     }
+
+    /// Append the table's full state to a snapshot section.
+    pub(crate) fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_u32(self.entries.len() as u32);
+        for e in &self.entries {
+            e.encode_state(w);
+        }
+    }
+
+    /// Rebuild a table from snapshot bytes under the given geometry,
+    /// rejecting any mismatch in entry count, vector length, or cap.
+    pub(crate) fn decode_state(
+        r: &mut ByteReader<'_>,
+        index_bits: u32,
+        pattern_len: u32,
+        monitoring_range: u32,
+        counter_bits: u32,
+        context: &str,
+    ) -> Result<PcPatternTable, SnapshotError> {
+        let expected = 1u32 << index_bits;
+        let count = r.take_u32()?;
+        if count != expected {
+            return Err(SnapshotError::corrupt(
+                context,
+                format!("PPT entry count {count}, expected {expected}"),
+            ));
+        }
+        let coarse_len = pattern_len / monitoring_range;
+        let cap = (1u16 << counter_bits) - 1;
+        let mut entries = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            entries.push(CounterVector::decode_state(r, coarse_len, cap, context)?);
+        }
+        Ok(PcPatternTable { entries, index_bits, monitoring_range, coarse_len, counter_bits })
+    }
 }
 
 #[cfg(test)]
@@ -268,5 +336,50 @@ mod tests {
     #[should_panic(expected = "divide")]
     fn ppt_rejects_bad_range() {
         let _ = PcPatternTable::new(5, 64, 3, 5);
+    }
+
+    #[test]
+    fn opt_state_round_trips() {
+        let mut opt = OffsetPatternTable::new(4, 16, 3);
+        for i in 0..40u64 {
+            opt.train(LineAddr(i), BitPattern::from_bits(1 | ((i % 31) << 1), 16));
+        }
+        let mut w = ByteWriter::new();
+        opt.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "opt");
+        let back = OffsetPatternTable::decode_state(&mut r, 4, 16, 3, "opt").expect("decode");
+        r.finish().expect("exact consumption");
+        let mut w2 = ByteWriter::new();
+        back.encode_state(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes, "re-encode must be byte-identical");
+        assert_eq!(back.occupied(), opt.occupied());
+    }
+
+    #[test]
+    fn table_decode_rejects_geometry_mismatch() {
+        let opt = OffsetPatternTable::new(4, 16, 3);
+        let mut w = ByteWriter::new();
+        opt.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        // Restoring under a wider index must fail on the entry count.
+        let mut r = ByteReader::new(&bytes, "opt");
+        let err = OffsetPatternTable::decode_state(&mut r, 5, 16, 3, "opt").expect_err("count");
+        assert_eq!(err.kind_tag(), "corrupt");
+
+        let ppt = PcPatternTable::new(3, 16, 2, 3);
+        let mut w = ByteWriter::new();
+        ppt.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        // Wrong monitoring range changes the coarse length.
+        let mut r = ByteReader::new(&bytes, "ppt");
+        let err =
+            PcPatternTable::decode_state(&mut r, 3, 16, 4, 3, "ppt").expect_err("coarse len");
+        assert_eq!(err.kind_tag(), "corrupt");
+        // Matching geometry round-trips.
+        let mut r = ByteReader::new(&bytes, "ppt");
+        let back = PcPatternTable::decode_state(&mut r, 3, 16, 2, 3, "ppt").expect("decode");
+        r.finish().expect("exact consumption");
+        assert_eq!(back.monitoring_range(), 2);
     }
 }

@@ -1,7 +1,7 @@
 //! The [`Prefetcher`] trait and its input/output types.
 
 use pmp_obs::Introspect;
-use pmp_types::{CacheLevel, LineAddr, MemAccess};
+use pmp_types::{CacheLevel, LineAddr, MemAccess, SnapshotError, StateImage};
 
 /// A prefetch request emitted by a prefetcher: fetch `line` and fill it
 /// into `fill_level` (and, for inclusion, every level outward of it).
@@ -99,6 +99,39 @@ pub trait Prefetcher: Introspect {
     /// Total hardware storage this prefetcher would require, in bits —
     /// used to regenerate the paper's Table III / Table V budgets.
     fn storage_bits(&self) -> u64;
+
+    /// Serialize the prefetcher's complete learned state into a
+    /// [`StateImage`] (kind tag, config fingerprint, named sections).
+    /// Stateful prefetchers override this so instances can migrate,
+    /// warm-start, and A/B-swap without relearning; the default
+    /// declines with [`SnapshotError::Unsupported`].
+    ///
+    /// Contract: `load_state(save_state())` on an identically
+    /// configured instance must reproduce behaviour *bit-identically* —
+    /// every counter, LRU clock, and pending queue entry round-trips.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Unsupported`] unless overridden.
+    fn save_state(&self) -> Result<StateImage, SnapshotError> {
+        Err(SnapshotError::unsupported(self.name()))
+    }
+
+    /// Replace the prefetcher's learned state with `image`, previously
+    /// produced by [`Prefetcher::save_state`] on an identically
+    /// configured instance. Implementations validate the kind tag and
+    /// config fingerprint before touching any state, and bounds-check
+    /// every decoded field — a hostile image must yield a typed error,
+    /// never a panic or a half-restored prefetcher.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Unsupported`] unless overridden;
+    /// [`SnapshotError::KindMismatch`] / [`SnapshotError::ConfigMismatch`] /
+    /// [`SnapshotError::Corrupt`] from overriding implementations.
+    fn load_state(&mut self, _image: &StateImage) -> Result<(), SnapshotError> {
+        Err(SnapshotError::unsupported(self.name()))
+    }
 }
 
 /// Storage in kibibytes for a bit budget, rounded to one decimal, the
@@ -150,6 +183,17 @@ mod tests {
         };
         d.on_access(&info, &mut out);
         assert_eq!(out, vec![PrefetchRequest::new(LineAddr(1), CacheLevel::L2C)]);
+    }
+
+    #[test]
+    fn snapshot_defaults_decline_with_unsupported() {
+        let mut d = Dummy;
+        let err = d.save_state().expect_err("default save_state is unsupported");
+        assert_eq!(err.kind_tag(), "unsupported");
+        assert!(err.to_string().contains("dummy"), "{err}");
+        let img = StateImage::new("dummy", 0);
+        let err = d.load_state(&img).expect_err("default load_state is unsupported");
+        assert_eq!(err.kind_tag(), "unsupported");
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod simple;
 
 pub use api::{AccessInfo, EvictInfo, FeedbackKind, Prefetcher, PrefetchRequest};
 pub use pmp_obs::{Gauge, Introspect};
+pub use pmp_types::{ByteReader, ByteWriter, SnapshotError, StateImage, StateSection};
 pub use placement::PlacedLow;
 pub use replay::ReplayQueue;
 pub use simple::{NextLine, NoPrefetch, StridePrefetcher};

@@ -58,6 +58,17 @@ impl ReplayQueue {
     pub fn is_empty(&self) -> bool {
         self.pending.is_empty()
     }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The pending requests in FIFO order (oldest first) — snapshot
+    /// encoding walks the queue without draining it.
+    pub fn iter(&self) -> impl Iterator<Item = &PrefetchRequest> {
+        self.pending.iter()
+    }
 }
 
 #[cfg(test)]
@@ -89,6 +100,16 @@ mod tests {
         let mut out = Vec::new();
         q.issue(3, &mut out);
         assert_eq!(out.iter().map(|r| r.line.0).collect::<Vec<_>>(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn iter_walks_without_draining() {
+        let mut q = ReplayQueue::new(4);
+        q.push_all((0..3).map(req));
+        let seen: Vec<u64> = q.iter().map(|r| r.line.0).collect();
+        assert_eq!(seen, vec![0, 1, 2], "FIFO order, oldest first");
+        assert_eq!(q.len(), 3, "iteration must not consume");
+        assert_eq!(q.capacity(), 4);
     }
 
     #[test]

@@ -43,7 +43,8 @@ use crate::stats::{diff_stats, LevelStats, SimStats};
 use crate::system::SimResult;
 use pmp_obs::{IntervalSample, IntervalSampler, NullTracer, SampleInput, Tracer};
 use pmp_prefetch::{AccessInfo, EvictInfo, FeedbackKind, Prefetcher, PrefetchRequest};
-use pmp_types::{CacheLevel, HarnessError, LineAddr, TraceOp};
+use pmp_types::{CacheLevel, HarnessError, LineAddr, SnapshotError, TraceOp};
+use std::path::Path;
 
 /// Per-core virtual-address offset (in cache lines): multi-programmed
 /// workloads are independent processes, so each core's addresses are
@@ -276,6 +277,41 @@ impl<T: Tracer> Engine<T> {
     /// Feedback hook used by tests to poke a core's prefetcher directly.
     pub fn prefetcher_feedback(&mut self, core: usize, line: LineAddr, kind: FeedbackKind) {
         self.prefetchers[core].on_feedback(line, kind);
+    }
+
+    /// Snapshot core `core`'s learned prefetcher state to `path`,
+    /// crash-safely (write-to-temp, verify, atomic rename — see
+    /// `pmp_snapshot::write_snapshot`).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Unsupported`] when the prefetcher has no state
+    /// walk; otherwise any snapshot encode/IO error.
+    pub fn snapshot_core_to(&self, core: usize, path: &Path) -> Result<(), SnapshotError> {
+        pmp_snapshot::save_prefetcher(&*self.prefetchers[core], path)
+    }
+
+    /// Restore core `core`'s prefetcher learned state from the snapshot
+    /// at `path`. Validation is paranoid (kind tag, config fingerprint,
+    /// checksums, bounds): on any error the prefetcher is left exactly
+    /// as it was.
+    ///
+    /// # Errors
+    ///
+    /// Anything `pmp_snapshot::restore_prefetcher` reports.
+    pub fn restore_core_from(&mut self, core: usize, path: &Path) -> Result<(), SnapshotError> {
+        pmp_snapshot::restore_prefetcher(&mut *self.prefetchers[core], path)
+    }
+
+    /// Swap core `core`'s prefetcher for `p`, returning the old one.
+    /// Warm-start flows build a fresh prefetcher, restore a snapshot
+    /// into it, and install it here.
+    pub fn replace_prefetcher(
+        &mut self,
+        core: usize,
+        p: Box<dyn Prefetcher>,
+    ) -> Box<dyn Prefetcher> {
+        std::mem::replace(&mut self.prefetchers[core], p)
     }
 
     /// Execute one trace record on core `who`: the warmup snapshot

@@ -145,6 +145,44 @@ impl<T: Tracer> MultiCoreSystem<T> {
     pub fn config(&self) -> &SystemConfig {
         self.engine.config()
     }
+
+    /// Snapshot core `core`'s learned prefetcher state to `path`,
+    /// crash-safely.
+    ///
+    /// # Errors
+    ///
+    /// [`pmp_types::SnapshotError::Unsupported`] when the prefetcher
+    /// has no state walk; otherwise any snapshot encode/IO error.
+    pub fn snapshot_core_to(
+        &self,
+        core: usize,
+        path: &std::path::Path,
+    ) -> Result<(), pmp_types::SnapshotError> {
+        self.engine.snapshot_core_to(core, path)
+    }
+
+    /// Restore core `core`'s prefetcher learned state from the snapshot
+    /// at `path`; on any validation error the prefetcher is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Anything `pmp_snapshot::restore_prefetcher` reports.
+    pub fn restore_core_from(
+        &mut self,
+        core: usize,
+        path: &std::path::Path,
+    ) -> Result<(), pmp_types::SnapshotError> {
+        self.engine.restore_core_from(core, path)
+    }
+
+    /// Swap core `core`'s prefetcher for `p`, returning the old one.
+    pub fn replace_prefetcher(
+        &mut self,
+        core: usize,
+        p: Box<dyn Prefetcher>,
+    ) -> Box<dyn Prefetcher> {
+        self.engine.replace_prefetcher(core, p)
+    }
 }
 
 #[cfg(test)]

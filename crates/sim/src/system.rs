@@ -147,6 +147,35 @@ impl<T: Tracer> System<T> {
     pub fn prefetcher_feedback(&mut self, line: pmp_types::LineAddr, kind: FeedbackKind) {
         self.engine.prefetcher_feedback(0, line, kind);
     }
+
+    /// Snapshot the prefetcher's learned state to `path`, crash-safely.
+    ///
+    /// # Errors
+    ///
+    /// [`pmp_types::SnapshotError::Unsupported`] when the prefetcher
+    /// has no state walk; otherwise any snapshot encode/IO error.
+    pub fn snapshot_to(&self, path: &std::path::Path) -> Result<(), pmp_types::SnapshotError> {
+        self.engine.snapshot_core_to(0, path)
+    }
+
+    /// Restore the prefetcher's learned state from the snapshot at
+    /// `path`; on any validation error the prefetcher is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Anything `pmp_snapshot::restore_prefetcher` reports.
+    pub fn restore_from(
+        &mut self,
+        path: &std::path::Path,
+    ) -> Result<(), pmp_types::SnapshotError> {
+        self.engine.restore_core_from(0, path)
+    }
+
+    /// Swap the prefetcher for `p`, returning the old one (warm-start
+    /// flows install a fresh prefetcher before restoring into it).
+    pub fn replace_prefetcher(&mut self, p: Box<dyn Prefetcher>) -> Box<dyn Prefetcher> {
+        self.engine.replace_prefetcher(0, p)
+    }
 }
 
 #[cfg(test)]

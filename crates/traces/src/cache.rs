@@ -35,6 +35,15 @@
 //! a single grid (at paper scale, 125 Small traces ≈ tens of MiB), not
 //! by the lifetime of a multi-grid process. Callers wanting reuse
 //! across grids can hold the cache themselves.
+//!
+//! For grids whose distinct traces do not fit in memory, an explicit
+//! byte cap bounds the synthetic side: [`TraceCache::with_byte_cap`]
+//! (or the `PMP_TRACE_CACHE_BYTES` environment variable, read by
+//! [`TraceCache::new`]) sets an approximate limit, and crossing it
+//! evicts the least-recently-used *materialised* entries — never an
+//! in-flight build, never the entry just served — so a later request
+//! for an evicted trace simply rebuilds it. Default: uncapped, the
+//! historical behaviour.
 
 use crate::catalog::TraceSpec;
 use crate::io::read_trace_file;
@@ -42,15 +51,36 @@ use crate::trace::{Trace, TraceScale};
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
-/// Shares materialised traces across the cells of one grid. See the
-/// module docs for keying, concurrency, and lifetime.
+/// One synthetic-trace slot plus the recency stamp LRU eviction keys
+/// on.
 #[derive(Debug, Default)]
+struct SynthEntry {
+    slot: Arc<OnceLock<Arc<Trace>>>,
+    last_used: u64,
+}
+
+/// Approximate heap footprint of a materialised trace: the ops vector
+/// dominates (name/suite are noise at any realistic scale).
+fn trace_bytes(trace: &Trace) -> usize {
+    trace.ops.len() * std::mem::size_of::<pmp_types::TraceOp>()
+}
+
+/// Parse a byte-cap setting: positive integers cap, anything else (or
+/// absence) means uncapped.
+fn parse_cap(value: Option<&str>) -> Option<usize> {
+    value.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&b| b > 0)
+}
+
+/// Shares materialised traces across the cells of one grid. See the
+/// module docs for keying, concurrency, lifetime, and the memory
+/// bound.
+#[derive(Debug)]
 pub struct TraceCache {
-    /// Synthetic traces: spec+scale key → build-once slot.
-    synth: Mutex<HashMap<String, Arc<OnceLock<Arc<Trace>>>>>,
+    /// Synthetic traces: spec+scale key → build-once slot + recency.
+    synth: Mutex<HashMap<String, SynthEntry>>,
     /// Decoded `.pmpt` files by path (read errors are never cached —
     /// a transient IO failure should not poison later cells).
     files: Mutex<HashMap<PathBuf, Arc<Trace>>>,
@@ -58,16 +88,46 @@ pub struct TraceCache {
     requests: AtomicUsize,
     /// Traces actually generated or decoded.
     builds: AtomicUsize,
+    /// Synthetic entries evicted to stay under the byte cap.
+    evictions: AtomicUsize,
+    /// Monotonic recency clock for LRU ordering.
+    clock: AtomicU64,
+    /// Approximate byte cap on materialised synthetic traces; `None`
+    /// (the default) keeps everything for the cache's lifetime.
+    cap_bytes: Option<usize>,
+}
+
+impl Default for TraceCache {
+    fn default() -> Self {
+        TraceCache {
+            synth: Mutex::default(),
+            files: Mutex::default(),
+            requests: AtomicUsize::new(0),
+            builds: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+            clock: AtomicU64::new(0),
+            cap_bytes: parse_cap(std::env::var("PMP_TRACE_CACHE_BYTES").ok().as_deref()),
+        }
+    }
 }
 
 impl TraceCache {
-    /// An empty cache.
+    /// An empty cache; `PMP_TRACE_CACHE_BYTES` (a positive byte count)
+    /// sets the memory cap, otherwise the cache is unbounded.
     pub fn new() -> Self {
         TraceCache::default()
     }
 
+    /// An empty cache with an explicit approximate byte cap on
+    /// materialised synthetic traces (`0` means uncapped). Overrides
+    /// the environment variable.
+    pub fn with_byte_cap(cap_bytes: usize) -> Self {
+        TraceCache { cap_bytes: (cap_bytes > 0).then_some(cap_bytes), ..TraceCache::default() }
+    }
+
     /// The materialised trace for `spec` at `scale`, building it on
-    /// first request and sharing the same [`Arc`] thereafter.
+    /// first request and sharing the same [`Arc`] thereafter (until the
+    /// byte cap, when set, evicts it — a later request rebuilds).
     ///
     /// # Panics
     ///
@@ -76,15 +136,57 @@ impl TraceCache {
     pub fn get_synthetic(&self, spec: &TraceSpec, scale: TraceScale) -> Arc<Trace> {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let key = format!("{spec:?}|{scale:?}");
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let slot = {
             let mut map = self.synth.lock().unwrap_or_else(PoisonError::into_inner);
-            map.entry(key).or_default().clone()
+            let entry = map.entry(key.clone()).or_default();
+            entry.last_used = stamp;
+            entry.slot.clone()
         };
-        slot.get_or_init(|| {
-            self.builds.fetch_add(1, Ordering::Relaxed);
-            Arc::new(spec.build(scale))
-        })
-        .clone()
+        let trace = slot
+            .get_or_init(|| {
+                self.builds.fetch_add(1, Ordering::Relaxed);
+                Arc::new(spec.build(scale))
+            })
+            .clone();
+        if self.cap_bytes.is_some() {
+            self.enforce_cap(&key);
+        }
+        trace
+    }
+
+    /// Evict least-recently-used materialised entries until the
+    /// synthetic side fits the cap again. The entry just served
+    /// (`keep`) and in-flight builds (uninitialised slots) are never
+    /// evicted, so a single oversized trace still works — the cap is a
+    /// bound on *retained* memory, not a hard admission limit.
+    fn enforce_cap(&self, keep: &str) {
+        let Some(cap) = self.cap_bytes else { return };
+        let mut map = self.synth.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            let total: usize =
+                map.values().filter_map(|e| e.slot.get()).map(|t| trace_bytes(t)).sum();
+            if total <= cap {
+                return;
+            }
+            let victim = map
+                .iter()
+                .filter(|(k, e)| k.as_str() != keep && e.slot.get().is_some())
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    // Dropping the map's Arc only releases the cache's
+                    // reference: cells still running on this trace keep
+                    // it alive until they finish.
+                    map.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                // Only `keep` and in-flight builds remain: nothing
+                // evictable, accept exceeding the cap transiently.
+                None => return,
+            }
+        }
     }
 
     /// The decoded trace for the file at `path`, reading it on first
@@ -129,6 +231,24 @@ impl TraceCache {
     /// Requests served without building — `requests() - builds()`.
     pub fn hits(&self) -> usize {
         self.requests().saturating_sub(self.builds())
+    }
+
+    /// Synthetic entries evicted so far to stay under the byte cap
+    /// (always 0 for an uncapped cache).
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Approximate bytes of materialised synthetic traces currently
+    /// retained.
+    pub fn retained_bytes(&self) -> usize {
+        self.synth
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+            .filter_map(|e| e.slot.get())
+            .map(|t| trace_bytes(t))
+            .sum()
     }
 }
 
@@ -212,6 +332,70 @@ mod tests {
             cache.get_synthetic(&bad, TraceScale::Tiny)
         }));
         assert!(retry.is_err());
+    }
+
+    #[test]
+    fn parse_cap_accepts_positive_integers_only() {
+        assert_eq!(parse_cap(None), None);
+        assert_eq!(parse_cap(Some("")), None);
+        assert_eq!(parse_cap(Some("0")), None);
+        assert_eq!(parse_cap(Some("not-a-number")), None);
+        assert_eq!(parse_cap(Some("1048576")), Some(1 << 20));
+        assert_eq!(parse_cap(Some(" 4096 ")), Some(4096));
+    }
+
+    #[test]
+    fn byte_cap_evicts_lru_and_rebuilds_on_miss() {
+        let specs = [&catalog()[0], &catalog()[1], &catalog()[2]];
+        let one = trace_bytes(&specs[0].build(TraceScale::Tiny));
+        assert!(one > 0);
+        // Room for roughly two Tiny traces: the third build must push
+        // out the least-recently-used one.
+        let cache = TraceCache::with_byte_cap(one * 2 + one / 2);
+        let a = cache.get_synthetic(specs[0], TraceScale::Tiny);
+        let _b = cache.get_synthetic(specs[1], TraceScale::Tiny);
+        // Touch spec 0 so spec 1 is now the LRU.
+        let _ = cache.get_synthetic(specs[0], TraceScale::Tiny);
+        let _c = cache.get_synthetic(specs[2], TraceScale::Tiny);
+        assert!(cache.evictions() >= 1, "third trace must evict");
+        assert!(cache.retained_bytes() <= one * 2 + one / 2, "cap holds after eviction");
+        // Spec 0 (recently touched) survived: requesting it is a hit.
+        let builds_before = cache.builds();
+        let a2 = cache.get_synthetic(specs[0], TraceScale::Tiny);
+        assert!(Arc::ptr_eq(&a, &a2), "recently-used entry survived the eviction");
+        assert_eq!(cache.builds(), builds_before, "no rebuild for a retained trace");
+        // Spec 1 (the LRU) was evicted: requesting it rebuilds.
+        let evicted = cache.get_synthetic(specs[1], TraceScale::Tiny);
+        assert_eq!(cache.builds(), builds_before + 1, "evicted trace rebuilds on demand");
+        assert_eq!(evicted.ops, specs[1].build(TraceScale::Tiny).ops, "rebuild is faithful");
+    }
+
+    #[test]
+    fn uncapped_cache_never_evicts() {
+        let cache = TraceCache::with_byte_cap(0);
+        for spec in catalog().iter().take(6) {
+            let _ = cache.get_synthetic(spec, TraceScale::Tiny);
+        }
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.builds(), 6);
+        assert!(cache.retained_bytes() > 0);
+        // Every one of them is still shared, not rebuilt.
+        for spec in catalog().iter().take(6) {
+            let _ = cache.get_synthetic(spec, TraceScale::Tiny);
+        }
+        assert_eq!(cache.builds(), 6, "uncapped cache retains everything");
+    }
+
+    #[test]
+    fn oversized_single_trace_is_served_not_refused() {
+        // A cap smaller than one trace: the trace still builds and is
+        // served (the cap bounds retained memory, not admission), and
+        // nothing else can be evicted to make room.
+        let cache = TraceCache::with_byte_cap(1);
+        let spec = &catalog()[0];
+        let t = cache.get_synthetic(spec, TraceScale::Tiny);
+        assert!(!t.ops.is_empty());
+        assert_eq!(cache.evictions(), 0, "the just-served entry is never its own victim");
     }
 
     #[test]

@@ -31,9 +31,14 @@ pub mod error;
 pub mod level;
 pub mod pattern;
 pub mod rng;
+pub mod snapshot;
 
 pub use access::{AccessKind, MemAccess, TraceOp};
 pub use error::HarnessError;
+pub use snapshot::{
+    config_fingerprint, fnv1a_64, ByteReader, ByteWriter, SnapshotError, StateImage,
+    StateSection, SNAPSHOT_VERSION,
+};
 pub use addr::{Addr, LineAddr, Pc, RegionAddr, RegionGeometry, LINE_BYTES, LINE_SHIFT, PAGE_BYTES};
 pub use level::CacheLevel;
 pub use pattern::{BitPattern, PrefetchPattern, PrefetchTarget};

@@ -199,7 +199,7 @@ fn quad_cfg() -> RunConfig {
     RunConfig {
         scale: TraceScale::Tiny,
         system: SystemConfig::quad_core(),
-        max_cycles: None,
+        ..RunConfig::default()
     }
 }
 

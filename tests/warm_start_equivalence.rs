@@ -1,0 +1,182 @@
+//! Warm-start equivalence: snapshot → restore → continue must be
+//! bit-identical to never having stopped, for every prefetcher with a
+//! state walk, on single-core and multi-core systems, and through the
+//! grid runner's `--snapshot-dir` / `--warm-start` plumbing.
+//!
+//! "Bit-identical" is pinned at two layers: the re-saved snapshot of a
+//! restored prefetcher equals the original file byte-for-byte
+//! (lossless state transfer, and a `load_state` that silently no-ops
+//! would re-save cold state and fail), and two independently restored
+//! systems continuing over the same ops produce identical simulation
+//! counters (the restored state fully determines behavior).
+
+use pmp_bench::prefetchers::PrefetcherKind;
+use pmp_bench::runner::{run_grid, CellSpec, RunConfig};
+use pmp_sim::{MultiCoreSystem, System, SystemConfig};
+use pmp_traces::{catalog, TraceScale};
+use pmp_types::TraceOp;
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pmp-warm-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// A real catalog trace split into a training segment and a
+/// continuation segment.
+fn split_trace(index: usize) -> (Vec<TraceOp>, Vec<TraceOp>) {
+    let trace = catalog()[index].build(TraceScale::Tiny);
+    let mid = trace.ops.len() / 2;
+    (trace.ops[..mid].to_vec(), trace.ops[mid..].to_vec())
+}
+
+#[test]
+fn single_core_restore_then_continue_is_bit_identical() {
+    let dir = tmp_dir("single");
+    for kind in [PrefetcherKind::Pmp, PrefetcherKind::SppPpf, PrefetcherKind::DsPatch] {
+        let label = kind.label();
+        let (first, second) = split_trace(1);
+        let saved = dir.join(format!("{label}.pmps"));
+
+        // Train on the first segment and snapshot the learned state.
+        let mut trained = System::new(SystemConfig::default(), kind.build());
+        trained.run(&first, 0);
+        trained.snapshot_to(&saved).expect("snapshot trained state");
+
+        // Restore into a brand-new prefetcher installed via the
+        // warm-start swap hook, then re-save: byte-identical proves the
+        // transfer was lossless and actually happened.
+        let mut restored = System::new(SystemConfig::default(), kind.build());
+        drop(restored.replace_prefetcher(kind.build()));
+        restored.restore_from(&saved).expect("restore into fresh system");
+        let resaved = dir.join(format!("{label}.resaved.pmps"));
+        restored.snapshot_to(&resaved).expect("re-snapshot restored state");
+        assert_eq!(
+            std::fs::read(&saved).expect("read saved"),
+            std::fs::read(&resaved).expect("read re-saved"),
+            "{label}: restored state must re-save byte-identical"
+        );
+
+        // Two independent restores continuing over the same ops are
+        // indistinguishable — the snapshot fully determines behavior.
+        let mut twin = System::new(SystemConfig::default(), kind.build());
+        twin.restore_from(&saved).expect("restore twin");
+        let a = restored.run(&second, 0);
+        let b = twin.run(&second, 0);
+        assert_eq!(a.instructions, b.instructions, "{label}: instruction counts diverged");
+        assert_eq!(a.cycles, b.cycles, "{label}: cycle counts diverged");
+        assert_eq!(a.stats, b.stats, "{label}: counters diverged");
+
+        // The restored learning is real: after the continuation, the
+        // warm system's state differs from a cold system that only ever
+        // saw the second segment.
+        let mut cold = System::new(SystemConfig::default(), kind.build());
+        cold.run(&second, 0);
+        let warm_after = dir.join(format!("{label}.warm-after.pmps"));
+        let cold_after = dir.join(format!("{label}.cold-after.pmps"));
+        restored.snapshot_to(&warm_after).expect("snapshot warm continuation");
+        cold.snapshot_to(&cold_after).expect("snapshot cold run");
+        assert_ne!(
+            std::fs::read(&warm_after).expect("read warm"),
+            std::fs::read(&cold_after).expect("read cold"),
+            "{label}: warm-started state must carry the first segment's training"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn quad_core_restore_then_continue_is_bit_identical() {
+    let dir = tmp_dir("quad");
+    let kinds = [
+        PrefetcherKind::Pmp,
+        PrefetcherKind::SppPpf,
+        PrefetcherKind::DsPatch,
+        PrefetcherKind::Pmp,
+    ];
+    let build_all = || kinds.iter().map(|k| k.build()).collect::<Vec<_>>();
+    let traces: Vec<_> = (0..4).map(|i| catalog()[i].build(TraceScale::Tiny)).collect();
+    let refs: Vec<&[TraceOp]> = traces.iter().map(|t| t.ops.as_slice()).collect();
+
+    // Train all four cores together, then snapshot each core's state.
+    let mut trained = MultiCoreSystem::new(SystemConfig::quad_core(), build_all());
+    trained.run(&refs, 0, 2_000);
+    let saved: Vec<PathBuf> = (0..4).map(|i| dir.join(format!("core{i}.pmps"))).collect();
+    for (i, path) in saved.iter().enumerate() {
+        trained.snapshot_core_to(i, path).expect("snapshot core");
+    }
+
+    // Restore per-core into a fresh system (core 0 through the swap
+    // hook) and re-save: every core's state must transfer losslessly.
+    let mut restored = MultiCoreSystem::new(SystemConfig::quad_core(), build_all());
+    drop(restored.replace_prefetcher(0, PrefetcherKind::Pmp.build()));
+    for (i, path) in saved.iter().enumerate() {
+        restored.restore_core_from(i, path).expect("restore core");
+    }
+    for (i, path) in saved.iter().enumerate() {
+        let resaved = dir.join(format!("core{i}.resaved.pmps"));
+        restored.snapshot_core_to(i, &resaved).expect("re-snapshot core");
+        assert_eq!(
+            std::fs::read(path).expect("read saved"),
+            std::fs::read(&resaved).expect("read re-saved"),
+            "core {i}: restored state must re-save byte-identical"
+        );
+    }
+
+    // Two independently restored systems continue identically on every
+    // core and on the shared resources.
+    let mut twin = MultiCoreSystem::new(SystemConfig::quad_core(), build_all());
+    for (i, path) in saved.iter().enumerate() {
+        twin.restore_core_from(i, path).expect("restore twin core");
+    }
+    let a = restored.run(&refs, 0, 2_000);
+    let b = twin.run(&refs, 0, 2_000);
+    assert_eq!(a.cores, b.cores, "per-core counters diverged");
+    assert_eq!(a.dram_requests, b.dram_requests, "shared DRAM traffic diverged");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn grid_snapshot_then_warm_start_smoke() {
+    let dir = tmp_dir("grid");
+    let cells: Vec<CellSpec> =
+        catalog()[..2].iter().cloned().map(CellSpec::Synthetic).collect();
+    let kinds = [PrefetcherKind::Pmp];
+
+    // Cold grid with --snapshot-dir: every completed cell leaves one
+    // crash-safely written snapshot, no temp files.
+    let cold_cfg = RunConfig {
+        scale: TraceScale::Tiny,
+        snapshot_dir: Some(dir.clone()),
+        ..RunConfig::default()
+    };
+    let (outcomes, summary) = run_grid(&cells, &kinds, &cold_cfg);
+    assert_eq!(outcomes.len(), 2, "both cells complete: {:?}", summary.failures);
+    let files: Vec<String> = std::fs::read_dir(&dir)
+        .expect("read snapshot dir")
+        .map(|e| e.expect("dir entry").file_name().to_string_lossy().into_owned())
+        .collect();
+    let snaps = files.iter().filter(|f| f.ends_with(".pmps")).count();
+    assert_eq!(snaps, 2, "one snapshot per cell, got {files:?}");
+    assert!(
+        files.iter().all(|f| !f.ends_with(".tmp")),
+        "no temp files may survive: {files:?}"
+    );
+
+    // Warm grid with --warm-start over the same cells completes and
+    // produces results for every cell.
+    let warm_cfg = RunConfig {
+        scale: TraceScale::Tiny,
+        warm_start: Some(dir.clone()),
+        ..RunConfig::default()
+    };
+    let (warm_outcomes, warm_summary) = run_grid(&cells, &kinds, &warm_cfg);
+    assert_eq!(
+        warm_outcomes.len(),
+        2,
+        "warm-started cells complete: {:?}",
+        warm_summary.failures
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
