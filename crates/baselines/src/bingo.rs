@@ -136,7 +136,29 @@ impl Default for Bingo {
     }
 }
 
-impl Introspect for Bingo {}
+impl Introspect for Bingo {
+    fn gauges(&self, out: &mut Vec<pmp_prefetch::Gauge>) {
+        use pmp_prefetch::Gauge;
+        let total = self.cfg.pht_sets * self.cfg.pht_ways;
+        let valid: usize = self.pht.iter().map(|s| s.iter().filter(|e| e.valid).count()).sum();
+        out.push(Gauge::new("bingo_pht_occupancy", valid as f64 / total as f64));
+        let mean_pop = if valid == 0 {
+            0.0
+        } else {
+            let pop: u64 = self
+                .pht
+                .iter()
+                .flat_map(|s| s.iter())
+                .filter(|e| e.valid)
+                .map(|e| u64::from(e.pattern.count()))
+                .sum();
+            pop as f64 / valid as f64
+        };
+        out.push(Gauge::new("bingo_pht_mean_pattern_pop", mean_pop));
+        out.push(Gauge::new("bingo_replay_len", self.replay.len() as f64));
+        out.push(Gauge::new("bingo_clock", self.clock as f64));
+    }
+}
 
 impl Prefetcher for Bingo {
     fn name(&self) -> &'static str {

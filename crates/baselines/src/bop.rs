@@ -97,7 +97,19 @@ impl Default for Bop {
     }
 }
 
-impl Introspect for Bop {}
+impl Introspect for Bop {
+    fn gauges(&self, out: &mut Vec<pmp_prefetch::Gauge>) {
+        use pmp_prefetch::Gauge;
+        // best_offset = 0 encodes "turned off" (bad-score shutdown);
+        // OFFSETS contains no zero, so the encoding is unambiguous.
+        out.push(Gauge::new("bop_best_offset", self.best_offset.unwrap_or(0) as f64));
+        out.push(Gauge::new("bop_max_score", f64::from(*self.scores.iter().max().unwrap_or(&0))));
+        out.push(Gauge::new("bop_round", f64::from(self.round)));
+        let occupied = self.rr.iter().filter(|&&l| l != u64::MAX).count();
+        out.push(Gauge::new("bop_rr_occupancy", occupied as f64 / self.rr.len() as f64));
+        out.push(Gauge::new("bop_rr_pending", self.pending.len() as f64));
+    }
+}
 
 impl Prefetcher for Bop {
     fn name(&self) -> &'static str {
@@ -136,7 +148,13 @@ impl Prefetcher for Bop {
         if let Some(best) = self.best_offset {
             let target = line as i64 + best;
             if target >= 0 && (target as u64) / LINES_PER_PAGE == line / LINES_PER_PAGE {
-                out.push(PrefetchRequest::new(LineAddr(target as u64), CacheLevel::L1D));
+                out.push(PrefetchRequest::with_provenance(
+                    LineAddr(target as u64),
+                    CacheLevel::L1D,
+                    pmp_types::Provenance::of(pmp_types::Origin::Bop {
+                        offset: best.clamp(i64::from(i16::MIN), i64::from(i16::MAX)) as i16,
+                    }),
+                ));
             }
         }
     }

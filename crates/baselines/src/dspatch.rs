@@ -206,12 +206,21 @@ impl Prefetcher for DsPatch {
             e.covp_measure += 1;
         }
         let len = geom.lines_per_region() as u16;
+        let replayed_accp = use_accp && e.accp_valid;
         let reqs: Vec<PrefetchRequest> = pattern
             .iter_set()
             .filter(|&o| o != 0)
-            .map(|anch| {
+            .enumerate()
+            .map(|(i, anch)| {
                 let abs = ((u16::from(trig.offset) + u16::from(anch)) % len) as u8;
-                PrefetchRequest::new(geom.line_of(trig.region, abs), CacheLevel::L1D)
+                PrefetchRequest::with_provenance(
+                    geom.line_of(trig.region, abs),
+                    CacheLevel::L1D,
+                    pmp_types::Provenance::at(
+                        pmp_types::Origin::DsPatch { accp: replayed_accp },
+                        i,
+                    ),
+                )
             })
             .collect();
         self.replay.push_all(reqs);

@@ -305,7 +305,14 @@ impl Prefetcher for SppPpf {
                 } else {
                     CacheLevel::L2C
                 };
-                out.push(PrefetchRequest::new(target, level));
+                out.push(PrefetchRequest::with_provenance(
+                    target,
+                    level,
+                    pmp_types::Provenance::at(
+                        pmp_types::Origin::Spp { signature: cur_sig, depth: depth as u8 },
+                        out.len(),
+                    ),
+                ));
                 self.record_issue(target.0, features);
             }
             cur_sig = Self::sig_update(cur_sig, delta);

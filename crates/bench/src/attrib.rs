@@ -1,0 +1,106 @@
+//! Attribution deep-dive runner: re-run a (trace, prefetcher) cell with
+//! the [`FlightRecorder`] tracer attached and render the per-origin
+//! fate breakdown.
+//!
+//! Shared by the `pf_attrib` bin and the `--attrib` mode of
+//! `fig9_cov_acc` / `fig10_useful`. These runs are separate from the
+//! cached sweep paths on purpose: attribution needs a live tracer on
+//! the hot path, so its results never come from the journal, and the
+//! plain (attribution-off) figures stay byte-identical whether or not
+//! a deep-dive follows them.
+
+use pmp_obs::{AttributionReport, Fate, FlightRecorder};
+use pmp_sim::{SimResult, System, SystemConfig};
+use pmp_traces::{TraceScale, TraceSpec};
+
+use crate::prefetchers::PrefetcherKind;
+
+/// One attribution deep-dive outcome: the simulation result plus the
+/// finalized flight-recorder report.
+#[derive(Debug)]
+pub struct AttribOutcome {
+    /// Plain simulation result (IPC, SimStats).
+    pub result: SimResult,
+    /// Finalized per-origin fate report.
+    pub report: AttributionReport,
+}
+
+/// Run `kind` on `spec` at `scale` with the flight recorder attached,
+/// finalize it, and report the top `top_k` origins.
+pub fn run_attrib(
+    spec: &TraceSpec,
+    kind: &PrefetcherKind,
+    scale: TraceScale,
+    top_k: usize,
+) -> AttribOutcome {
+    let trace = spec.build(scale);
+    let mut sys =
+        System::with_tracer(SystemConfig::default(), kind.build(), FlightRecorder::new());
+    let result = sys.run(&trace.ops, scale.warmup_instructions());
+    let recorder = sys.tracer_mut();
+    recorder.finalize();
+    let report = recorder.report(top_k);
+    AttribOutcome { result, report }
+}
+
+/// Render one deep-dive as the standard text block the bins print.
+pub fn render_text(trace_name: &str, kind: &PrefetcherKind, out: &AttribOutcome) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "== pf_attrib: {} on {} ==\nipc={:.3}  cycles={}\n",
+        kind.label(),
+        trace_name,
+        out.result.ipc(),
+        out.result.cycles,
+    ));
+    s.push_str(&out.report.to_text());
+    let conserved = out.report.issued
+        == Fate::ALL.iter().map(|&f| out.report.totals[f as usize]).sum::<u64>();
+    s.push_str(&format!(
+        "fate conservation: {}\n",
+        if conserved { "exact (fates partition pf_issued)" } else { "VIOLATED" }
+    ));
+    s
+}
+
+/// `--attrib` deep-dive for the figure bins: rerun `kind` with the
+/// flight recorder over every catalog trace at `scale` and return the
+/// concatenated per-origin text blocks. Kept out of the figures
+/// themselves so the plain output stays byte-identical when the flag
+/// is absent.
+pub fn deep_dive_all(kind: &PrefetcherKind, scale: TraceScale, top_k: usize) -> String {
+    let mut s = String::new();
+    for spec in pmp_traces::catalog() {
+        let out = run_attrib(&spec, kind, scale, top_k);
+        s.push_str(&render_text(&spec.name, kind, &out));
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmp_traces::catalog;
+
+    #[test]
+    fn deep_dive_conserves_and_attributes_pmp_entries() {
+        let spec = catalog().into_iter().find(|s| s.name == "spec06.stream_1").expect("catalog");
+        let out = run_attrib(&spec, &PrefetcherKind::Pmp, TraceScale::Small, 8);
+        assert!(out.report.finalized);
+        assert_eq!(
+            out.report.issued,
+            out.report.totals.iter().sum::<u64>(),
+            "fates must partition pf_issued"
+        );
+        assert_eq!(out.report.issued, out.result.stats.pf_issued);
+        // PMP origins must resolve at pattern-entry granularity.
+        assert!(
+            out.report.rows.iter().any(|(o, _)| matches!(o, pmp_types::Origin::Pmp { .. })),
+            "expected pmp/- origins, got: {:?}",
+            out.report.rows.iter().map(|(o, _)| o.describe()).collect::<Vec<_>>()
+        );
+        let text = render_text(&spec.name, &PrefetcherKind::Pmp, &out);
+        assert!(text.contains("fate conservation: exact"), "{text}");
+    }
+}

@@ -19,6 +19,35 @@ use std::fmt::Write as _;
 /// Metric field names worth gating on (throughputs: higher is better).
 const METRIC_KEYS: [&str; 2] = ["ops_per_sec", "cells_per_sec"];
 
+/// Decision-quality field names (ratios in [0,1] plus IPC: higher is
+/// better), as emitted by `pf_attrib` — the aggregate block and every
+/// per-origin row. Used with [`MetricSet::Decision`].
+const DECISION_KEYS: [&str; 4] = ["ipc", "accuracy", "timeliness", "coverage"];
+
+/// Which metric family to extract and compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricSet {
+    /// Throughput fields from `BENCH_*.json` (`ops_per_sec`,
+    /// `cells_per_sec`) — the perf-trajectory gate.
+    #[default]
+    Throughput,
+    /// Decision-quality fields from `pf_attrib.json` (`ipc`,
+    /// `accuracy`, `timeliness`, `coverage`), including per-origin
+    /// rows labelled by their `"origin"` field. Origins churn as the
+    /// prefetcher learns, so this set is meant for `--report-only`
+    /// visibility, not a hard gate.
+    Decision,
+}
+
+impl MetricSet {
+    fn keys(self) -> &'static [&'static str] {
+        match self {
+            MetricSet::Throughput => &METRIC_KEYS,
+            MetricSet::Decision => &DECISION_KEYS,
+        }
+    }
+}
+
 /// One extracted throughput sample: `label` is the nearest preceding
 /// `"name"` (empty for top-level aggregates).
 #[derive(Debug, Clone, PartialEq)]
@@ -53,23 +82,33 @@ fn exact_field(line: &str, field: &str) -> Option<f64> {
     None
 }
 
-/// The nearest `"name": "..."` on this line, if any.
+/// The nearest `"name": "..."` (or, for attribution documents,
+/// `"origin": "..."`) on this line, if any.
 fn name_field(line: &str) -> Option<&str> {
-    let pat = "\"name\": \"";
-    let start = line.find(pat)? + pat.len();
-    let end = line[start..].find('"')?;
-    Some(&line[start..start + end])
+    for pat in ["\"name\": \"", "\"origin\": \""] {
+        if let Some(at) = line.find(pat) {
+            let start = at + pat.len();
+            let end = line[start..].find('"')?;
+            return Some(&line[start..start + end]);
+        }
+    }
+    None
 }
 
 /// Pull every labelled throughput metric out of a `BENCH_*.json` body.
 pub fn extract_metrics(body: &str) -> Vec<Metric> {
+    extract_metrics_for(body, MetricSet::Throughput)
+}
+
+/// Pull every labelled metric of `set` out of a JSON body.
+pub fn extract_metrics_for(body: &str, set: MetricSet) -> Vec<Metric> {
     let mut out = Vec::new();
     let mut label = String::new();
     for line in body.lines() {
         if let Some(name) = name_field(line) {
             label = name.to_string();
         }
-        for field in METRIC_KEYS {
+        for &field in set.keys() {
             if let Some(value) = exact_field(line, field) {
                 let key = if label.is_empty() {
                     field.to_string()
@@ -113,8 +152,18 @@ impl BenchDiff {
     /// Compare `old_body` to `new_body` with a relative regression
     /// `threshold` (0.10 = flag a >10% throughput drop).
     pub fn compare(old_body: &str, new_body: &str, threshold: f64) -> BenchDiff {
-        let old = extract_metrics(old_body);
-        let new = extract_metrics(new_body);
+        Self::compare_for(old_body, new_body, threshold, MetricSet::Throughput)
+    }
+
+    /// [`BenchDiff::compare`] over an explicit [`MetricSet`].
+    pub fn compare_for(
+        old_body: &str,
+        new_body: &str,
+        threshold: f64,
+        set: MetricSet,
+    ) -> BenchDiff {
+        let old = extract_metrics_for(old_body, set);
+        let new = extract_metrics_for(new_body, set);
         let mut diff = BenchDiff::default();
         for o in &old {
             match new.iter().find(|n| n.key == o.key) {
@@ -156,9 +205,12 @@ impl BenchDiff {
             } else {
                 "ok"
             };
+            // Throughputs are large integers, decision metrics are
+            // small ratios — pick a precision that keeps both legible.
+            let prec = if d.old.abs() < 100.0 && d.new.abs() < 100.0 { 4 } else { 1 };
             let _ = writeln!(
                 out,
-                "{:<40} {:>14.1} -> {:>14.1}  ({:>6.3}x)  {verdict}",
+                "{:<40} {:>14.prec$} -> {:>14.prec$}  ({:>6.3}x)  {verdict}",
                 d.key, d.old, d.new, d.ratio
             );
         }
@@ -244,6 +296,61 @@ mod tests {
         assert!(diff.has_regression(), "dropped workload metrics must not pass silently");
         assert!(!diff.removed.is_empty());
         assert!(!diff.added.is_empty());
+    }
+
+    const ATTRIB_STYLE: &str = r#"{
+"trace": "spec06.stream_1", "scale": "Small", "prefetcher": "pmp", "ipc": 3.085117,
+"attribution": {
+  "pf_issued": 1827,
+  "accuracy": 0.967021,
+  "timeliness": 0.984971,
+  "origins": [
+    {"origin": "pmp/merged[0]@t0 g3", "family": "pmp", "issued": 1512, "accuracy": 0.960979, "timeliness": 0.984171},
+    {"origin": "pmp/merged[0]@t0 g2", "family": "pmp", "issued": 315, "accuracy": 1.000000, "timeliness": 0.989170}
+  ]
+}
+}"#;
+
+    #[test]
+    fn decision_set_extracts_aggregate_and_per_origin_rows() {
+        // Throughput set sees nothing in an attribution document.
+        assert!(extract_metrics(ATTRIB_STYLE).is_empty());
+        let metrics = extract_metrics_for(ATTRIB_STYLE, MetricSet::Decision);
+        let keys: Vec<&str> = metrics.iter().map(|m| m.key.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "ipc",
+                "accuracy",
+                "timeliness",
+                "pmp/merged[0]@t0 g3/accuracy",
+                "pmp/merged[0]@t0 g3/timeliness",
+                "pmp/merged[0]@t0 g2/accuracy",
+                "pmp/merged[0]@t0 g2/timeliness",
+            ]
+        );
+        assert!((metrics[1].value - 0.967021).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decision_set_flags_accuracy_drop() {
+        let new = ATTRIB_STYLE.replace("\"accuracy\": 0.967021", "\"accuracy\": 0.50");
+        let diff = BenchDiff::compare_for(ATTRIB_STYLE, &new, 0.10, MetricSet::Decision);
+        assert!(diff.has_regression());
+        assert!(
+            diff.compared.iter().any(|d| d.key == "accuracy" && d.regressed),
+            "{}",
+            diff.report()
+        );
+        // Per-origin rows untouched → not regressed.
+        assert!(diff
+            .compared
+            .iter()
+            .filter(|d| d.key.starts_with("pmp/"))
+            .all(|d| !d.regressed));
+        // Self-compare is clean.
+        assert!(!BenchDiff::compare_for(ATTRIB_STYLE, ATTRIB_STYLE, 0.10, MetricSet::Decision)
+            .has_regression());
     }
 
     #[test]

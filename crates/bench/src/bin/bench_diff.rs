@@ -8,8 +8,14 @@
 //! Usage:
 //!
 //! ```text
-//! bench_diff OLD.json NEW.json [--threshold 0.15] [--report-only]
+//! bench_diff OLD.json NEW.json [--threshold 0.15] [--report-only] [--metrics throughput|decision]
 //! ```
+//!
+//! `--metrics decision` compares decision-quality fields (`ipc`,
+//! `accuracy`, `timeliness`, `coverage` — aggregate and per-origin)
+//! from two `pf_attrib.json` documents instead of throughputs. Origin
+//! rows churn as prefetchers learn, so pair it with `--report-only`
+//! unless you want added/removed origins to gate.
 //!
 //! Exit codes (stable, scripts key on them):
 //! * `0` — no regression (or `--report-only`, which always reports
@@ -19,13 +25,15 @@
 //!   baseline metric disappeared.
 //! * `2` — usage or I/O error.
 
-use pmp_bench::benchdiff::BenchDiff;
+use pmp_bench::benchdiff::{BenchDiff, MetricSet};
 
 /// Default relative drop tolerated before flagging: 10%.
 const DEFAULT_THRESHOLD: f64 = 0.10;
 
 fn usage() -> ! {
-    eprintln!("usage: bench_diff OLD.json NEW.json [--threshold FRACTION] [--report-only]");
+    eprintln!(
+        "usage: bench_diff OLD.json NEW.json [--threshold FRACTION] [--report-only] [--metrics throughput|decision]"
+    );
     std::process::exit(2);
 }
 
@@ -34,10 +42,18 @@ fn main() {
     let mut paths: Vec<String> = Vec::new();
     let mut threshold = DEFAULT_THRESHOLD;
     let mut report_only = false;
+    let mut set = MetricSet::Throughput;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--report-only" => report_only = true,
+            "--metrics" => {
+                set = match it.next().as_deref() {
+                    Some("throughput") => MetricSet::Throughput,
+                    Some("decision") => MetricSet::Decision,
+                    _ => usage(),
+                };
+            }
             "--threshold" => {
                 let Some(v) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
                     usage();
@@ -64,7 +80,7 @@ fn main() {
     };
     let old = read(&paths[0]);
     let new = read(&paths[1]);
-    let diff = BenchDiff::compare(&old, &new, threshold);
+    let diff = BenchDiff::compare_for(&old, &new, threshold, set);
     print!("{}", diff.report());
     if diff.has_regression() {
         println!(

@@ -1,7 +1,17 @@
 //! Regenerates Fig. 9 (coverage & accuracy). See DESIGN.md §4.
+//!
+//! Pass `--attrib` to append a per-origin fate deep-dive (PMP with the
+//! flight recorder over every catalog trace) after the figure — see
+//! ARCHITECTURE.md "Prefetch attribution".
 use pmp_bench::experiments::{headline, scale_from_env};
+use pmp_bench::{attrib, prefetchers::PrefetcherKind};
 
 fn main() {
-    let runs = headline::HeadlineRuns::execute(scale_from_env());
+    let scale = scale_from_env();
+    let runs = headline::HeadlineRuns::execute(scale);
     println!("{}", headline::fig9(&runs));
+    if std::env::args().any(|a| a == "--attrib") {
+        println!("-- attribution deep-dive (pmp, per-origin fates) --");
+        print!("{}", attrib::deep_dive_all(&PrefetcherKind::Pmp, scale, 8));
+    }
 }

@@ -56,6 +56,19 @@ fn main() {
         ]);
     }
     println!("-- lifecycle events --\n{}", lifecycle.render());
+    // Drop-pressure split: the aggregate pf_dropped counter (exported in
+    // stats.json) broken down by which admission resource refused the
+    // request. A PQ-dominated split means the issue burst outruns the
+    // queue; MSHR-dominated means the memory system is the bottleneck.
+    let dropped = collector.dropped_pq() + collector.dropped_mshr();
+    println!(
+        "drop pressure: pq_full={}  mshr_full={}  ({:.1}% / {:.1}% of {} drops)",
+        collector.dropped_pq(),
+        collector.dropped_mshr(),
+        collector.dropped_pq() as f64 * 100.0 / dropped.max(1) as f64,
+        collector.dropped_mshr() as f64 * 100.0 / dropped.max(1) as f64,
+        dropped,
+    );
     println!(
         "late-useful prefetches: {}  (ring holds last {} of {} events)\n",
         collector.late_useful(),

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod attrib;
 pub mod benchdiff;
 pub mod experiments;
 pub mod journal;

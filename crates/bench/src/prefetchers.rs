@@ -185,6 +185,33 @@ impl PrefetcherKind {
             PrefetcherKind::FaultyPanicAfter(n) => format!("faulty-panic/{n}"),
         }
     }
+
+    /// Parse a display label back into a kind (CLI convenience; the
+    /// parameterised kinds — custom configs, fault mocks — are not
+    /// addressable by label).
+    pub fn from_label(label: &str) -> Option<PrefetcherKind> {
+        Some(match label {
+            "baseline" | "none" => PrefetcherKind::None,
+            "next-line" => PrefetcherKind::NextLine,
+            "ip-stride" | "stride" => PrefetcherKind::Stride,
+            "sms" => PrefetcherKind::Sms,
+            "bop" => PrefetcherKind::Bop,
+            "sandbox" => PrefetcherKind::Sandbox,
+            "vldp" => PrefetcherKind::Vldp,
+            "ghb" => PrefetcherKind::Ghb,
+            "isb" => PrefetcherKind::Isb,
+            "dspatch" => PrefetcherKind::DsPatch,
+            "bingo" => PrefetcherKind::Bingo,
+            "bingo@llc" => PrefetcherKind::BingoAtLlc,
+            "spp-ppf" | "spp" => PrefetcherKind::SppPpf,
+            "pythia" => PrefetcherKind::Pythia,
+            "pmp" => PrefetcherKind::Pmp,
+            "pmp-limit" => PrefetcherKind::PmpLimit,
+            "pmp-xp" => PrefetcherKind::PmpXp,
+            "pmp-adaptive" => PrefetcherKind::PmpAdaptive,
+            _ => return None,
+        })
+    }
 }
 
 /// The fault-injection mock behind [`PrefetcherKind::FaultyPanicAfter`].

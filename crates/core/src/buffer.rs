@@ -7,7 +7,7 @@
 //! later load touches the same region.
 
 use pmp_types::{
-    ByteReader, ByteWriter, CacheLevel, PrefetchPattern, RegionAddr, SnapshotError,
+    ByteReader, ByteWriter, CacheLevel, Origin, PrefetchPattern, RegionAddr, SnapshotError,
 };
 
 #[derive(Debug, Clone)]
@@ -18,6 +18,11 @@ struct PbEntry {
     low_level_issued: usize,
     lru: u64,
     valid: bool,
+    // Provenance of the parked pattern (observability only): which
+    // table lookup produced it. Deliberately NOT serialized — the
+    // snapshot wire format carries learned state, not telemetry, and
+    // restored entries report Origin::None.
+    origin: Origin,
 }
 
 /// A small LRU buffer of pending prefetch patterns, keyed by region.
@@ -51,6 +56,7 @@ impl PrefetchBuffer {
                     low_level_issued: 0,
                     lru: 0,
                     valid: false,
+                    origin: Origin::None,
                 };
                 capacity
             ],
@@ -62,6 +68,18 @@ impl PrefetchBuffer {
     /// Park a new pattern for `region` (evicting the LRU entry if full;
     /// an existing entry for the region is replaced).
     pub fn insert(&mut self, region: RegionAddr, trigger_offset: u8, pattern: PrefetchPattern) {
+        self.insert_with_origin(region, trigger_offset, pattern, Origin::None);
+    }
+
+    /// [`PrefetchBuffer::insert`] with a provenance tag recording which
+    /// table lookup produced the pattern.
+    pub fn insert_with_origin(
+        &mut self,
+        region: RegionAddr,
+        trigger_offset: u8,
+        pattern: PrefetchPattern,
+        origin: Origin,
+    ) {
         assert_eq!(pattern.len(), self.pattern_len, "pattern length mismatch");
         self.clock += 1;
         let clock = self.clock;
@@ -86,7 +104,17 @@ impl PrefetchBuffer {
             low_level_issued: 0,
             lru: clock,
             valid: true,
+            origin,
         };
+    }
+
+    /// Provenance of the pattern parked for `region`
+    /// ([`Origin::None`] when the region has no entry).
+    pub fn origin_of(&self, region: RegionAddr) -> Origin {
+        self.entries
+            .iter()
+            .find(|e| e.valid && e.region == region)
+            .map_or(Origin::None, |e| e.origin)
     }
 
     /// Pop up to `budget` targets for `region`, nearest-first to the
@@ -258,7 +286,15 @@ impl PrefetchBuffer {
                     }
                 }
             }
-            entries.push(PbEntry { region, trigger_offset, pattern, low_level_issued, lru, valid });
+            entries.push(PbEntry {
+                region,
+                trigger_offset,
+                pattern,
+                low_level_issued,
+                lru,
+                valid,
+                origin: Origin::None,
+            });
         }
         Ok(PrefetchBuffer { entries, clock, pattern_len })
     }
@@ -360,6 +396,27 @@ mod tests {
         pb.insert(RegionAddr(1), 5, pattern(64, &[(2, CacheLevel::L2C)]));
         let t = pb.pop_targets(RegionAddr(1), 5, 8, None);
         assert_eq!(t, vec![PendingTarget { abs_offset: 7, level: CacheLevel::L2C }]);
+    }
+
+    #[test]
+    fn origin_rides_along_but_is_not_persisted() {
+        let mut pb = PrefetchBuffer::new(4, 8);
+        let origin = Origin::Pmp {
+            table: pmp_types::PmpTable::Opt,
+            entry: 3,
+            trigger_offset: 2,
+            generation: 1,
+        };
+        pb.insert_with_origin(RegionAddr(3), 2, pattern(8, &[(1, CacheLevel::L1D)]), origin);
+        assert_eq!(pb.origin_of(RegionAddr(3)), origin);
+        assert_eq!(pb.origin_of(RegionAddr(99)), Origin::None);
+        // Snapshot round trip drops the tag (telemetry, not state).
+        let mut w = ByteWriter::new();
+        pb.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "pb");
+        let back = PrefetchBuffer::decode_state(&mut r, 4, 8, "pb").expect("decode");
+        assert_eq!(back.origin_of(RegionAddr(3)), Origin::None);
     }
 
     #[test]

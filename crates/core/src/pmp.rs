@@ -482,6 +482,29 @@ impl Pmp {
         self.obs.halvings += u64::from(self.tables.train(&captured, geom));
     }
 
+    /// Provenance tag for a prediction triggered by (`line`, `pc`):
+    /// which table organisation answered, the pattern-entry index it
+    /// was read from, the trigger offset, and the merge generation
+    /// (training events seen so far, saturating). Entry indices wider
+    /// than 16 bits (combined mode) truncate — telemetry, not state.
+    fn origin_for(&self, line: pmp_types::LineAddr, pc: pmp_types::Pc, trigger_offset: u8) -> pmp_types::Origin {
+        use pmp_types::PmpTable;
+        let (table, entry) = match &self.tables {
+            Tables::Dual { opt, .. } => (PmpTable::Merged, opt.index_of(line) as u16),
+            Tables::OptOnly { opt } => (PmpTable::Opt, opt.index_of(line) as u16),
+            Tables::PptOnly { bits, .. } => (PmpTable::Ppt, pc.hash_bits(*bits) as u16),
+            Tables::Combined { off_bits, pc_bits, .. } => {
+                (PmpTable::Merged, Tables::combined_index(line, pc, *off_bits, *pc_bits) as u16)
+            }
+        };
+        pmp_types::Origin::Pmp {
+            table,
+            entry,
+            trigger_offset,
+            generation: self.obs.trains.min(u64::from(u16::MAX)) as u16,
+        }
+    }
+
     /// The gauge name for extraction counts under the active scheme
     /// (the paper's ANE / ARE / AFE naming, Section V-E2).
     fn extraction_gauge_name(&self) -> &'static str {
@@ -553,7 +576,8 @@ impl Prefetcher for Pmp {
             if !pattern.is_empty() {
                 self.obs.pattern_hits += 1;
                 self.obs.extracted_targets += pattern.count() as u64;
-                self.buffer.insert(trig.region, trig.offset, pattern);
+                let origin = self.origin_for(line, pc, trig.offset);
+                self.buffer.insert_with_origin(trig.region, trig.offset, pattern, origin);
             }
             // Cross-page extension: when the next-region predictor is
             // confident, park a downgraded pattern for the region we
@@ -579,7 +603,8 @@ impl Prefetcher for Pmp {
                         // buffer never issues — so add it explicitly one
                         // past if free, or rely on the pattern body.
                         if !down.is_empty() {
-                            self.buffer.insert(next_region, next_off, down);
+                            let origin = self.origin_for(next_line, pc, next_off);
+                            self.buffer.insert_with_origin(next_region, next_off, down, origin);
                         }
                     }
                 }
@@ -587,15 +612,20 @@ impl Prefetcher for Pmp {
         }
 
         // 3. Issue from the Prefetch Buffer, bounded by free PQ entries.
+        let origin = self.buffer.origin_of(region);
         let targets = self.buffer.pop_targets(
             region,
             offset,
             info.pq_free,
             self.cfg.low_level_degree,
         );
-        for t in targets {
+        for (i, t) in targets.into_iter().enumerate() {
             let target_line = geom.line_of(region, t.abs_offset);
-            out.push(PrefetchRequest::new(target_line, t.level));
+            out.push(PrefetchRequest::with_provenance(
+                target_line,
+                t.level,
+                pmp_types::Provenance::at(origin, i),
+            ));
         }
     }
 

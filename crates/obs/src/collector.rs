@@ -1,7 +1,7 @@
 //! The standard event collector: per-kind counts, latency histograms,
 //! and an optional tail ring buffer, all behind one [`Tracer`] impl.
 
-use crate::event::{EventKind, TraceEvent, Tracer};
+use crate::event::{DropReason, EventKind, TraceEvent, Tracer};
 use crate::hist::Log2Histogram;
 use crate::ring::RingRecorder;
 
@@ -13,6 +13,8 @@ pub struct ObsCollector {
     demand_latency: Log2Histogram,
     dram_latency: Log2Histogram,
     late_useful: u64,
+    dropped_pq: u64,
+    dropped_mshr: u64,
     ring: Option<RingRecorder>,
 }
 
@@ -47,6 +49,16 @@ impl ObsCollector {
         self.late_useful
     }
 
+    /// Prefetches rejected because the prefetch queue was full.
+    pub fn dropped_pq(&self) -> u64 {
+        self.dropped_pq
+    }
+
+    /// Prefetches rejected because MSHRs were too full.
+    pub fn dropped_mshr(&self) -> u64 {
+        self.dropped_mshr
+    }
+
     /// Histogram of prefetch issue→fill latencies (admitted requests).
     pub fn pf_latency(&self) -> &Log2Histogram {
         &self.pf_latency
@@ -76,6 +88,8 @@ impl Tracer for ObsCollector {
             TraceEvent::DemandMiss { latency, .. } => self.demand_latency.record(latency),
             TraceEvent::DramFetch { latency, .. } => self.dram_latency.record(latency),
             TraceEvent::PrefetchUseful { late: true, .. } => self.late_useful += 1,
+            TraceEvent::PrefetchDropped { reason: DropReason::Pq, .. } => self.dropped_pq += 1,
+            TraceEvent::PrefetchDropped { reason: DropReason::Mshr, .. } => self.dropped_mshr += 1,
             _ => {}
         }
         if let Some(ring) = &mut self.ring {
@@ -87,17 +101,23 @@ impl Tracer for ObsCollector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pmp_types::{CacheLevel, LineAddr};
+    use pmp_types::{CacheLevel, LineAddr, Provenance};
 
     #[test]
     fn counts_and_histograms_accumulate() {
         let mut c = ObsCollector::with_ring(8);
-        c.emit(TraceEvent::PrefetchIssued { line: LineAddr(1), level: CacheLevel::L1D, cycle: 0 });
+        c.emit(TraceEvent::PrefetchIssued {
+            line: LineAddr(1),
+            level: CacheLevel::L1D,
+            cycle: 0,
+            provenance: Provenance::NONE,
+        });
         c.emit(TraceEvent::PrefetchAdmitted {
             line: LineAddr(1),
             level: CacheLevel::L1D,
             cycle: 0,
             latency: 170,
+            provenance: Provenance::NONE,
         });
         c.emit(TraceEvent::PrefetchUseful {
             line: LineAddr(1),
@@ -114,5 +134,22 @@ mod tests {
         assert_eq!(c.demand_latency().count(), 1);
         assert_eq!(c.total(), 4);
         assert_eq!(c.ring().unwrap().total(), 4);
+    }
+
+    #[test]
+    fn drop_reasons_split() {
+        let mut c = ObsCollector::new();
+        for (i, reason) in [DropReason::Pq, DropReason::Mshr, DropReason::Pq].iter().enumerate() {
+            c.emit(TraceEvent::PrefetchDropped {
+                line: LineAddr(i as u64),
+                level: CacheLevel::L1D,
+                cycle: i as u64,
+                reason: *reason,
+                provenance: Provenance::NONE,
+            });
+        }
+        assert_eq!(c.count(EventKind::PrefetchDropped), 3);
+        assert_eq!(c.dropped_pq(), 2);
+        assert_eq!(c.dropped_mshr(), 1);
     }
 }

@@ -12,7 +12,26 @@
 //! [`NullTracer`] the calls monomorphise to nothing — no branch, no
 //! allocation, no measurable cost.
 
-use pmp_types::{CacheLevel, LineAddr};
+use pmp_types::{CacheLevel, LineAddr, Provenance};
+
+/// Which resource rejected a prefetch at admission control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// The target level's prefetch queue had no free entry.
+    Pq,
+    /// A fill level's MSHRs were too full to admit a prefetch.
+    Mshr,
+}
+
+impl DropReason {
+    /// Stable snake_case tag for reports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            DropReason::Pq => "pq",
+            DropReason::Mshr => "mshr",
+        }
+    }
+}
 
 /// One memory-system event, stamped with the cycle it happened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +44,8 @@ pub enum TraceEvent {
         level: CacheLevel,
         /// Issue cycle.
         cycle: u64,
+        /// The scheme-internal decision that produced the request.
+        provenance: Provenance,
     },
     /// The request passed admission control; its fill completes
     /// `latency` cycles after issue.
@@ -37,6 +58,8 @@ pub enum TraceEvent {
         cycle: u64,
         /// Issue→fill latency in cycles.
         latency: u64,
+        /// The scheme-internal decision that produced the request.
+        provenance: Provenance,
     },
     /// Rejected: the target level's PQ or MSHRs were full.
     PrefetchDropped {
@@ -46,6 +69,10 @@ pub enum TraceEvent {
         level: CacheLevel,
         /// Issue cycle.
         cycle: u64,
+        /// Which resource rejected it.
+        reason: DropReason,
+        /// The scheme-internal decision that produced the request.
+        provenance: Provenance,
     },
     /// Rejected: the line was already resident at or inside the target.
     PrefetchRedundant {
@@ -55,6 +82,8 @@ pub enum TraceEvent {
         level: CacheLevel,
         /// Issue cycle.
         cycle: u64,
+        /// The scheme-internal decision that produced the request.
+        provenance: Provenance,
     },
     /// A prefetched line was installed into a cache level.
     PrefetchFill {
@@ -282,7 +311,12 @@ mod tests {
 
     #[test]
     fn kind_roundtrip_and_names_unique() {
-        let ev = TraceEvent::PrefetchIssued { line: LineAddr(1), level: CacheLevel::L1D, cycle: 9 };
+        let ev = TraceEvent::PrefetchIssued {
+            line: LineAddr(1),
+            level: CacheLevel::L1D,
+            cycle: 9,
+            provenance: Provenance::NONE,
+        };
         assert_eq!(ev.kind(), EventKind::PrefetchIssued);
         assert_eq!(ev.cycle(), 9);
         let mut names: Vec<&str> = EventKind::ALL.iter().map(|k| k.name()).collect();

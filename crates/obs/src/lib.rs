@@ -18,6 +18,7 @@
 //!     line: LineAddr(42),
 //!     level: CacheLevel::L1D,
 //!     cycle: 100,
+//!     provenance: pmp_types::Provenance::NONE,
 //! });
 //! assert_eq!(obs.count(EventKind::PrefetchIssued), 1);
 //! ```
@@ -25,6 +26,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod attribution;
 pub mod collector;
 pub mod event;
 pub mod hist;
@@ -33,8 +35,9 @@ pub mod ring;
 pub mod sample;
 pub mod sweep;
 
+pub use attribution::{AttributionReport, Fate, FlightRecorder, OriginStats};
 pub use collector::ObsCollector;
-pub use event::{EventKind, NullTracer, TraceEvent, Tracer};
+pub use event::{DropReason, EventKind, NullTracer, TraceEvent, Tracer};
 pub use hist::Log2Histogram;
 pub use introspect::{Gauge, Introspect};
 pub use ring::RingRecorder;

@@ -1,23 +1,60 @@
 //! The [`Prefetcher`] trait and its input/output types.
 
 use pmp_obs::Introspect;
-use pmp_types::{CacheLevel, LineAddr, MemAccess, SnapshotError, StateImage};
+use pmp_types::{CacheLevel, LineAddr, MemAccess, Provenance, SnapshotError, StateImage};
 
 /// A prefetch request emitted by a prefetcher: fetch `line` and fill it
 /// into `fill_level` (and, for inclusion, every level outward of it).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `provenance` records which scheme-internal decision produced the
+/// request; it is observability metadata and is deliberately excluded
+/// from equality and hashing — two requests for the same line and fill
+/// level are the same request regardless of who asked for them.
+#[derive(Debug, Clone, Copy)]
 pub struct PrefetchRequest {
     /// The cache line to prefetch.
     pub line: LineAddr,
     /// The level the line should be filled into (L1D / L2C / LLC).
     pub fill_level: CacheLevel,
+    /// Which internal decision emitted this request (observability
+    /// only; not part of equality/hash, never persisted in snapshots).
+    pub provenance: Provenance,
+}
+
+impl PartialEq for PrefetchRequest {
+    fn eq(&self, other: &Self) -> bool {
+        self.line == other.line && self.fill_level == other.fill_level
+    }
+}
+
+impl Eq for PrefetchRequest {}
+
+impl std::hash::Hash for PrefetchRequest {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.line.hash(state);
+        self.fill_level.hash(state);
+    }
 }
 
 impl PrefetchRequest {
-    /// Convenience constructor.
+    /// Convenience constructor (no provenance recorded).
     #[inline]
     pub fn new(line: LineAddr, fill_level: CacheLevel) -> Self {
-        PrefetchRequest { line, fill_level }
+        PrefetchRequest {
+            line,
+            fill_level,
+            provenance: Provenance::NONE,
+        }
+    }
+
+    /// Constructor carrying a provenance tag.
+    #[inline]
+    pub fn with_provenance(line: LineAddr, fill_level: CacheLevel, provenance: Provenance) -> Self {
+        PrefetchRequest {
+            line,
+            fill_level,
+            provenance,
+        }
     }
 }
 
@@ -194,6 +231,28 @@ mod tests {
         let img = StateImage::new("dummy", 0);
         let err = d.load_state(&img).expect_err("default load_state is unsupported");
         assert_eq!(err.kind_tag(), "unsupported");
+    }
+
+    #[test]
+    fn provenance_is_excluded_from_equality_and_hash() {
+        use pmp_types::{Origin, Provenance};
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+
+        let plain = PrefetchRequest::new(LineAddr(7), CacheLevel::L1D);
+        let tagged = PrefetchRequest::with_provenance(
+            LineAddr(7),
+            CacheLevel::L1D,
+            Provenance::of(Origin::Bop { offset: 4 }),
+        );
+        assert_eq!(plain, tagged);
+        let h = |r: &PrefetchRequest| {
+            let mut s = DefaultHasher::new();
+            r.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&plain), h(&tagged));
+        assert_ne!(plain, PrefetchRequest::new(LineAddr(8), CacheLevel::L1D));
     }
 
     #[test]

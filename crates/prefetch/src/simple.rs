@@ -67,7 +67,14 @@ impl Prefetcher for NextLine {
         for d in 1..=i64::from(self.degree) {
             if let Some(next) = line.offset_by(d) {
                 if next.0 / lines_per_page == page {
-                    out.push(PrefetchRequest::new(next, CacheLevel::L1D));
+                    out.push(PrefetchRequest::with_provenance(
+                        next,
+                        CacheLevel::L1D,
+                        pmp_types::Provenance::at(
+                            pmp_types::Origin::Offset { delta: d as i32 },
+                            (d - 1) as usize,
+                        ),
+                    ));
                 }
             }
         }
@@ -148,7 +155,15 @@ impl Prefetcher for StridePrefetcher {
             let stride = e.stride;
             for d in 1..=i64::from(self.degree) {
                 if let Some(target) = line.offset_by(stride * d) {
-                    out.push(PrefetchRequest::new(target, CacheLevel::L1D));
+                    let delta = (stride * d).clamp(i64::from(i32::MIN), i64::from(i32::MAX));
+                    out.push(PrefetchRequest::with_provenance(
+                        target,
+                        CacheLevel::L1D,
+                        pmp_types::Provenance::at(
+                            pmp_types::Origin::Offset { delta: delta as i32 },
+                            (d - 1) as usize,
+                        ),
+                    ));
                 }
             }
         }

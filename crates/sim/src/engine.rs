@@ -364,7 +364,7 @@ impl<T: Tracer> Engine<T> {
             self.prefetchers[who].on_access(&info, &mut buf);
             for req in &buf {
                 self.events.clear();
-                let req = PrefetchRequest::new(core_line(req.line, who), req.fill_level);
+                let req = PrefetchRequest { line: core_line(req.line, who), ..*req };
                 let _ = prefetch_access(
                     req,
                     issue,

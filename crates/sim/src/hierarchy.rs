@@ -23,7 +23,7 @@ use crate::mshr::Mshr;
 use crate::queue::PrefetchQueue;
 use crate::tlb::Tlb;
 use crate::stats::SimStats;
-use pmp_obs::{TraceEvent, Tracer};
+use pmp_obs::{DropReason, TraceEvent, Tracer};
 use pmp_prefetch::{FeedbackKind, PrefetchRequest};
 use pmp_types::{CacheLevel, LineAddr};
 
@@ -560,7 +560,8 @@ pub fn prefetch_access<T: Tracer>(
     stats.pf_issued += 1;
     let line = req.line;
     let fill = req.fill_level;
-    tracer.emit(TraceEvent::PrefetchIssued { line, level: fill, cycle: now });
+    let provenance = req.provenance;
+    tracer.emit(TraceEvent::PrefetchIssued { line, level: fill, cycle: now, provenance });
 
     // Per-level directory presence, probed once (includes in-flight
     // lines) — both the redundancy check and the fill-level selection
@@ -583,7 +584,7 @@ pub fn prefetch_access<T: Tracer>(
     if let Some(r) = resident {
         if r <= fill {
             stats.pf_redundant += 1;
-            tracer.emit(TraceEvent::PrefetchRedundant { line, level: fill, cycle: now });
+            tracer.emit(TraceEvent::PrefetchRedundant { line, level: fill, cycle: now, provenance });
             return PrefetchOutcome::Redundant;
         }
     }
@@ -630,7 +631,8 @@ pub fn prefetch_access<T: Tracer>(
         });
     if !mshr_ok {
         stats.pf_dropped += 1;
-        tracer.emit(TraceEvent::PrefetchDropped { line, level: fill, cycle: now });
+        let reason = if pq_free == 0 { DropReason::Pq } else { DropReason::Mshr };
+        tracer.emit(TraceEvent::PrefetchDropped { line, level: fill, cycle: now, reason, provenance });
         return PrefetchOutcome::Dropped;
     }
 
@@ -681,7 +683,7 @@ pub fn prefetch_access<T: Tracer>(
         tracer.emit(TraceEvent::PrefetchFill { line, level, cycle: now });
     }
     stats.pf_admitted += 1;
-    tracer.emit(TraceEvent::PrefetchAdmitted { line, level: fill, cycle: now, latency });
+    tracer.emit(TraceEvent::PrefetchAdmitted { line, level: fill, cycle: now, latency, provenance });
     PrefetchOutcome::Admitted
 }
 

@@ -30,6 +30,7 @@ pub mod addr;
 pub mod error;
 pub mod level;
 pub mod pattern;
+pub mod provenance;
 pub mod rng;
 pub mod snapshot;
 
@@ -42,4 +43,5 @@ pub use snapshot::{
 pub use addr::{Addr, LineAddr, Pc, RegionAddr, RegionGeometry, LINE_BYTES, LINE_SHIFT, PAGE_BYTES};
 pub use level::CacheLevel;
 pub use pattern::{BitPattern, PrefetchPattern, PrefetchTarget};
+pub use provenance::{Origin, PmpTable, Provenance};
 pub use rng::Rng64;

@@ -1,0 +1,158 @@
+//! Fate-conservation laws for the prefetch flight recorder.
+//!
+//! The attribution layer promises an exhaustive partition: after
+//! `finalize()`, every issued prefetch resolves to exactly ONE fate
+//! (`useful + late_useful + evicted_unused + dead_at_end + dropped_pq
+//! + dropped_mshr + redundant == pf_issued`) — for every prefetcher
+//! kind in the registry, over randomized traces, and under tiny-queue
+//! backpressure that forces both drop paths. It also promises to be
+//! pure observation: attaching the recorder must not change a single
+//! simulated bit relative to the `NullTracer` run.
+
+use pmp_bench::prefetchers::PrefetcherKind;
+use pmp_obs::{Fate, FlightRecorder};
+use pmp_sim::{System, SystemConfig};
+use pmp_types::{Addr, MemAccess, Pc, Rng64, TraceOp};
+
+/// Same randomized trace shape as `prefetch_conservation.rs`: strided
+/// streams, region-local noise, and stores, so every kind both trains
+/// and misfires.
+fn random_trace(rng: &mut Rng64, n: usize) -> Vec<TraceOp> {
+    let mut ops = Vec::with_capacity(n);
+    let mut base = 0x40_0000u64;
+    let mut stride = 64u64;
+    for _ in 0..n {
+        match rng.gen_range(0..10u32) {
+            0 => {
+                base = 0x40_0000 + rng.gen_range(0..512u64) * 4096;
+                stride = [64u64, 128, 192, 320][rng.gen_range(0..4u32) as usize];
+            }
+            1..=2 => {
+                let addr = base + rng.gen_range(0..64u64) * 64;
+                ops.push(TraceOp::new(MemAccess::load(Pc(0x500), Addr(addr)), 1, false));
+            }
+            3 => {
+                ops.push(TraceOp::new(MemAccess::store(Pc(0x504), Addr(base)), 1, false));
+            }
+            _ => {
+                base = base.wrapping_add(stride);
+                let dep = rng.gen_range(0..4u32) == 0;
+                ops.push(TraceOp::new(MemAccess::load(Pc(0x508), Addr(base)), 2, dep));
+            }
+        }
+    }
+    ops
+}
+
+fn all_kinds() -> Vec<PrefetcherKind> {
+    vec![
+        PrefetcherKind::None,
+        PrefetcherKind::NextLine,
+        PrefetcherKind::Stride,
+        PrefetcherKind::Sms,
+        PrefetcherKind::Bop,
+        PrefetcherKind::Sandbox,
+        PrefetcherKind::Vldp,
+        PrefetcherKind::Ghb,
+        PrefetcherKind::Isb,
+        PrefetcherKind::DsPatch,
+        PrefetcherKind::Bingo,
+        PrefetcherKind::BingoAtLlc,
+        PrefetcherKind::SppPpf,
+        PrefetcherKind::Pythia,
+        PrefetcherKind::Pmp,
+        PrefetcherKind::PmpLimit,
+        PrefetcherKind::PmpXp,
+        PrefetcherKind::PmpAdaptive,
+        PrefetcherKind::DesignB(8),
+    ]
+}
+
+/// Run `kind` with the recorder attached and assert the partition law.
+fn assert_partition(cfg: &SystemConfig, ops: &[TraceOp], kind: &PrefetcherKind) -> [u64; 7] {
+    let mut sys = System::with_tracer(cfg.clone(), kind.build(), FlightRecorder::new());
+    let r = sys.run(ops, 0);
+    let rec = sys.tracer_mut();
+    rec.finalize();
+    let totals: [u64; 7] = {
+        let mut t = [0u64; 7];
+        for (slot, f) in t.iter_mut().zip(Fate::ALL) {
+            *slot = rec.total(f);
+        }
+        t
+    };
+    assert_eq!(
+        rec.issued(),
+        rec.total_fates(),
+        "{}: fates {totals:?} must partition {} issued prefetches",
+        kind.label(),
+        rec.issued()
+    );
+    assert_eq!(
+        rec.issued(),
+        r.stats.pf_issued,
+        "{}: recorder and SimStats disagree on pf_issued",
+        kind.label()
+    );
+    assert_eq!(rec.inflight_len(), 0, "{}: finalize must drain in-flight", kind.label());
+    totals
+}
+
+#[test]
+fn every_kind_partitions_issued_prefetches_into_fates() {
+    let mut rng = Rng64::seed_from_u64(0xFA7E_0001);
+    let cfg = SystemConfig::single_core();
+    for _case in 0..2u64 {
+        let ops = random_trace(&mut rng, 4000);
+        for kind in all_kinds() {
+            assert_partition(&cfg, &ops, &kind);
+        }
+    }
+}
+
+#[test]
+fn tiny_queues_force_both_drop_fates() {
+    let mut cfg = SystemConfig::single_core();
+    cfg.l1d.mshrs = 3;
+    cfg.l1d.pq_entries = 2;
+    cfg.l2c.mshrs = 3;
+    cfg.l2c.pq_entries = 2;
+    cfg.llc.mshrs = 4;
+    cfg.llc.pq_entries = 2;
+    // Same seed as `conservation_survives_tiny_queues`: this trace is
+    // known to push all three kinds into the drop paths.
+    let mut rng = Rng64::seed_from_u64(0xB0B0_BEEF);
+    let ops = random_trace(&mut rng, 4000);
+    let mut saw_pq = false;
+    let mut saw_mshr = false;
+    for kind in [PrefetcherKind::NextLine, PrefetcherKind::Vldp, PrefetcherKind::Pmp] {
+        let totals = assert_partition(&cfg, &ops, &kind);
+        saw_pq |= totals[Fate::DroppedPq as usize] > 0;
+        saw_mshr |= totals[Fate::DroppedMshr as usize] > 0;
+        assert!(
+            totals[Fate::DroppedPq as usize] + totals[Fate::DroppedMshr as usize] > 0,
+            "{}: tiny queues must force drops",
+            kind.label()
+        );
+    }
+    assert!(saw_pq, "expected at least one PQ-full drop across kinds");
+    assert!(saw_mshr, "expected at least one MSHR-full drop across kinds");
+}
+
+#[test]
+fn attribution_on_is_bit_identical_to_attribution_off() {
+    let mut rng = Rng64::seed_from_u64(0xFA7E_0003);
+    let ops = random_trace(&mut rng, 4000);
+    let cfg = SystemConfig::single_core();
+    for kind in [PrefetcherKind::NextLine, PrefetcherKind::Bop, PrefetcherKind::Pmp] {
+        // Off: the default NullTracer path every existing caller uses.
+        let mut plain = System::new(cfg.clone(), kind.build());
+        let a = plain.run(&ops, 0);
+        // On: full flight recorder.
+        let mut traced = System::with_tracer(cfg.clone(), kind.build(), FlightRecorder::new());
+        let b = traced.run(&ops, 0);
+        // The golden guarantee: the recorder watches, never steers.
+        assert_eq!(a.cycles, b.cycles, "{}", kind.label());
+        assert_eq!(a.stats, b.stats, "{}: SimStats must be bit-identical", kind.label());
+    }
+}
