@@ -33,3 +33,4 @@ pub mod progress;
 pub mod runner;
 pub mod scheduler;
 pub mod telemetry;
+pub mod trace_pool;

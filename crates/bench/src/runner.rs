@@ -751,7 +751,7 @@ pub fn run_traces_checked(
 ) -> Vec<CellResult> {
     telemetry::expect_cells(specs.len());
     let cells: Vec<CellSpec> = specs.iter().cloned().map(CellSpec::Synthetic).collect();
-    let cache = TraceCache::new();
+    let (cache, _, _) = crate::trace_pool::grid_cache();
     scheduler::run_product(&cells, std::slice::from_ref(kind), cfg, &cache)
 }
 
@@ -796,7 +796,7 @@ pub fn run_specs_grid(
 ) -> Vec<Vec<RunOutcome>> {
     telemetry::expect_cells(specs.len() * kinds.len());
     let cells: Vec<CellSpec> = specs.iter().cloned().map(CellSpec::Synthetic).collect();
-    let cache = TraceCache::new();
+    let (cache, _, _) = crate::trace_pool::grid_cache();
     let mut results = scheduler::run_product(&cells, kinds, cfg, &cache).into_iter();
     kinds
         .iter()
@@ -828,7 +828,7 @@ pub fn run_grid(
 ) -> (Vec<RunOutcome>, SweepSummary) {
     telemetry::expect_cells(cells.len() * kinds.len());
     let hits_before = journal::global_hits();
-    let cache = TraceCache::new();
+    let (cache, trace_builds_before, trace_hits_before) = crate::trace_pool::grid_cache();
     let results = scheduler::run_product(cells, kinds, cfg, &cache);
     let mut outcomes = Vec::new();
     let mut summary = SweepSummary::default();
@@ -840,8 +840,8 @@ pub fn run_grid(
     }
     summary.completed = outcomes.len();
     summary.resumed = journal::global_hits().saturating_sub(hits_before);
-    summary.trace_builds = cache.builds();
-    summary.trace_cache_hits = cache.hits();
+    summary.trace_builds = cache.builds().saturating_sub(trace_builds_before);
+    summary.trace_cache_hits = cache.hits().saturating_sub(trace_hits_before);
     (outcomes, summary)
 }
 

@@ -7,8 +7,19 @@
 //! on *every* merge and is therefore the **time counter**; when it
 //! saturates, every counter is halved, aging old history while keeping
 //! the offsets' access *frequencies* (counter / time) stable.
+//!
+//! Counters are stored bit-parallel (SWAR): packed into `u64` words,
+//! one `bits + 1`-wide field per counter, so merge, halving, and the
+//! extraction threshold scans run as a handful of word operations per
+//! vector (see the private `lanes` module for the layout and word
+//! tricks). The
+//! packed form is invisible outside: the public API still speaks
+//! `u16` counters, and the snapshot wire format is unchanged.
 
-use pmp_types::{BitPattern, ByteReader, ByteWriter, SnapshotError};
+use crate::lanes::{CvSlice, LaneLayout};
+use pmp_types::BitPattern;
+#[cfg(test)]
+use pmp_types::{ByteReader, ByteWriter, SnapshotError};
 
 /// A vector of saturating counters merging anchored bit patterns.
 ///
@@ -29,8 +40,8 @@ use pmp_types::{BitPattern, ByteReader, ByteWriter, SnapshotError};
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CounterVector {
-    counters: Vec<u16>,
-    cap: u16,
+    layout: LaneLayout,
+    words: Vec<u64>,
 }
 
 impl CounterVector {
@@ -38,16 +49,16 @@ impl CounterVector {
     ///
     /// # Panics
     ///
-    /// Panics if `bits` is not in `1..=15` or `len` is zero.
+    /// Panics if `bits` is not in `1..=15` or `len` is not in `1..=64`.
     pub fn new(len: u32, bits: u32) -> Self {
-        assert!(len > 0, "counter vector length must be positive");
-        assert!((1..=15).contains(&bits), "counter bits must be in 1..=15, got {bits}");
-        CounterVector { counters: vec![0; len as usize], cap: (1u16 << bits) - 1 }
+        let layout = LaneLayout::new(len, bits);
+        let words = vec![0u64; layout.words_per_vec()];
+        CounterVector { layout, words }
     }
 
     /// Number of counters.
     pub fn len(&self) -> u32 {
-        self.counters.len() as u32
+        self.layout.len()
     }
 
     /// True before any pattern has been merged.
@@ -57,18 +68,38 @@ impl CounterVector {
 
     /// The saturation cap (`2^bits - 1`).
     pub fn cap(&self) -> u16 {
-        self.cap
+        self.layout.cap()
     }
 
     /// The time counter — the element at the trigger position, which
     /// counts merges.
     pub fn time(&self) -> u16 {
-        self.counters[0]
+        self.layout.time(&self.words)
     }
 
-    /// Raw counters (index = anchored offset).
-    pub fn counters(&self) -> &[u16] {
-        &self.counters
+    /// The counters, unpacked (index = anchored offset). This
+    /// materialises a fresh `Vec` — it is an introspection/test
+    /// convenience, not a hot-path accessor; the prediction path reads
+    /// the packed words directly.
+    pub fn counters(&self) -> Vec<u16> {
+        (0..self.len()).map(|i| self.layout.get(&self.words, i)).collect()
+    }
+
+    /// Read one counter without unpacking the rest.
+    pub fn counter(&self, i: u8) -> u16 {
+        self.layout.get(&self.words, u32::from(i))
+    }
+
+    /// Borrow the packed form (extraction, tables).
+    pub(crate) fn as_slice(&self) -> CvSlice<'_> {
+        CvSlice { layout: &self.layout, words: &self.words }
+    }
+
+    /// Adopt an already-packed vector (a flat table handing out an
+    /// owned copy of one of its entries).
+    pub(crate) fn from_parts(layout: LaneLayout, words: Vec<u64>) -> Self {
+        debug_assert_eq!(words.len(), layout.words_per_vec());
+        CounterVector { layout, words }
     }
 
     /// Merge one anchored bit pattern. Returns `true` when the merge
@@ -93,24 +124,13 @@ impl CounterVector {
             self.len()
         );
         debug_assert!(anchored.get(0), "anchored patterns always contain their trigger");
-        for off in anchored.iter_set() {
-            self.counters[usize::from(off)] += 1;
-        }
-        // Invariant: counters[i] <= counters[0] <= cap + 1, so u16 never
-        // overflows for bits <= 15.
-        if self.counters[0] > self.cap {
-            for c in &mut self.counters {
-                *c /= 2;
-            }
-            return true;
-        }
-        false
+        self.layout.merge(&mut self.words, anchored.bits())
     }
 
     /// Whether the time counter sits at the saturation cap (the next
     /// merge of this vector will halve it).
     pub fn is_saturated(&self) -> bool {
-        self.time() == self.cap
+        self.time() == self.cap()
     }
 
     /// Access frequency of anchored offset `i`: counter / time counter
@@ -120,40 +140,48 @@ impl CounterVector {
         if t == 0 {
             0.0
         } else {
-            f64::from(self.counters[usize::from(i)]) / f64::from(t)
+            f64::from(self.counter(i)) / f64::from(t)
         }
     }
 
     /// Access ratio of anchored offset `i`: counter / (sum of all
     /// counters excluding the trigger's) — the ARE denominator.
     pub fn ratio(&self, i: u8) -> f64 {
-        let denom: u32 =
-            self.counters[1..].iter().map(|&c| u32::from(c)).sum();
+        let denom = self.layout.field_sum(&self.words) - u32::from(self.time());
         if denom == 0 {
             0.0
         } else {
-            f64::from(self.counters[usize::from(i)]) / denom as f64
+            f64::from(self.counter(i)) / f64::from(denom)
         }
     }
 
     /// Reset every counter to zero.
     pub fn clear(&mut self) {
-        self.counters.fill(0);
+        self.words.fill(0);
     }
 
-    /// Append the vector's raw state to a snapshot section.
+    /// Append the vector's raw state to a snapshot section — the
+    /// pre-SWAR wire format, one `u16` per counter; unpacking happens
+    /// only here. The live tables encode through
+    /// [`crate::lanes::CounterTable`], which writes the identical
+    /// per-vector bytes; this standalone codec remains as the wire
+    /// format's executable specification, pinned by the round-trip
+    /// tests below.
+    #[cfg(test)]
     pub(crate) fn encode_state(&self, w: &mut ByteWriter) {
         w.put_u32(self.len());
-        w.put_u16(self.cap);
-        for &c in &self.counters {
-            w.put_u16(c);
+        w.put_u16(self.cap());
+        for i in 0..self.len() {
+            w.put_u16(self.layout.get(&self.words, i));
         }
     }
 
     /// Rebuild a vector from snapshot bytes, validating every invariant
     /// against the expected configuration: length and cap must match
     /// the restoring table's geometry, and no counter may exceed the
-    /// time counter or the cap (the merge/halving invariants).
+    /// time counter or the cap (the merge/halving invariants). Packing
+    /// into the SWAR layout happens only after validation.
+    #[cfg(test)]
     pub(crate) fn decode_state(
         r: &mut ByteReader<'_>,
         expected_len: u32,
@@ -174,24 +202,29 @@ impl CounterVector {
                 format!("counter cap {cap}, expected {expected_cap}"),
             ));
         }
-        let mut counters = Vec::with_capacity(len as usize);
-        for _ in 0..len {
-            counters.push(r.take_u16()?);
+        let bits = 16 - cap.leading_zeros();
+        debug_assert_eq!((1u16 << bits) - 1, cap, "cap is always 2^bits - 1 here");
+        let mut cv = CounterVector::new(len, bits);
+        let mut time = 0u16;
+        for i in 0..len {
+            let c = r.take_u16()?;
+            if i == 0 {
+                time = c;
+                if time > cap {
+                    return Err(SnapshotError::corrupt(
+                        context,
+                        format!("time counter {time} exceeds cap {cap}"),
+                    ));
+                }
+            } else if c > time {
+                return Err(SnapshotError::corrupt(
+                    context,
+                    format!("counter {c} exceeds time counter {time}"),
+                ));
+            }
+            cv.layout.set(&mut cv.words, i, c);
         }
-        let time = counters[0];
-        if time > cap {
-            return Err(SnapshotError::corrupt(
-                context,
-                format!("time counter {time} exceeds cap {cap}"),
-            ));
-        }
-        if let Some(bad) = counters.iter().find(|&&c| c > time) {
-            return Err(SnapshotError::corrupt(
-                context,
-                format!("counter {bad} exceeds time counter {time}"),
-            ));
-        }
-        Ok(CounterVector { counters, cap })
+        Ok(cv)
     }
 }
 

@@ -12,9 +12,17 @@
 //! * **AFE** (Access-Frequency-based, the default): counter / time
 //!   counter ≥ threshold. No cold start, no depth cap, stable across
 //!   halvings.
+//!
+//! All three run bit-parallel over the packed counter words: each
+//! floating-point threshold is first converted to the *minimal integer
+//! counter value* that satisfies it (exactly — the conversion is fixed
+//! up with the same `f64` predicate the scalar code evaluated, so
+//! classification is bit-identical), then one biased-add compare per
+//! word yields the qualifying-offset bitmask for each level.
 
 use crate::counter_vec::CounterVector;
-use pmp_types::{CacheLevel, PrefetchPattern};
+use crate::lanes::CvSlice;
+use pmp_types::PrefetchPattern;
 
 /// The extraction scheme and its two-level thresholds.
 ///
@@ -54,6 +62,57 @@ impl Default for ExtractionScheme {
     }
 }
 
+/// The minimal counter value `c` in `0..=max` with `c / denom >= thr`
+/// (both operands converted to `f64` exactly as the scalar extraction
+/// did), or `max + 1` when no such value exists.
+///
+/// Starts from the algebraic guess `thr * denom` (truncated — the
+/// saturating float-to-int cast avoids a libm `ceil` call on targets
+/// without a rounding instruction) and probes the three candidates the
+/// truncation can land on — `g - 1`, `g`, `g + 1` — with *independent*
+/// divisions (they pipeline, where a naive walk would serialize on
+/// each quotient). When adjacent probes bracket the threshold, the
+/// passing candidate is provably the minimum (the predicate is
+/// monotone in `c`) and the function returns with no serial division.
+/// Otherwise the exact monotone walks take over; from any starting
+/// point they settle on the same minimal `c`, so the fast path is
+/// purely an optimization.
+#[inline]
+fn min_count(thr: f64, denom: f64, max: u16) -> u32 {
+    let max = u32::from(max);
+    let pred = |c: u32| f64::from(c) / denom >= thr;
+    let guess = thr * denom;
+    let mut c = if guess.is_finite() && guess >= 1.0 {
+        let g = (guess as u32).min(max + 1);
+        let below = pred(g - 1);
+        let at = pred(g);
+        let above = pred((g + 1).min(max + 1));
+        if !below && at {
+            return g;
+        }
+        if !at && above {
+            // `g` capped already implies `g + 1 <= max + 1` here: a
+            // capped `g` makes the `above` probe re-test `g` itself,
+            // so `at != above` cannot hold.
+            return g + 1;
+        }
+        if below {
+            g - 1
+        } else {
+            (g + 2).min(max + 1)
+        }
+    } else {
+        0
+    };
+    while c > 0 && pred(c - 1) {
+        c -= 1;
+    }
+    while c <= max && !pred(c) {
+        c += 1;
+    }
+    c
+}
+
 impl ExtractionScheme {
     /// The paper's ANE configuration (Section V-E2: 16 / 5, scaled to
     /// approximate the AFE thresholds at a 5-bit counter cap).
@@ -70,8 +129,9 @@ impl ExtractionScheme {
     ///
     /// Offset 0 (the trigger itself) is never a target. An untrained
     /// vector yields an empty pattern.
+    #[inline]
     pub fn extract(&self, cv: &CounterVector) -> PrefetchPattern {
-        self.extract_from(cv, 1)
+        self.extract_slice(cv.as_slice())
     }
 
     /// Extract a *coarse* prefetch pattern (PPT side). Following the
@@ -83,60 +143,55 @@ impl ExtractionScheme {
     /// and get downgraded by arbitration, which is precisely what keeps
     /// PMP's L1D fills conservative.
     pub fn extract_coarse(&self, cv: &CounterVector) -> PrefetchPattern {
-        self.extract_from(cv, 1)
+        self.extract_slice(cv.as_slice())
     }
 
-    fn extract_from(&self, cv: &CounterVector, start: u8) -> PrefetchPattern {
+    /// The packed-form extraction core: two biased-add compare sweeps
+    /// (one per level threshold) produce the L1D and L2C bitmasks in a
+    /// handful of word ops; only qualifying offsets are then visited.
+    #[inline]
+    pub(crate) fn extract_slice(&self, cv: CvSlice<'_>) -> PrefetchPattern {
         let len = cv.len();
-        let mut out = PrefetchPattern::new(len);
         if cv.is_empty() {
-            return out;
+            return PrefetchPattern::new(len);
         }
-        for i in start..len as u8 {
-            let level = match *self {
-                ExtractionScheme::AccessNumber { t_l1d, t_l2c } => {
-                    let c = cv.counters()[usize::from(i)];
-                    if c >= t_l1d {
-                        Some(CacheLevel::L1D)
-                    } else if c >= t_l2c {
-                        Some(CacheLevel::L2C)
-                    } else {
-                        None
-                    }
-                }
-                ExtractionScheme::AccessRatio { t_l1d, t_l2c } => {
-                    let r = cv.ratio(i);
-                    if r >= t_l1d {
-                        Some(CacheLevel::L1D)
-                    } else if r >= t_l2c {
-                        Some(CacheLevel::L2C)
-                    } else {
-                        None
-                    }
-                }
-                ExtractionScheme::AccessFrequency { t_l1d, t_l2c } => {
-                    let f = cv.frequency(i);
-                    if f >= t_l1d {
-                        Some(CacheLevel::L1D)
-                    } else if f >= t_l2c {
-                        Some(CacheLevel::L2C)
-                    } else {
-                        None
-                    }
-                }
-            };
-            if let Some(l) = level {
-                out.set(i, l);
+        let (m_l1d, m_l2c) = match *self {
+            ExtractionScheme::AccessNumber { t_l1d, t_l2c } => {
+                cv.ge_mask2(u32::from(t_l1d), u32::from(t_l2c))
             }
-        }
-        out
+            ExtractionScheme::AccessFrequency { t_l1d, t_l2c } => {
+                let time = cv.time();
+                let denom = f64::from(time);
+                cv.ge_mask2(min_count(t_l1d, denom, time), min_count(t_l2c, denom, time))
+            }
+            ExtractionScheme::AccessRatio { t_l1d, t_l2c } => {
+                let denom = cv.field_sum() - u32::from(cv.time());
+                if denom == 0 {
+                    // Every ratio is the scalar path's 0.0; a level
+                    // qualifies every offset iff its threshold is <= 0.
+                    let all = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+                    (
+                        if 0.0 >= t_l1d { all } else { 0 },
+                        if 0.0 >= t_l2c { all } else { 0 },
+                    )
+                } else {
+                    let denom_f = f64::from(denom);
+                    let max = cv.time();
+                    cv.ge_mask2(min_count(t_l1d, denom_f, max), min_count(t_l2c, denom_f, max))
+                }
+            }
+        };
+        // The trigger (bit 0) is never extracted; L2C takes only the
+        // offsets the L1D mask did not already claim — this reproduces
+        // the scalar if/else-if for any threshold ordering.
+        PrefetchPattern::from_level_masks(len, m_l1d & !1, m_l2c & !1)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pmp_types::{BitPattern, PrefetchTarget};
+    use pmp_types::{BitPattern, CacheLevel, PrefetchTarget};
 
     /// Build the paper's (4, 2, 0, 1) counter vector.
     fn paper_cv() -> CounterVector {
@@ -242,5 +297,34 @@ mod tests {
         let p = ExtractionScheme::default().extract(&cv);
         assert_eq!(p.target(0), PrefetchTarget::None);
         assert_eq!(p.count(), 7);
+    }
+
+    #[test]
+    fn min_count_matches_exact_predicate_at_boundaries() {
+        // 0.15 * 20 = 3.0000000000000004 in f64: the naive ceil gives
+        // 4, but counter 3 already satisfies 3/20 >= 0.15 under the
+        // scalar predicate — the fix-up must walk back to 3.
+        assert_eq!(min_count(0.15, 20.0, 31), 3);
+        assert_eq!(min_count(0.5, 31.0, 31), 16);
+        assert_eq!(min_count(0.0, 7.0, 7), 0, "zero threshold admits untouched counters");
+        assert_eq!(min_count(-1.0, 7.0, 7), 0, "negative thresholds admit everything");
+        assert_eq!(min_count(1.5, 4.0, 15), 6);
+        assert_eq!(min_count(2.0, 31.0, 31), 32, "unsatisfiable returns max + 1");
+        for t in 0..=31u32 {
+            // Degenerate exact case: thr = t/31 must resolve to exactly t.
+            let thr = f64::from(t) / 31.0;
+            assert_eq!(min_count(thr, 31.0, 31), t, "thr={thr}");
+        }
+    }
+
+    #[test]
+    fn inverted_thresholds_match_scalar_if_else() {
+        // t_l2c > t_l1d: the scalar if/else-if sends everything >= t_l1d
+        // to L1D and nothing to L2C (the else-if can only see values
+        // below t_l1d, all of which also miss the higher t_l2c).
+        let p = ExtractionScheme::AccessNumber { t_l1d: 1, t_l2c: 3 }.extract(&paper_cv());
+        assert_eq!(p.target(1), PrefetchTarget::To(CacheLevel::L1D));
+        assert_eq!(p.target(3), PrefetchTarget::To(CacheLevel::L1D));
+        assert_eq!(p.count(), 2, "no offset may land in L2C");
     }
 }

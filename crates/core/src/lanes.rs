@@ -1,0 +1,524 @@
+//! Bit-parallel (SWAR) counter storage shared by [`crate::counter_vec`]
+//! and the pattern tables.
+//!
+//! Counters are packed into `u64` words, one *field* per counter. A
+//! field is one bit wider than the configured counter width: the spare
+//! top bit is headroom that (a) absorbs the single increment a merge
+//! can add before the halving check runs, so no carry ever crosses into
+//! the neighbouring field, and (b) is where the biased-add trick parks
+//! the outcome of an unsigned `>=` comparison. With that invariant,
+//! merge, halving, and threshold extraction each become a handful of
+//! word operations per vector instead of one scalar op per counter:
+//!
+//! * **increment**: build a word whose qualifying fields hold 1
+//!   (spreading the pattern's set bits to field positions) and add it —
+//!   all counters in the word step at once;
+//! * **halve**: `(w >> 1) & !msb` — the shift divides every field by
+//!   two simultaneously; the mask clears the bit that slid in from the
+//!   field above;
+//! * **compare** (`counter >= T`): add `2^bits - T` to every field; the
+//!   spare top bit of field *i* ends up set iff `counter_i >= T`, and
+//!   collecting those top bits yields the qualifying-offset bitmask in
+//!   one pass.
+//!
+//! The packed form is purely an in-memory layout: the snapshot wire
+//! format still carries one `u16` per counter (see
+//! [`crate::counter_vec::CounterVector::encode_state`]), with
+//! pack/unpack confined to that boundary.
+
+use pmp_types::{ByteReader, ByteWriter, SnapshotError};
+
+/// Geometry of one packed counter vector: field width, fields per
+/// word, and the per-field constant masks the word tricks need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LaneLayout {
+    /// Number of counters.
+    len: u32,
+    /// Configured counter width in bits (1..=15).
+    bits: u32,
+    /// Field width: `bits + 1` (one spare carry/compare bit).
+    width: u32,
+    /// Fields per 64-bit word: `64 / width`.
+    per_word: u32,
+    /// Words per vector: `ceil(len / per_word)`.
+    words: u32,
+    /// Saturation cap: `2^bits - 1`.
+    cap: u16,
+    /// Bit 0 of every field in a word.
+    lsb: u64,
+    /// The spare top bit (bit `width - 1`) of every field.
+    msb: u64,
+    /// Low `width` bits: mask for a single field.
+    field_mask: u64,
+    /// Round-up multiplicative reciprocal of `width`:
+    /// `(b * recip) >> 16 == b / width` for every bit index `b < 64`.
+    /// Lets the mask-collection loops turn a bit position back into a
+    /// field index without a runtime integer division.
+    recip: u64,
+}
+
+impl LaneLayout {
+    /// Geometry for `len` counters of `bits` bits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `1..=15` or `len` is not in `1..=64`
+    /// (a pattern is at most one cache-line bitmap wide).
+    pub(crate) fn new(len: u32, bits: u32) -> Self {
+        assert!(len > 0, "counter vector length must be positive");
+        assert!((1..=64).contains(&len), "counter vector length must be in 1..=64, got {len}");
+        assert!((1..=15).contains(&bits), "counter bits must be in 1..=15, got {bits}");
+        let width = bits + 1;
+        let per_word = 64 / width;
+        let words = len.div_ceil(per_word);
+        let mut lsb = 0u64;
+        for k in 0..per_word {
+            lsb |= 1u64 << (k * width);
+        }
+        LaneLayout {
+            len,
+            bits,
+            width,
+            per_word,
+            words,
+            cap: (1u16 << bits) - 1,
+            lsb,
+            msb: lsb << bits,
+            field_mask: (1u64 << width) - 1,
+            recip: (1u64 << 16) / u64::from(width) + 1,
+        }
+    }
+
+    pub(crate) fn len(&self) -> u32 {
+        self.len
+    }
+
+    pub(crate) fn cap(&self) -> u16 {
+        self.cap
+    }
+
+    pub(crate) fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Words backing one vector of this geometry.
+    pub(crate) fn words_per_vec(&self) -> usize {
+        self.words as usize
+    }
+
+    /// Read counter `i` from a packed vector.
+    #[inline]
+    pub(crate) fn get(&self, words: &[u64], i: u32) -> u16 {
+        debug_assert!(i < self.len);
+        let w = words[(i / self.per_word) as usize];
+        ((w >> ((i % self.per_word) * self.width)) & self.field_mask) as u16
+    }
+
+    /// The time counter (field 0): number of merges since the last
+    /// halving, bounded by `cap` between merges.
+    #[inline]
+    pub(crate) fn time(&self, words: &[u64]) -> u16 {
+        (words[0] & self.field_mask) as u16
+    }
+
+    /// Overwrite counter `i` (snapshot decode only — the hot paths
+    /// never store individual fields).
+    #[cfg(test)]
+    pub(crate) fn set(&self, words: &mut [u64], i: u32, value: u16) {
+        debug_assert!(i < self.len && u64::from(value) <= self.field_mask);
+        let shift = (i % self.per_word) * self.width;
+        let w = &mut words[(i / self.per_word) as usize];
+        *w = (*w & !(self.field_mask << shift)) | (u64::from(value) << shift);
+    }
+
+    /// Merge one anchored pattern (a `len`-bit bitmap in `pattern`):
+    /// increment every set offset's counter, then halve all counters if
+    /// the time counter exceeded the cap. Returns `true` on halving.
+    #[inline]
+    pub(crate) fn merge(&self, words: &mut [u64], pattern: u64) -> bool {
+        // per_word <= 32 for every legal width, so the slice mask and
+        // the shift below never hit the full 64-bit edge cases.
+        let mut rest = pattern;
+        for w in words.iter_mut() {
+            let slice = rest & ((1u64 << self.per_word) - 1);
+            *w += self.spread(slice);
+            rest >>= self.per_word;
+        }
+        if self.time(words) > self.cap {
+            for w in words.iter_mut() {
+                *w = (*w >> 1) & !self.msb;
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Spread a `per_word`-bit slice so bit `k` lands at bit
+    /// `k * width` — the per-field increment word for one merge.
+    #[inline]
+    fn spread(&self, slice: u64) -> u64 {
+        if slice == (1u64 << self.per_word) - 1 {
+            // Dense fast path (stream patterns): every field steps.
+            return self.lsb;
+        }
+        let mut inc = 0u64;
+        let mut s = slice;
+        while s != 0 {
+            let k = s.trailing_zeros();
+            inc |= 1u64 << (k * self.width);
+            s &= s - 1;
+        }
+        inc
+    }
+
+    /// Bitmask (bit `i` set iff `counter_i >= t`) over all `len`
+    /// offsets, via the biased-add compare: `field + (2^bits - t)`
+    /// overflows into the spare top bit exactly when `field >= t`.
+    ///
+    /// `t` may exceed the cap (then nothing qualifies) and may be 0
+    /// (then everything qualifies); both fall out of the same add.
+    #[cfg(test)]
+    pub(crate) fn ge_mask(&self, words: &[u64], t: u32) -> u64 {
+        self.ge_mask2(words, t, t).0
+    }
+
+    /// Both threshold masks in one pass — every extraction scheme needs
+    /// exactly two (L1D and L2C), and fusing them shares the word
+    /// loads, phantom-field trim, and loop control between thresholds.
+    ///
+    /// Clamping a threshold to `cap + 1` folds the "above cap" case
+    /// into the same biased add: the bias becomes 0 and no stored field
+    /// (all `<= cap < 2^bits`) has its spare top bit set, so the mask
+    /// is empty with no per-threshold branch.
+    #[inline]
+    pub(crate) fn ge_mask2(&self, words: &[u64], t1: u32, t2: u32) -> (u64, u64) {
+        let full = 1u64 << self.bits;
+        let clamp = |t: u32| u64::from(t.min(u32::from(self.cap) + 1));
+        let bias1 = self.lsb * (full - clamp(t1));
+        let bias2 = self.lsb * (full - clamp(t2));
+        let mut out1 = 0u64;
+        let mut out2 = 0u64;
+        for (wi, &w) in words.iter().enumerate() {
+            let mut hits1 = w.wrapping_add(bias1) & self.msb;
+            let mut hits2 = w.wrapping_add(bias2) & self.msb;
+            let base = wi as u32 * self.per_word;
+            // Phantom fields past `len` in the last word are zero but
+            // the bias can still set their top bit (small t); drop them
+            // before collecting offsets.
+            let real = self.len - base;
+            if real < self.per_word {
+                let keep = (1u64 << (real * self.width)) - 1;
+                hits1 &= keep;
+                hits2 &= keep;
+            }
+            // Compress the per-field flag bits down to one bit per
+            // offset: one iteration per qualifying counter, with the
+            // bit-position -> field-index division done by the
+            // precomputed reciprocal (a runtime `/ width` here costs
+            // ~20 cycles per qualifying offset and dominates dense
+            // vectors).
+            while hits1 != 0 {
+                let b = u64::from(hits1.trailing_zeros());
+                out1 |= 1u64 << (u64::from(base) + ((b * self.recip) >> 16));
+                hits1 &= hits1 - 1;
+            }
+            while hits2 != 0 {
+                let b = u64::from(hits2.trailing_zeros());
+                out2 |= 1u64 << (u64::from(base) + ((b * self.recip) >> 16));
+                hits2 &= hits2 - 1;
+            }
+        }
+        (out1, out2)
+    }
+
+    /// Sum of all counters (including the trigger's), for the ARE
+    /// denominator. Fields are extracted word-at-a-time by walking the
+    /// word down two fields per step into two independent accumulators
+    /// (halving the serial shift/add chain the CPU must retire), and it
+    /// early-outs on the all-zero words a sparse table is mostly made
+    /// of. The odd-field read past the last field is safe: bits above
+    /// `cap` are zero by layout invariant.
+    #[inline]
+    pub(crate) fn field_sum(&self, words: &[u64]) -> u32 {
+        let step = self.width * 2;
+        let mut even = 0u64;
+        let mut odd = 0u64;
+        for &word in words {
+            let mut w = word;
+            while w != 0 {
+                even += w & self.field_mask;
+                odd += (w >> self.width) & self.field_mask;
+                w >>= step;
+            }
+        }
+        (even + odd) as u32
+    }
+}
+
+/// A borrowed packed counter vector: the layout plus its word slice.
+/// This is the read-side view extraction and introspection use, so a
+/// flat table never materialises a `CounterVector` on the hot path.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CvSlice<'a> {
+    pub(crate) layout: &'a LaneLayout,
+    pub(crate) words: &'a [u64],
+}
+
+impl CvSlice<'_> {
+    pub(crate) fn len(&self) -> u32 {
+        self.layout.len()
+    }
+
+    pub(crate) fn cap(&self) -> u16 {
+        self.layout.cap()
+    }
+
+    pub(crate) fn time(&self) -> u16 {
+        self.layout.time(self.words)
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.time() == 0
+    }
+
+    pub(crate) fn get(&self, i: u32) -> u16 {
+        self.layout.get(self.words, i)
+    }
+
+    pub(crate) fn ge_mask2(&self, t1: u32, t2: u32) -> (u64, u64) {
+        self.layout.ge_mask2(self.words, t1, t2)
+    }
+
+    pub(crate) fn field_sum(&self) -> u32 {
+        self.layout.field_sum(self.words)
+    }
+}
+
+/// A direct-mapped table of packed counter vectors in one flat word
+/// array — entry `i` occupies `words_per_vec` consecutive words, so
+/// training, extraction, and the occupancy/saturation sweeps are single
+/// passes over contiguous memory with no per-entry indirection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CounterTable {
+    layout: LaneLayout,
+    words: Vec<u64>,
+    entries: u32,
+}
+
+impl CounterTable {
+    /// A zeroed table of `entries` vectors of `len` counters of `bits`
+    /// bits each.
+    pub(crate) fn new(entries: u32, len: u32, bits: u32) -> Self {
+        let layout = LaneLayout::new(len, bits);
+        let words = vec![0u64; entries as usize * layout.words_per_vec()];
+        CounterTable { layout, words, entries }
+    }
+
+    pub(crate) fn entries(&self) -> u32 {
+        self.entries
+    }
+
+    pub(crate) fn layout(&self) -> &LaneLayout {
+        &self.layout
+    }
+
+    fn span(&self, idx: usize) -> std::ops::Range<usize> {
+        let wpv = self.layout.words_per_vec();
+        let start = idx * wpv;
+        start..start + wpv
+    }
+
+    /// Borrow entry `idx` for extraction/introspection.
+    pub(crate) fn slice(&self, idx: usize) -> CvSlice<'_> {
+        CvSlice { layout: &self.layout, words: &self.words[self.span(idx)] }
+    }
+
+    /// Materialise entry `idx` as an owned [`CounterVector`]
+    /// (analysis/introspection tooling; never on the hot path).
+    pub(crate) fn unpack(&self, idx: usize) -> crate::counter_vec::CounterVector {
+        crate::counter_vec::CounterVector::from_parts(
+            self.layout,
+            self.words[self.span(idx)].to_vec(),
+        )
+    }
+
+    /// Merge an anchored pattern into entry `idx`; returns `true` when
+    /// the merge saturated the time counter and halved the entry.
+    pub(crate) fn merge(&mut self, idx: usize, pattern: u64) -> bool {
+        let span = self.span(idx);
+        self.layout.merge(&mut self.words[span], pattern)
+    }
+
+    /// Entries that have merged at least one pattern — one strided read
+    /// of each entry's first word, no unpacking.
+    pub(crate) fn occupied(&self) -> usize {
+        let wpv = self.layout.words_per_vec();
+        let mask = (1u64 << (self.layout.bits() + 1)) - 1;
+        self.words.iter().step_by(wpv).filter(|&&w| w & mask != 0).count()
+    }
+
+    /// Entries whose time counter sits at the saturation cap.
+    pub(crate) fn saturated(&self) -> usize {
+        let wpv = self.layout.words_per_vec();
+        let mask = (1u64 << (self.layout.bits() + 1)) - 1;
+        let cap = u64::from(self.layout.cap());
+        self.words.iter().step_by(wpv).filter(|&&w| w & mask == cap).count()
+    }
+
+    /// Storage in bits: entries × counters × configured counter width
+    /// (the architectural cost; the spare SWAR bit is a software
+    /// artefact and not counted, matching the paper's Table III).
+    pub(crate) fn storage_bits(&self) -> u64 {
+        u64::from(self.entries) * u64::from(self.layout.len()) * u64::from(self.layout.bits())
+    }
+
+    /// Append the table's full state to a snapshot section in the
+    /// pre-SWAR wire format: `u32` entry count, then per entry `u32`
+    /// length, `u16` cap, and one `u16` per counter.
+    pub(crate) fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_u32(self.entries);
+        for idx in 0..self.entries as usize {
+            let cv = self.slice(idx);
+            w.put_u32(cv.len());
+            w.put_u16(cv.cap());
+            for i in 0..cv.len() {
+                w.put_u16(cv.get(i));
+            }
+        }
+    }
+
+    /// Rebuild a table from snapshot bytes under the given geometry.
+    /// `what` names the table in error messages ("OPT", "PPT", or
+    /// "table" for the single-table ablations). Every per-counter
+    /// invariant (length, cap, counter <= time <= cap) is validated
+    /// before packing, exactly as the unpacked decoder did.
+    pub(crate) fn decode_state(
+        r: &mut ByteReader<'_>,
+        expected_entries: u32,
+        len: u32,
+        bits: u32,
+        what: &str,
+        context: &str,
+    ) -> Result<CounterTable, SnapshotError> {
+        let count = r.take_u32()?;
+        if count != expected_entries {
+            return Err(SnapshotError::corrupt(
+                context,
+                format!("{what} entry count {count}, expected {expected_entries}"),
+            ));
+        }
+        let mut table = CounterTable::new(expected_entries, len, bits);
+        let expected_cap = table.layout.cap();
+        for idx in 0..expected_entries as usize {
+            let got_len = r.take_u32()?;
+            if got_len != len {
+                return Err(SnapshotError::corrupt(
+                    context,
+                    format!("counter vector length {got_len}, expected {len}"),
+                ));
+            }
+            let cap = r.take_u16()?;
+            if cap != expected_cap {
+                return Err(SnapshotError::corrupt(
+                    context,
+                    format!("counter cap {cap}, expected {expected_cap}"),
+                ));
+            }
+            let span = table.span(idx);
+            let words = &mut table.words[span];
+            let mut time = 0u16;
+            for i in 0..len {
+                let c = r.take_u16()?;
+                if i == 0 {
+                    time = c;
+                    if time > cap {
+                        return Err(SnapshotError::corrupt(
+                            context,
+                            format!("time counter {time} exceeds cap {cap}"),
+                        ));
+                    }
+                } else if c > time {
+                    return Err(SnapshotError::corrupt(
+                        context,
+                        format!("counter {c} exceeds time counter {time}"),
+                    ));
+                }
+                let per_word = table.layout.per_word;
+                let width = table.layout.width;
+                words[(i / per_word) as usize] |= u64::from(c) << ((i % per_word) * width);
+            }
+        }
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_geometry_paper_defaults() {
+        // 5-bit counters: 6-bit fields, 10 per word, 7 words for 64.
+        let l = LaneLayout::new(64, 5);
+        assert_eq!(l.width, 6);
+        assert_eq!(l.per_word, 10);
+        assert_eq!(l.words_per_vec(), 7);
+        assert_eq!(l.cap(), 31);
+        // 1-bit counters: 2-bit fields, 32 per word.
+        let l = LaneLayout::new(64, 1);
+        assert_eq!(l.per_word, 32);
+        assert_eq!(l.words_per_vec(), 2);
+        // 15-bit counters: 16-bit fields, 4 per word.
+        let l = LaneLayout::new(64, 15);
+        assert_eq!(l.per_word, 4);
+        assert_eq!(l.words_per_vec(), 16);
+    }
+
+    #[test]
+    fn ge_mask_handles_zero_and_above_cap_thresholds() {
+        let l = LaneLayout::new(10, 3);
+        let mut words = vec![0u64; l.words_per_vec()];
+        l.merge(&mut words, 0b00_0001_0111);
+        // t = 0 qualifies every offset, but only the real ones.
+        assert_eq!(l.ge_mask(&words, 0), (1 << 10) - 1);
+        assert_eq!(l.ge_mask(&words, 1), 0b00_0001_0111);
+        // Above the cap nothing can qualify.
+        assert_eq!(l.ge_mask(&words, u32::from(l.cap()) + 1), 0);
+    }
+
+    #[test]
+    fn reciprocal_division_is_exact_for_every_width_and_bit() {
+        // The ge_mask gather relies on `(b * recip) >> 16 == b / width`
+        // for every bit position b in a word; pin it exhaustively over
+        // every legal field width.
+        for bits in 1..=15u32 {
+            let l = LaneLayout::new(64, bits);
+            for b in 0..64u64 {
+                assert_eq!(
+                    (b * l.recip) >> 16,
+                    b / u64::from(l.width),
+                    "bits={bits} width={} b={b}",
+                    l.width
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_occupancy_reads_packed_form() {
+        let mut t = CounterTable::new(8, 16, 5);
+        assert_eq!(t.occupied(), 0);
+        t.merge(3, 0b1);
+        t.merge(5, 0b1011);
+        assert_eq!(t.occupied(), 2);
+        assert_eq!(t.saturated(), 0);
+        for _ in 0..30 {
+            t.merge(5, 0b1);
+        }
+        assert_eq!(t.saturated(), 1, "entry 5 reached the cap");
+        assert_eq!(t.slice(5).time(), 31);
+        assert!(t.merge(5, 0b1), "the next merge halves");
+        assert_eq!(t.slice(5).time(), 16);
+        assert_eq!(t.saturated(), 0);
+    }
+}

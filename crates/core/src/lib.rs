@@ -53,7 +53,10 @@ pub mod counter_vec;
 pub mod cross_page;
 pub mod design_b;
 pub mod extract;
+pub(crate) mod lanes;
 pub mod pmp;
+#[cfg(test)]
+mod swar_ref;
 pub mod tables;
 
 pub use adaptive::ThresholdController;

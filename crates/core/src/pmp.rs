@@ -19,8 +19,8 @@ use crate::arbiter::arbitrate;
 use crate::buffer::PrefetchBuffer;
 use crate::cross_page::NextRegionPredictor;
 use crate::capture::{CaptureConfig, CapturedPattern, PatternCapture};
-use crate::counter_vec::CounterVector;
 use crate::extract::ExtractionScheme;
+use crate::lanes::CounterTable;
 use crate::tables::{OffsetPatternTable, PcPatternTable};
 use pmp_prefetch::{AccessInfo, EvictInfo, Gauge, Introspect, PrefetchRequest, Prefetcher};
 use pmp_types::{
@@ -137,8 +137,8 @@ impl PmpConfig {
 enum Tables {
     Dual { opt: OffsetPatternTable, ppt: PcPatternTable },
     OptOnly { opt: OffsetPatternTable },
-    PptOnly { table: Vec<CounterVector>, bits: u32 },
-    Combined { table: Vec<CounterVector>, off_bits: u32, pc_bits: u32 },
+    PptOnly { table: CounterTable, bits: u32 },
+    Combined { table: CounterTable, off_bits: u32, pc_bits: u32 },
 }
 
 impl Tables {
@@ -158,15 +158,19 @@ impl Tables {
                 opt: OffsetPatternTable::new(cfg.trigger_offset_bits, len, cfg.opt_counter_bits),
             },
             TableMode::PptOnly => Tables::PptOnly {
-                table: (0..1usize << cfg.trigger_offset_bits)
-                    .map(|_| CounterVector::new(len, cfg.opt_counter_bits))
-                    .collect(),
+                table: CounterTable::new(
+                    1u32 << cfg.trigger_offset_bits,
+                    len,
+                    cfg.opt_counter_bits,
+                ),
                 bits: cfg.trigger_offset_bits,
             },
             TableMode::Combined => Tables::Combined {
-                table: (0..1usize << (cfg.trigger_offset_bits + cfg.pc_index_bits))
-                    .map(|_| CounterVector::new(len, cfg.opt_counter_bits))
-                    .collect(),
+                table: CounterTable::new(
+                    1u32 << (cfg.trigger_offset_bits + cfg.pc_index_bits),
+                    len,
+                    cfg.opt_counter_bits,
+                ),
                 off_bits: cfg.trigger_offset_bits,
                 pc_bits: cfg.pc_index_bits,
             },
@@ -193,28 +197,31 @@ impl Tables {
             Tables::OptOnly { opt } => u32::from(opt.train(trigger_line, anchored)),
             Tables::PptOnly { table, bits } => {
                 let idx = captured.trigger_pc.hash_bits(*bits) as usize;
-                u32::from(table[idx].merge(anchored))
+                u32::from(table.merge(idx, anchored.bits()))
             }
             Tables::Combined { table, off_bits, pc_bits } => {
                 let idx =
                     Self::combined_index(trigger_line, captured.trigger_pc, *off_bits, *pc_bits);
-                u32::from(table[idx].merge(anchored))
+                u32::from(table.merge(idx, anchored.bits()))
             }
         }
     }
 
     /// Append occupancy/saturation gauges for the active organisation.
+    /// The single-table sweeps read the packed words directly (one
+    /// strided pass, no per-entry unpacking).
     fn gauges(&self, out: &mut Vec<Gauge>) {
         fn vec_stats(
-            table: &[CounterVector],
+            table: &CounterTable,
             occ_name: &'static str,
             sat_name: &'static str,
             out: &mut Vec<Gauge>,
         ) {
-            let occupied = table.iter().filter(|e| !e.is_empty()).count();
-            let saturated = table.iter().filter(|e| e.is_saturated()).count();
-            out.push(Gauge::new(occ_name, occupied as f64 / table.len() as f64));
-            out.push(Gauge::new(sat_name, saturated as f64));
+            out.push(Gauge::new(
+                occ_name,
+                table.occupied() as f64 / table.entries() as f64,
+            ));
+            out.push(Gauge::new(sat_name, table.saturated() as f64));
         }
         match self {
             Tables::Dual { opt, ppt } => {
@@ -251,10 +258,12 @@ impl Tables {
             }
             Tables::OptOnly { opt } => opt.predict(line, scheme),
             Tables::PptOnly { table, bits } => {
-                scheme.extract(&table[pc.hash_bits(*bits) as usize])
+                scheme.extract_slice(table.slice(pc.hash_bits(*bits) as usize))
             }
             Tables::Combined { table, off_bits, pc_bits } => {
-                scheme.extract(&table[Self::combined_index(line, pc, *off_bits, *pc_bits)])
+                scheme.extract_slice(
+                    table.slice(Self::combined_index(line, pc, *off_bits, *pc_bits)),
+                )
             }
         }
     }
@@ -264,14 +273,7 @@ impl Tables {
             Tables::Dual { opt, ppt } => opt.storage_bits() + ppt.storage_bits(),
             Tables::OptOnly { opt } => opt.storage_bits(),
             Tables::PptOnly { table, .. } | Tables::Combined { table, .. } => {
-                let per: u64 = table
-                    .first()
-                    .map(|cv| {
-                        u64::from(cv.len())
-                            * u64::from(16 - cv.cap().leading_zeros())
-                    })
-                    .unwrap_or(0);
-                table.len() as u64 * per
+                table.storage_bits()
             }
         }
     }
@@ -297,10 +299,7 @@ impl Tables {
             }
             Tables::OptOnly { opt } => opt.encode_state(w),
             Tables::PptOnly { table, .. } | Tables::Combined { table, .. } => {
-                w.put_u32(table.len() as u32);
-                for cv in table {
-                    cv.encode_state(w);
-                }
+                table.encode_state(w);
             }
         }
     }
@@ -327,23 +326,17 @@ impl Tables {
                 format!("table mode tag {tag}, expected {expected_tag}"),
             ));
         }
-        let decode_vec = |r: &mut ByteReader<'_>,
-                          index_bits: u32|
-         -> Result<Vec<CounterVector>, SnapshotError> {
-            let expected = 1u32 << index_bits;
-            let count = r.take_u32()?;
-            if count != expected {
-                return Err(SnapshotError::corrupt(
-                    context,
-                    format!("table entry count {count}, expected {expected}"),
-                ));
-            }
-            let cap = (1u16 << cfg.opt_counter_bits) - 1;
-            let mut table = Vec::with_capacity(count as usize);
-            for _ in 0..count {
-                table.push(CounterVector::decode_state(r, len, cap, context)?);
-            }
-            Ok(table)
+        let decode_table = |r: &mut ByteReader<'_>,
+                            index_bits: u32|
+         -> Result<CounterTable, SnapshotError> {
+            CounterTable::decode_state(
+                r,
+                1u32 << index_bits,
+                len,
+                cfg.opt_counter_bits,
+                "table",
+                context,
+            )
         };
         Ok(match cfg.table_mode {
             TableMode::Dual => Tables::Dual {
@@ -373,11 +366,11 @@ impl Tables {
                 )?,
             },
             TableMode::PptOnly => Tables::PptOnly {
-                table: decode_vec(r, cfg.trigger_offset_bits)?,
+                table: decode_table(r, cfg.trigger_offset_bits)?,
                 bits: cfg.trigger_offset_bits,
             },
             TableMode::Combined => Tables::Combined {
-                table: decode_vec(r, cfg.trigger_offset_bits + cfg.pc_index_bits)?,
+                table: decode_table(r, cfg.trigger_offset_bits + cfg.pc_index_bits)?,
                 off_bits: cfg.trigger_offset_bits,
                 pc_bits: cfg.pc_index_bits,
             },

@@ -1,0 +1,229 @@
+//! Scalar reference model for the SWAR counter core (test-only).
+//!
+//! This module preserves, verbatim, the element-at-a-time semantics the
+//! packed implementation replaced: a `Vec<u16>` of counters with scalar
+//! merge/halving, and extraction evaluated per offset with the exact
+//! `f64` threshold comparisons of the original code. The randomized
+//! equivalence test drives both implementations through identical
+//! merge/halve/extract sequences across every counter width (1..=15)
+//! and a spread of pattern lengths, asserting they agree at every step
+//! — counters, halving events, and extracted patterns alike.
+
+use crate::counter_vec::CounterVector;
+use crate::extract::ExtractionScheme;
+use pmp_types::{BitPattern, CacheLevel, PrefetchPattern, Rng64};
+
+/// The pre-SWAR counter vector: one `u16` per counter, scalar loops.
+struct ScalarCv {
+    counters: Vec<u16>,
+    cap: u16,
+}
+
+impl ScalarCv {
+    fn new(len: u32, bits: u32) -> Self {
+        ScalarCv { counters: vec![0; len as usize], cap: (1u16 << bits) - 1 }
+    }
+
+    fn time(&self) -> u16 {
+        self.counters[0]
+    }
+
+    fn merge(&mut self, anchored: BitPattern) -> bool {
+        for off in anchored.iter_set() {
+            self.counters[usize::from(off)] += 1;
+        }
+        if self.counters[0] > self.cap {
+            for c in &mut self.counters {
+                *c /= 2;
+            }
+            return true;
+        }
+        false
+    }
+
+    fn frequency(&self, i: u8) -> f64 {
+        let t = self.time();
+        if t == 0 {
+            0.0
+        } else {
+            f64::from(self.counters[usize::from(i)]) / f64::from(t)
+        }
+    }
+
+    fn ratio(&self, i: u8) -> f64 {
+        let denom: u32 = self.counters[1..].iter().map(|&c| u32::from(c)).sum();
+        if denom == 0 {
+            0.0
+        } else {
+            f64::from(self.counters[usize::from(i)]) / f64::from(denom)
+        }
+    }
+
+    /// The original scalar extraction: per-offset metric, two-level
+    /// if/else-if.
+    fn extract(&self, scheme: &ExtractionScheme) -> PrefetchPattern {
+        let len = self.counters.len() as u32;
+        let mut out = PrefetchPattern::new(len);
+        if self.time() == 0 {
+            return out;
+        }
+        for i in 1..len as u8 {
+            let level = match *scheme {
+                ExtractionScheme::AccessNumber { t_l1d, t_l2c } => {
+                    let c = self.counters[usize::from(i)];
+                    if c >= t_l1d {
+                        Some(CacheLevel::L1D)
+                    } else if c >= t_l2c {
+                        Some(CacheLevel::L2C)
+                    } else {
+                        None
+                    }
+                }
+                ExtractionScheme::AccessRatio { t_l1d, t_l2c } => {
+                    let r = self.ratio(i);
+                    if r >= t_l1d {
+                        Some(CacheLevel::L1D)
+                    } else if r >= t_l2c {
+                        Some(CacheLevel::L2C)
+                    } else {
+                        None
+                    }
+                }
+                ExtractionScheme::AccessFrequency { t_l1d, t_l2c } => {
+                    let f = self.frequency(i);
+                    if f >= t_l1d {
+                        Some(CacheLevel::L1D)
+                    } else if f >= t_l2c {
+                        Some(CacheLevel::L2C)
+                    } else {
+                        None
+                    }
+                }
+            };
+            if let Some(l) = level {
+                out.set(i, l);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The schemes the equivalence sweep checks after every few merges:
+    /// paper defaults, threshold edges (0, 1, cap, beyond-cap), inverted
+    /// orderings, and fractional thresholds prone to f64 rounding.
+    fn schemes(cap: u16) -> Vec<ExtractionScheme> {
+        vec![
+            ExtractionScheme::default(),
+            ExtractionScheme::ane_default(),
+            ExtractionScheme::are_default(),
+            ExtractionScheme::AccessNumber { t_l1d: 1, t_l2c: 1 },
+            ExtractionScheme::AccessNumber { t_l1d: 0, t_l2c: 0 },
+            ExtractionScheme::AccessNumber { t_l1d: cap, t_l2c: cap / 2 },
+            ExtractionScheme::AccessNumber { t_l1d: cap + 1, t_l2c: cap },
+            ExtractionScheme::AccessNumber { t_l1d: 2, t_l2c: 7 }, // inverted
+            ExtractionScheme::AccessFrequency { t_l1d: 0.15, t_l2c: 0.05 },
+            ExtractionScheme::AccessFrequency { t_l1d: 1.0, t_l2c: 0.5 },
+            ExtractionScheme::AccessFrequency { t_l1d: 0.0, t_l2c: 0.0 },
+            ExtractionScheme::AccessFrequency { t_l1d: 1.0 / 3.0, t_l2c: 1.0 / 7.0 },
+            ExtractionScheme::AccessRatio { t_l1d: 0.25, t_l2c: 0.1 },
+            ExtractionScheme::AccessRatio { t_l1d: 0.0, t_l2c: 0.0 },
+            ExtractionScheme::AccessRatio { t_l1d: 1.0 / 3.0, t_l2c: 0.2 },
+        ]
+    }
+
+    /// Random anchored pattern of `len` bits with bit 0 always set and
+    /// a density that varies from near-empty to full-stream.
+    fn random_pattern(rng: &mut Rng64, len: u32) -> BitPattern {
+        let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+        let density = rng.gen_range(0..4u32);
+        let mut bits = rng.next_u64();
+        for _ in 0..density {
+            bits &= rng.next_u64(); // thin out
+        }
+        if rng.gen_range(0..16u32) == 0 {
+            bits = u64::MAX; // occasional full stream
+        }
+        BitPattern::from_bits((bits | 1) & mask, len)
+    }
+
+    #[test]
+    fn swar_matches_scalar_reference_at_every_step() {
+        let mut rng = Rng64::seed_from_u64(0x00C0_FFEE_5EED);
+        // Lengths cover word boundaries for every width: tiny coarse
+        // vectors, one-word, word-straddling, and the full 64.
+        for bits in 1..=15u32 {
+            for len in [2u32, 5, 8, 16, 21, 32, 33, 64] {
+                let mut swar = CounterVector::new(len, bits);
+                let mut scalar = ScalarCv::new(len, bits);
+                let schemes = schemes(scalar.cap);
+                for step in 0..160 {
+                    let p = random_pattern(&mut rng, len);
+                    let halved_swar = swar.merge(p);
+                    let halved_scalar = scalar.merge(p);
+                    assert_eq!(
+                        halved_swar, halved_scalar,
+                        "halving diverged: bits={bits} len={len} step={step}"
+                    );
+                    assert_eq!(
+                        swar.counters(),
+                        scalar.counters,
+                        "counters diverged: bits={bits} len={len} step={step}"
+                    );
+                    assert_eq!(swar.time(), scalar.time());
+                    if step % 8 == 0 {
+                        for (si, scheme) in schemes.iter().enumerate() {
+                            assert_eq!(
+                                scheme.extract(&swar),
+                                scalar.extract(scheme),
+                                "extraction diverged: bits={bits} len={len} step={step} \
+                                 scheme#{si} {scheme:?} counters={:?}",
+                                scalar.counters
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swar_matches_scalar_on_metric_accessors() {
+        // frequency()/ratio() go through the packed accessors; pin them
+        // against the scalar formulas on a randomly trained vector.
+        let mut rng = Rng64::seed_from_u64(0xFACE_0FF5);
+        let mut swar = CounterVector::new(64, 5);
+        let mut scalar = ScalarCv::new(64, 5);
+        for _ in 0..100 {
+            let p = random_pattern(&mut rng, 64);
+            swar.merge(p);
+            scalar.merge(p);
+        }
+        for i in 0..64u8 {
+            assert_eq!(swar.counter(i), scalar.counters[usize::from(i)]);
+            assert_eq!(swar.frequency(i).to_bits(), scalar.frequency(i).to_bits());
+            assert_eq!(swar.ratio(i).to_bits(), scalar.ratio(i).to_bits());
+        }
+    }
+
+    #[test]
+    fn clear_and_saturation_flags_match() {
+        let mut rng = Rng64::seed_from_u64(7);
+        for bits in [1u32, 2, 5, 15] {
+            let mut swar = CounterVector::new(16, bits);
+            let mut scalar = ScalarCv::new(16, bits);
+            for _ in 0..((1u32 << bits) + 3) {
+                let p = random_pattern(&mut rng, 16);
+                swar.merge(p);
+                scalar.merge(p);
+                assert_eq!(swar.is_saturated(), scalar.time() == scalar.cap);
+            }
+            swar.clear();
+            assert!(swar.is_empty());
+            assert_eq!(swar.counters(), vec![0u16; 16]);
+        }
+    }
+}

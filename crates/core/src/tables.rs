@@ -11,18 +11,23 @@
 //!   the supplement: *coarse* counter vectors, each counter monitoring
 //!   `monitoring_range` adjacent offsets (Fig. 6d), which only refine
 //!   the prefetch *level* during arbitration.
+//!
+//! Each table is one flat bit-parallel word array (the private
+//! `lanes::CounterTable`): entries live in consecutive words,
+//! so training and extraction touch contiguous memory and the
+//! occupancy/saturation gauges are a single strided pass over the
+//! packed form.
 
 use crate::counter_vec::CounterVector;
 use crate::extract::ExtractionScheme;
+use crate::lanes::CounterTable;
 use pmp_types::{BitPattern, ByteReader, ByteWriter, LineAddr, Pc, PrefetchPattern, SnapshotError};
 
 /// The trigger-offset-indexed primary table.
 #[derive(Debug, Clone)]
 pub struct OffsetPatternTable {
-    entries: Vec<CounterVector>,
+    table: CounterTable,
     index_bits: u32,
-    pattern_len: u32,
-    counter_bits: u32,
 }
 
 impl OffsetPatternTable {
@@ -36,12 +41,8 @@ impl OffsetPatternTable {
     pub fn new(index_bits: u32, pattern_len: u32, counter_bits: u32) -> Self {
         assert!((1..=16).contains(&index_bits), "index bits out of range");
         OffsetPatternTable {
-            entries: (0..1usize << index_bits)
-                .map(|_| CounterVector::new(pattern_len, counter_bits))
-                .collect(),
+            table: CounterTable::new(1u32 << index_bits, pattern_len, counter_bits),
             index_bits,
-            pattern_len,
-            counter_bits,
         }
     }
 
@@ -54,46 +55,45 @@ impl OffsetPatternTable {
     /// Returns `true` when the merge halved the entry's counters
     /// (time-counter saturation).
     pub fn train(&mut self, line: LineAddr, anchored: BitPattern) -> bool {
+        debug_assert_eq!(anchored.len(), self.table.layout().len(), "pattern/table length");
         let idx = self.index_of(line);
-        self.entries[idx].merge(anchored)
+        self.table.merge(idx, anchored.bits())
     }
 
     /// Extract the candidate prefetch pattern for a trigger at `line`.
     pub fn predict(&self, line: LineAddr, scheme: &ExtractionScheme) -> PrefetchPattern {
-        scheme.extract(&self.entries[self.index_of(line)])
+        scheme.extract_slice(self.table.slice(self.index_of(line)))
     }
 
-    /// Direct access to an entry (analysis tooling).
-    pub fn entry(&self, idx: usize) -> &CounterVector {
-        &self.entries[idx]
+    /// Direct access to an entry, unpacked (analysis tooling — the
+    /// prediction path never materialises a `CounterVector`).
+    pub fn entry(&self, idx: usize) -> CounterVector {
+        self.table.unpack(idx)
     }
 
     /// Number of entries.
     pub fn entries(&self) -> usize {
-        self.entries.len()
+        self.table.entries() as usize
     }
 
     /// Number of entries that have merged at least one pattern.
     pub fn occupied(&self) -> usize {
-        self.entries.iter().filter(|e| !e.is_empty()).count()
+        self.table.occupied()
     }
 
     /// Number of entries whose time counter sits at the saturation cap.
     pub fn saturated(&self) -> usize {
-        self.entries.iter().filter(|e| e.is_saturated()).count()
+        self.table.saturated()
     }
 
     /// Storage in bits: entries × pattern length × counter width.
     pub fn storage_bits(&self) -> u64 {
-        self.entries.len() as u64 * u64::from(self.pattern_len) * u64::from(self.counter_bits)
+        self.table.storage_bits()
     }
 
     /// Append the table's full state to a snapshot section.
     pub(crate) fn encode_state(&self, w: &mut ByteWriter) {
-        w.put_u32(self.entries.len() as u32);
-        for e in &self.entries {
-            e.encode_state(w);
-        }
+        self.table.encode_state(w);
     }
 
     /// Rebuild a table from snapshot bytes under the given geometry,
@@ -105,31 +105,18 @@ impl OffsetPatternTable {
         counter_bits: u32,
         context: &str,
     ) -> Result<OffsetPatternTable, SnapshotError> {
-        let expected = 1u32 << index_bits;
-        let count = r.take_u32()?;
-        if count != expected {
-            return Err(SnapshotError::corrupt(
-                context,
-                format!("OPT entry count {count}, expected {expected}"),
-            ));
-        }
-        let cap = (1u16 << counter_bits) - 1;
-        let mut entries = Vec::with_capacity(count as usize);
-        for _ in 0..count {
-            entries.push(CounterVector::decode_state(r, pattern_len, cap, context)?);
-        }
-        Ok(OffsetPatternTable { entries, index_bits, pattern_len, counter_bits })
+        let table =
+            CounterTable::decode_state(r, 1u32 << index_bits, pattern_len, counter_bits, "OPT", context)?;
+        Ok(OffsetPatternTable { table, index_bits })
     }
 }
 
 /// The hashed-PC-indexed supplement table with coarse counter vectors.
 #[derive(Debug, Clone)]
 pub struct PcPatternTable {
-    entries: Vec<CounterVector>,
+    table: CounterTable,
     index_bits: u32,
     monitoring_range: u32,
-    coarse_len: u32,
-    counter_bits: u32,
 }
 
 impl PcPatternTable {
@@ -156,13 +143,9 @@ impl PcPatternTable {
         let coarse_len = pattern_len / monitoring_range;
         assert!(coarse_len >= 2, "monitoring range collapses the pattern");
         PcPatternTable {
-            entries: (0..1usize << index_bits)
-                .map(|_| CounterVector::new(coarse_len, counter_bits))
-                .collect(),
+            table: CounterTable::new(1u32 << index_bits, coarse_len, counter_bits),
             index_bits,
             monitoring_range,
-            coarse_len,
-            counter_bits,
         }
     }
 
@@ -182,47 +165,44 @@ impl PcPatternTable {
     pub fn train(&mut self, pc: Pc, anchored: BitPattern) -> bool {
         let coarse = anchored.coarsen(self.monitoring_range);
         let idx = self.index_of(pc);
-        self.entries[idx].merge(coarse)
+        self.table.merge(idx, coarse.bits())
     }
 
     /// Extract the candidate *coarse* prefetch pattern for a trigger PC.
     /// Entry `g` of the result governs offsets
     /// `g*monitoring_range .. (g+1)*monitoring_range`.
     pub fn predict(&self, pc: Pc, scheme: &ExtractionScheme) -> PrefetchPattern {
-        scheme.extract_coarse(&self.entries[self.index_of(pc)])
+        scheme.extract_slice(self.table.slice(self.index_of(pc)))
     }
 
     /// Number of entries.
     pub fn entries(&self) -> usize {
-        self.entries.len()
+        self.table.entries() as usize
     }
 
-    /// Direct access to an entry (analysis tooling).
-    pub fn entry(&self, idx: usize) -> &CounterVector {
-        &self.entries[idx]
+    /// Direct access to an entry, unpacked (analysis tooling).
+    pub fn entry(&self, idx: usize) -> CounterVector {
+        self.table.unpack(idx)
     }
 
     /// Number of entries that have merged at least one pattern.
     pub fn occupied(&self) -> usize {
-        self.entries.iter().filter(|e| !e.is_empty()).count()
+        self.table.occupied()
     }
 
     /// Number of entries whose time counter sits at the saturation cap.
     pub fn saturated(&self) -> usize {
-        self.entries.iter().filter(|e| e.is_saturated()).count()
+        self.table.saturated()
     }
 
     /// Storage in bits.
     pub fn storage_bits(&self) -> u64 {
-        self.entries.len() as u64 * u64::from(self.coarse_len) * u64::from(self.counter_bits)
+        self.table.storage_bits()
     }
 
     /// Append the table's full state to a snapshot section.
     pub(crate) fn encode_state(&self, w: &mut ByteWriter) {
-        w.put_u32(self.entries.len() as u32);
-        for e in &self.entries {
-            e.encode_state(w);
-        }
+        self.table.encode_state(w);
     }
 
     /// Rebuild a table from snapshot bytes under the given geometry,
@@ -235,21 +215,10 @@ impl PcPatternTable {
         counter_bits: u32,
         context: &str,
     ) -> Result<PcPatternTable, SnapshotError> {
-        let expected = 1u32 << index_bits;
-        let count = r.take_u32()?;
-        if count != expected {
-            return Err(SnapshotError::corrupt(
-                context,
-                format!("PPT entry count {count}, expected {expected}"),
-            ));
-        }
         let coarse_len = pattern_len / monitoring_range;
-        let cap = (1u16 << counter_bits) - 1;
-        let mut entries = Vec::with_capacity(count as usize);
-        for _ in 0..count {
-            entries.push(CounterVector::decode_state(r, coarse_len, cap, context)?);
-        }
-        Ok(PcPatternTable { entries, index_bits, monitoring_range, coarse_len, counter_bits })
+        let table =
+            CounterTable::decode_state(r, 1u32 << index_bits, coarse_len, counter_bits, "PPT", context)?;
+        Ok(PcPatternTable { table, index_bits, monitoring_range })
     }
 }
 
@@ -381,5 +350,18 @@ mod tests {
         let back = PcPatternTable::decode_state(&mut r, 3, 16, 2, 3, "ppt").expect("decode");
         r.finish().expect("exact consumption");
         assert_eq!(back.monitoring_range(), 2);
+    }
+
+    #[test]
+    fn entry_unpacks_trained_counters() {
+        let mut opt = OffsetPatternTable::new(4, 16, 5);
+        let line = LineAddr(3);
+        for _ in 0..5 {
+            opt.train(line, BitPattern::from_bits(0b101, 16));
+        }
+        let cv = opt.entry(opt.index_of(line));
+        assert_eq!(cv.time(), 5);
+        assert_eq!(cv.counter(2), 5);
+        assert_eq!(cv.counter(1), 0);
     }
 }

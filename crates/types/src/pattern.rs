@@ -231,27 +231,78 @@ impl fmt::Display for PrefetchTarget {
 /// assert_eq!(p.target(2), PrefetchTarget::To(CacheLevel::L1D));
 /// assert_eq!(p.count(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// The pattern is stored as two 64-bit *code planes*: offset `i`'s
+/// target is the 2-bit code `hi_i lo_i` (`00` none, `01` L1D, `10`
+/// L2C, `11` LLC) — the paper's "four states of every offset" packed
+/// exactly as hardware would. A pattern is created on every OPT/PPT
+/// prediction, so the representation is sized and shaped for that hot
+/// path: no heap, no per-offset stores on construction from the
+/// word-parallel extraction masks, popcount-speed `count`.
+#[derive(Clone)]
 pub struct PrefetchPattern {
-    targets: Vec<PrefetchTarget>,
+    len: u8,
+    /// Bit 0 of each offset's 2-bit target code.
+    lo: u64,
+    /// Bit 1 of each offset's 2-bit target code.
+    hi: u64,
 }
 
 impl PrefetchPattern {
     /// An all-`None` pattern over `len` offsets.
+    #[inline]
     pub fn new(len: u32) -> Self {
         assert!((2..=64).contains(&len), "pattern length must be in 2..=64, got {len}");
-        PrefetchPattern { targets: vec![PrefetchTarget::None; len as usize] }
+        PrefetchPattern { len: len as u8, lo: 0, hi: 0 }
+    }
+
+    /// Build a pattern from per-level qualifying-offset bitmasks (bit
+    /// `i` set iff offset `i` targets that level); where both masks
+    /// claim an offset, L1D wins. Mask bits at or above `len` are
+    /// ignored.
+    ///
+    /// This is the word-parallel extraction kernels' constructor: the
+    /// masks they compute map straight onto the code planes, so
+    /// building a pattern costs a few word ops regardless of how many
+    /// offsets qualify.
+    #[inline]
+    pub fn from_level_masks(len: u32, l1d: u64, l2c: u64) -> Self {
+        assert!((2..=64).contains(&len), "pattern length must be in 2..=64, got {len}");
+        let keep = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+        let l1d = l1d & keep;
+        // L1D -> code 01, L2C -> code 10.
+        PrefetchPattern { len: len as u8, lo: l1d, hi: l2c & keep & !l1d }
+    }
+
+    /// Panic (matching slice-index semantics) when `off` is out of range.
+    #[inline]
+    fn check(&self, off: u8) {
+        assert!(
+            off < self.len,
+            "offset index out of range: the len is {} but the index is {off}",
+            self.len
+        );
+    }
+
+    /// The 2-bit code for `level`, as (lo, hi) bits.
+    #[inline]
+    fn code(level: CacheLevel) -> (u64, u64) {
+        match level {
+            CacheLevel::L1D => (1, 0),
+            CacheLevel::L2C => (0, 1),
+            CacheLevel::Llc => (1, 1),
+        }
     }
 
     /// Pattern length.
     #[inline]
     pub fn len(&self) -> u32 {
-        self.targets.len() as u32
+        u32::from(self.len)
     }
 
     /// True when no offset has a target.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.targets.iter().all(|t| !t.is_some())
+        (self.lo | self.hi) == 0
     }
 
     /// Set the target level for anchored offset `off`.
@@ -264,44 +315,95 @@ impl PrefetchPattern {
     /// # Panics
     ///
     /// Panics if `off` is out of range.
+    #[inline]
     pub fn set(&mut self, off: u8, level: CacheLevel) {
-        self.targets[usize::from(off)] = PrefetchTarget::To(level);
+        self.check(off);
+        let bit = 1u64 << off;
+        let (lo, hi) = Self::code(level);
+        self.lo = (self.lo & !bit) | (lo << off);
+        self.hi = (self.hi & !bit) | (hi << off);
     }
 
     /// Clear the target for anchored offset `off`.
+    #[inline]
     pub fn clear(&mut self, off: u8) {
-        self.targets[usize::from(off)] = PrefetchTarget::None;
+        self.check(off);
+        let bit = 1u64 << off;
+        self.lo &= !bit;
+        self.hi &= !bit;
     }
 
     /// The decision for anchored offset `off`.
     #[inline]
     pub fn target(&self, off: u8) -> PrefetchTarget {
-        self.targets[usize::from(off)]
+        self.check(off);
+        match (((self.hi >> off) & 1) << 1) | ((self.lo >> off) & 1) {
+            0 => PrefetchTarget::None,
+            1 => PrefetchTarget::To(CacheLevel::L1D),
+            2 => PrefetchTarget::To(CacheLevel::L2C),
+            _ => PrefetchTarget::To(CacheLevel::Llc),
+        }
     }
 
     /// Number of offsets with a prefetch target.
+    #[inline]
     pub fn count(&self) -> usize {
-        self.targets.iter().filter(|t| t.is_some()).count()
+        (self.lo | self.hi).count_ones() as usize
     }
 
     /// Iterate over `(anchored_offset, level)` pairs with targets set,
     /// ascending by offset.
+    #[inline]
     pub fn iter_targets(&self) -> impl Iterator<Item = (u8, CacheLevel)> + '_ {
-        self.targets
-            .iter()
-            .enumerate()
-            .filter_map(|(i, t)| t.level().map(|l| (i as u8, l)))
+        let (lo, hi) = (self.lo, self.hi);
+        let mut rest = lo | hi;
+        core::iter::from_fn(move || {
+            if rest == 0 {
+                return None;
+            }
+            let i = rest.trailing_zeros() as u8;
+            rest &= rest - 1;
+            let level = match (((hi >> i) & 1) << 1) | ((lo >> i) & 1) {
+                1 => CacheLevel::L1D,
+                2 => CacheLevel::L2C,
+                _ => CacheLevel::Llc,
+            };
+            Some((i, level))
+        })
+    }
+}
+
+impl PartialEq for PrefetchPattern {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.lo == other.lo && self.hi == other.hi
+    }
+}
+
+impl Eq for PrefetchPattern {}
+
+impl core::hash::Hash for PrefetchPattern {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self.len.hash(state);
+        self.lo.hash(state);
+        self.hi.hash(state);
+    }
+}
+
+impl fmt::Debug for PrefetchPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let targets: Vec<PrefetchTarget> = (0..self.len).map(|i| self.target(i)).collect();
+        f.debug_struct("PrefetchPattern").field("targets", &targets).finish()
     }
 }
 
 impl fmt::Display for PrefetchPattern {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "(")?;
-        for (i, t) in self.targets.iter().enumerate() {
+        for i in 0..self.len {
             if i > 0 {
                 write!(f, ",")?;
             }
-            write!(f, "{t}")?;
+            write!(f, "{}", self.target(i))?;
         }
         write!(f, ")")
     }
